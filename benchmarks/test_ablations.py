@@ -1,0 +1,74 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own auxiliary-loss ablation (Table 5), these benches
+probe two architectural choices at a reduced scale:
+
+* reduction channels: the paper's sum+max pair vs. sum-only / max-only;
+* the Kronecker LUT-interpolation module vs. a plain MLP on flattened
+  LUT features.
+
+Reduced scale (0.4x designs, short training) keeps the bench suite's
+wall time reasonable while still separating the variants.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.graphdata import load_dataset
+from repro.models import ModelConfig
+from repro.netlist import TRAIN_BENCHMARKS, TEST_BENCHMARKS
+from repro.training import (TrainConfig, evaluate_on, train_timing_gnn)
+
+ABLATION_SCALE = 0.4
+ABLATION_EPOCHS = 12
+
+# Subset of designs: a few representative train + test circuits.
+TRAIN_SUBSET = ["usb_cdc_core", "des", "picorv32a", "genericfir", "salsa20"]
+TEST_SUBSET = ["xtea", "y_huff", "usbf_device"]
+
+
+@pytest.fixture(scope="module")
+def ablation_data():
+    benchmarks = [b for b in TRAIN_BENCHMARKS + TEST_BENCHMARKS
+                  if b.name in TRAIN_SUBSET + TEST_SUBSET]
+    records = load_dataset(scale=ABLATION_SCALE, benchmarks=benchmarks)
+    train = [records[n].graph for n in TRAIN_SUBSET]
+    test = [records[n].graph for n in TEST_SUBSET]
+    return train, test
+
+
+def _train_and_score(train, test, cfg):
+    tcfg = TrainConfig(epochs=ABLATION_EPOCHS, lr=3e-3, lr_decay=0.97)
+    model, _history = train_timing_gnn(train, cfg, tcfg)
+    scores = evaluate_on(model, test)
+    return float(np.mean([m["arrival_r2"] for m in scores.values()]))
+
+
+@pytest.mark.parametrize("reduction", ["both", "sum", "max"])
+def test_reduction_channel_ablation(benchmark, ablation_data, reduction):
+    train, test = ablation_data
+    cfg = dataclasses.replace(ModelConfig.fast(), reduction=reduction)
+    r2 = benchmark.pedantic(_train_and_score, args=(train, test, cfg),
+                            rounds=1, iterations=1)
+    benchmark.extra_info["test_arrival_r2"] = round(r2, 4)
+    print(f"\nreduction={reduction}: test arrival R2 {r2:+.4f}")
+    # Variant quality is compared via extra_info across the parametrized
+    # runs (EXPERIMENTS.md records a full-scale comparison); here we only
+    # require that training produced a sane model, not that every
+    # channel choice generalizes at this reduced scale.
+    assert np.isfinite(r2)
+    assert r2 > -1.0
+
+
+@pytest.mark.parametrize("lut_mode", ["kron", "mlp"])
+def test_lut_module_ablation(benchmark, ablation_data, lut_mode):
+    train, test = ablation_data
+    cfg = dataclasses.replace(ModelConfig.fast(), lut_mode=lut_mode)
+    r2 = benchmark.pedantic(_train_and_score, args=(train, test, cfg),
+                            rounds=1, iterations=1)
+    benchmark.extra_info["test_arrival_r2"] = round(r2, 4)
+    print(f"\nlut_mode={lut_mode}: test arrival R2 {r2:+.4f}")
+    assert np.isfinite(r2)
+    assert r2 > -1.0

@@ -1,0 +1,34 @@
+"""Benchmark E6 — Figure 1: the K-layer GNN receptive field, verified.
+
+The paper's Figure 1 is an illustration; here it becomes a measurement:
+the gradient support of a K-layer GCNII output is exactly contained in
+the K-hop neighbourhood, and shallow stacks cover only a small fraction
+of the graph — the motivation for the levelized model.
+"""
+
+import pytest
+
+from repro.experiments import figure1_data
+
+
+@pytest.fixture(scope="module")
+def fig1(dataset):
+    return figure1_data("usb_cdc_core", layer_counts=(1, 2, 4, 8))
+
+
+def test_figure1(benchmark, fig1):
+    benchmark.pedantic(lambda: fig1, rounds=1, iterations=1)
+    print(f"\nreceptive field at node {fig1['node']} of "
+          f"{fig1['design']} ({fig1['num_nodes']} nodes):")
+    print(f"{'layers':>7}{'reached':>9}{'k-hop':>7}{'coverage':>10}")
+    for row in fig1["rows"]:
+        print(f"{row['layers']:>7}{row['receptive_nodes']:>9}"
+              f"{row['k_hop_nodes']:>7}{row['coverage']:>9.1%}")
+        benchmark.extra_info[f"coverage_{row['layers']}"] = round(
+            row["coverage"], 4)
+        # The defining property of Figure 1: nothing outside K hops.
+        assert row["within_k_hops"]
+    coverages = [r["coverage"] for r in fig1["rows"]]
+    assert coverages == sorted(coverages)
+    # A 2-layer GNN sees only a small fraction of the design.
+    assert fig1["rows"][1]["coverage"] < 0.5

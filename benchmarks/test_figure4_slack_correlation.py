@@ -1,0 +1,33 @@
+"""Benchmark E5 — regenerate Figure 4: slack correlation on usbf_device.
+
+The paper shows predicted endpoint slack tracking ground truth closely
+for both setup and hold on test design usbf_device.  We regenerate the
+scatter series and check correlation strength.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ascii_scatter, figure4_data
+
+
+@pytest.fixture(scope="module")
+def fig4(dataset):
+    return figure4_data("usbf_device")
+
+
+def test_figure4(benchmark, fig4):
+    benchmark.pedantic(lambda: fig4, rounds=1, iterations=1)
+    for mode in ("setup", "hold"):
+        series = fig4[mode]
+        benchmark.extra_info[f"{mode}_r2"] = round(series["r2"], 4)
+        benchmark.extra_info[f"{mode}_pearson"] = round(series["pearson"], 4)
+        print(f"\n{mode}: R2 {series['r2']:+.3f}  "
+              f"Pearson {series['pearson']:+.3f}  "
+              f"({len(series['true'])} endpoints)")
+        print(ascii_scatter(series["true"], series["pred"],
+                            title=f"{mode} slack (ps)"))
+    # Strong correlation on the paper's showcased design.
+    assert fig4["setup"]["pearson"] > 0.8
+    assert fig4["setup"]["r2"] > 0.5
+    assert fig4["hold"]["pearson"] > 0.5

@@ -1,0 +1,32 @@
+"""Benchmark E7 — Sec. 3.1's motivation: logic depth vs. GNN depth.
+
+The paper argues a conventional GNN would need ~one layer per
+topological level (~300 on their large designs) to emulate a timing
+engine.  This bench measures the level counts of the benchmark suite and
+checks they dwarf the 4-layer GNNs common in EDA — while the levelized
+model handles them in a single pass.
+"""
+
+import numpy as np
+
+from repro.netlist import benchmark_names
+
+
+def _depth_stats(dataset):
+    depths = {name: dataset[name].graph.num_levels
+              for name in benchmark_names()}
+    return depths
+
+
+def test_logic_depth(benchmark, dataset):
+    depths = benchmark(_depth_stats, dataset)
+    print(f"\n{'design':<16}{'levels':>8}")
+    for name, depth in sorted(depths.items(), key=lambda kv: -kv[1]):
+        print(f"{name:<16}{depth:>8}")
+    values = np.asarray(list(depths.values()))
+    benchmark.extra_info["max_levels"] = int(values.max())
+    benchmark.extra_info["mean_levels"] = float(values.mean())
+    # Every design needs more hops than a conventional 4-layer GNN has.
+    assert values.min() > 4
+    # The deep designs need an order of magnitude more.
+    assert values.max() > 40

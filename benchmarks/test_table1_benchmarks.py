@@ -1,0 +1,28 @@
+"""Benchmark E1 — regenerate Table 1 (benchmark statistics)."""
+
+import numpy as np
+
+from repro.experiments import format_table1, table1_rows
+
+
+def test_table1(benchmark, dataset):
+    rows = benchmark(table1_rows)
+    print("\n" + format_table1(rows))
+
+    by_name = {r["benchmark"]: r for r in rows}
+    # Structural shape vs. the paper: per-design edge/node and
+    # endpoint/node ratios within a factor-2 band of Table 1.
+    for row in rows:
+        if row["benchmark"].startswith("Total"):
+            continue
+        ratio_ours = row["net_edges"] / row["nodes"]
+        ratio_paper = row["paper_net_edges"] / row["paper_nodes"]
+        assert 0.5 * ratio_paper < ratio_ours < 2.0 * ratio_paper
+    # The suite keeps the paper's size ordering at the extremes.
+    assert by_name["aes256"]["nodes"] == max(
+        r["nodes"] for r in rows if not r["benchmark"].startswith("Total"))
+    total_train = by_name["Total Train"]
+    total_test = by_name["Total Test"]
+    assert total_train["nodes"] > total_test["nodes"]
+    benchmark.extra_info["total_train_nodes"] = total_train["nodes"]
+    benchmark.extra_info["total_test_nodes"] = total_test["nodes"]

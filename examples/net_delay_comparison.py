@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Net delay prediction: statistics-based ML vs. the net embedding GNN.
+
+A small-scale version of the paper's Table 4: train the Barboza-style
+random forest and MLP on engineered net features, train the net
+embedding model on the same designs, and compare per-design R2 on
+held-out benchmarks.  The expected shape: the RF wins on training
+designs, the GNN generalizes better to unseen ones.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.graphdata import barboza_features, generate_design
+from repro.ml import r2_score
+from repro.models import ModelConfig, NetDelayMLP, NetDelayRandomForest
+from repro.training import TrainConfig, train_net_embedding
+
+
+TRAIN = ["usb_cdc_core", "des", "picorv32a", "genericfir", "wbqspiflash"]
+TEST = ["xtea", "spm", "y_huff"]
+
+
+def main():
+    print("generating designs (place + route + STA per design)...")
+    records = {name: generate_design(name, split)
+               for split, names in (("train", TRAIN), ("test", TEST))
+               for name in names}
+    train_graphs = [records[n].graph for n in TRAIN]
+
+    print("fitting random forest on engineered features...")
+    rf = NetDelayRandomForest(n_estimators=20, seed=0).fit(train_graphs)
+    print("fitting MLP on engineered features...")
+    mlp = NetDelayMLP(epochs=80, seed=0).fit(train_graphs)
+    print("training net embedding GNN (standalone net-delay model)...")
+    gnn, _hist = train_net_embedding(
+        train_graphs, ModelConfig.benchmark(),
+        TrainConfig(epochs=80, lr=3e-3, lr_decay=0.98))
+
+    header = f"{'design':<16}{'split':<7}{'RF':>9}{'MLP':>9}{'GNN':>9}"
+    print("\n" + header)
+    print("-" * len(header))
+    averages = {}
+    for split, names in (("train", TRAIN), ("test", TEST)):
+        scores = {"rf": [], "mlp": [], "gnn": []}
+        for name in names:
+            graph = records[name].graph
+            _x, y = barboza_features(graph)
+            mask = graph.is_net_sink
+            with nn.no_grad():
+                _emb, gnn_pred = gnn(graph)
+            r2 = {
+                "rf": r2_score(y, rf.predict(graph)),
+                "mlp": r2_score(y, mlp.predict(graph)),
+                "gnn": r2_score(graph.net_delay[mask], gnn_pred.data[mask]),
+            }
+            for key, value in r2.items():
+                scores[key].append(value)
+            print(f"{name:<16}{split:<7}{r2['rf']:>9.4f}{r2['mlp']:>9.4f}"
+                  f"{r2['gnn']:>9.4f}")
+        averages[split] = {k: np.mean(v) for k, v in scores.items()}
+    print("-" * len(header))
+    for split, avg in averages.items():
+        print(f"{'Avg. ' + split:<23}{avg['rf']:>9.4f}{avg['mlp']:>9.4f}"
+              f"{avg['gnn']:>9.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Timing-driven placement with the GNN in the loop.
+
+The paper's introduction motivates fast pre-routing timing prediction
+with exactly this application: analytical placers optimize wirelength
+because route+STA is too slow to sit in the loop.  Here we compare three
+placement flows on a wire-dominated design:
+
+1. baseline — wirelength-driven placement only;
+2. STA-driven — per-round ground-truth timing feedback (slow evaluator);
+3. GNN-driven — the trained timer-inspired model predicts per-pin slack
+   (arrivals from the main head, required times swept backward over its
+   own predicted net/cell delays, courtesy of the auxiliary tasks).
+
+Note: the GNN flow needs the trained model from the benchmark cache; run
+``pytest benchmarks/test_table5_arrival_slack.py --benchmark-only`` (or
+``python -m repro train``) first, or this script will train one (slow).
+"""
+
+from repro.liberty import make_sky130_like_library
+from repro.netlist import build_benchmark
+from repro.opt import optimize_placement
+from repro.experiments import trained_timing_gnn
+
+DESIGN = "salsa20"
+SCALE = 0.5
+ROUNDS = 3
+
+
+def main():
+    library = make_sky130_like_library()
+    print("loading (or training) the timer-inspired GNN...")
+    model = trained_timing_gnn("full")
+
+    runs = {}
+    for evaluator in ("sta", "gnn"):
+        print(f"\nrunning {evaluator}-driven placement "
+              f"({ROUNDS} re-weighting rounds)...")
+        design = build_benchmark(DESIGN, library, scale=SCALE)
+        runs[evaluator] = optimize_placement(
+            design, evaluator=evaluator,
+            model=model if evaluator == "gnn" else None,
+            rounds=ROUNDS, seed=2, alpha=4.0)
+        for it in runs[evaluator].iterations:
+            print(f"  round {it['round']}: WNS {it['wns']:8.1f} ps  "
+                  f"TNS {it['tns']:9.1f} ps  HPWL {it['hpwl']:9.0f} um")
+
+    baseline = runs["sta"].iterations[0]
+    print(f"\n{'flow':<14}{'final WNS (ps)':>15}{'gain (ps)':>11}"
+          f"{'evaluator time (s)':>20}")
+    print(f"{'baseline':<14}{baseline['wns']:>15.1f}{0.0:>11.1f}"
+          f"{0.0:>20.3f}")
+    for name in ("sta", "gnn"):
+        run = runs[name]
+        print(f"{name + '-driven':<14}{run.final_wns:>15.1f}"
+              f"{run.final_wns - baseline['wns']:>11.1f}"
+              f"{run.evaluator_seconds:>20.3f}")
+
+
+if __name__ == "__main__":
+    main()

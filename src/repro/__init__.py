@@ -1,0 +1,26 @@
+"""Reproduction of "A Timing Engine Inspired Graph Neural Network Model
+for Pre-Routing Slack Prediction" (Guo et al., DAC 2022).
+
+Subpackages
+-----------
+nn         numpy autograd + NN framework (PyTorch/DGL stand-in)
+liberty    synthetic NLDM cell library (SkyWater-130 stand-in)
+netlist    gate-level netlists + synthetic benchmark suite (Table 1)
+placement  quadratic placer + legalizer
+routing    rectilinear Steiner routing + RC extraction
+sta        4-corner static timing analysis (label generator)
+ml         CART / random forest / metrics (Barboza baseline)
+graphdata  heterogeneous graph datasets (Tables 2 & 3 features)
+models     TimingGNN (the paper's model), GCNII, RF/MLP baselines
+training   losses (Eqs. 4-7), trainers, evaluation
+experiments one module per paper table/figure
+"""
+
+from . import nn, liberty, netlist, placement, routing, sta, ml
+from . import graphdata, models, training, experiments, opt
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "liberty", "netlist", "placement", "routing", "sta", "ml",
+           "graphdata", "models", "training", "experiments", "opt",
+           "__version__"]

@@ -1,0 +1,239 @@
+"""Command-line interface: run the flow, train, predict, export files.
+
+Usage (also available as ``python -m repro``):
+
+    repro flow picorv32a                 # place/route/STA + timing report
+    repro dataset --scale 1.0            # build + cache the 21-design suite
+    repro train --variant full           # train the timer-inspired GNN
+    repro predict usbf_device            # model vs. ground-truth slack
+    repro write-verilog des -o des.v     # export a benchmark netlist
+    repro write-liberty -c late -o s.lib # export one library corner
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_flow(args):
+    from .liberty import make_sky130_like_library
+    from .netlist import build_benchmark, validate_design
+    from .placement import place_design
+    from .routing import route_design
+    from .sta import build_timing_graph, format_path_report, run_sta, \
+        timing_summary
+
+    library = make_sky130_like_library()
+    design = build_benchmark(args.benchmark, library, scale=args.scale)
+    validate_design(design)
+    placement = place_design(design, seed=args.seed)
+    routing = route_design(design, placement)
+    graph = build_timing_graph(design)
+    result = run_sta(design, placement, routing, graph=graph,
+                     clock_period=args.clock)
+    stats = design.stats()
+    print(f"design {stats['name']}: {stats['nodes']} pins, "
+          f"{stats['net_edges']} net arcs, {stats['cell_edges']} cell "
+          f"arcs, {stats['endpoints']} endpoints, "
+          f"{routing.total_wirelength:.0f} um routed")
+    for key, value in timing_summary(result).items():
+        print(f"  {key}: {value:.1f}" if isinstance(value, float)
+              else f"  {key}: {value}")
+    print()
+    print(format_path_report(result, mode="setup"))
+    return 0
+
+
+def _cmd_dataset(args):
+    from .experiments import format_table1, get_dataset
+    get_dataset(args.scale)
+    print(format_table1(scale=args.scale))
+    return 0
+
+
+def _cmd_train(args):
+    from .experiments import train_test_graphs, trained_timing_gnn
+    from .training import evaluate_on
+
+    model = trained_timing_gnn(args.variant, scale=args.scale,
+                               epochs=args.epochs)
+    train, test = train_test_graphs(args.scale)
+    print(f"{'design':<16}{'split':<7}{'arrival R2':>12}{'slack R2':>10}")
+    for split, graphs in (("train", train), ("test", test)):
+        metrics = evaluate_on(model, graphs)
+        for name, m in metrics.items():
+            print(f"{name:<16}{split:<7}{m['arrival_r2']:>12.4f}"
+                  f"{m['slack_r2']:>10.4f}")
+    return 0
+
+
+def _cmd_predict(args):
+    from .experiments import get_dataset, trained_timing_gnn
+    from .graphdata import TIME_SCALE
+    from .training import evaluate_timing_gnn, slack_from_arrival
+
+    records = get_dataset(args.scale)
+    if args.benchmark not in records:
+        print(f"unknown benchmark {args.benchmark}", file=sys.stderr)
+        return 2
+    graph = records[args.benchmark].graph
+    model = trained_timing_gnn(args.variant, scale=args.scale)
+    metrics = evaluate_timing_gnn(model, graph)
+    print(f"{args.benchmark}: arrival R2 {metrics['arrival_r2']:+.4f}, "
+          f"slack R2 {metrics['slack_r2']:+.4f}, "
+          f"slew R2 {metrics['slew_r2']:+.4f}")
+    pred = model.predict(graph)
+    slack_pred = slack_from_arrival(graph, pred.numpy_arrival())
+    slack_true = graph.slack()
+    wns_pred = float(np.nanmin(slack_pred[:, 2:4])) * TIME_SCALE
+    wns_true = float(np.nanmin(slack_true[:, 2:4])) * TIME_SCALE
+    print(f"setup WNS: true {wns_true:.1f} ps, predicted {wns_pred:.1f} ps")
+    return 0
+
+
+def _cmd_write_verilog(args):
+    from .liberty import make_sky130_like_library
+    from .netlist import build_benchmark, write_verilog
+
+    library = make_sky130_like_library()
+    design = build_benchmark(args.benchmark, library, scale=args.scale)
+    text = write_verilog(design)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_write_sdf(args):
+    from .liberty import make_sky130_like_library
+    from .netlist import build_benchmark
+    from .placement import place_design
+    from .routing import route_design
+    from .sta import build_timing_graph, run_sta, write_sdf
+
+    library = make_sky130_like_library()
+    design = build_benchmark(args.benchmark, library, scale=args.scale)
+    placement = place_design(design, seed=args.seed)
+    routing = route_design(design, placement)
+    graph = build_timing_graph(design)
+    result = run_sta(design, placement, routing, graph=graph)
+    text = write_sdf(result, design_name=design.name)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_write_spef(args):
+    from .liberty import make_sky130_like_library
+    from .netlist import build_benchmark
+    from .placement import place_design
+    from .routing import route_design, write_spef
+
+    library = make_sky130_like_library()
+    design = build_benchmark(args.benchmark, library, scale=args.scale)
+    placement = place_design(design, seed=args.seed)
+    routing = route_design(design, placement)
+    text = write_spef(routing, corner=args.corner, design_name=design.name)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_write_liberty(args):
+    from .liberty import make_sky130_like_library, write_liberty
+
+    library = make_sky130_like_library()
+    text = write_liberty(library, args.corner)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Timing-engine-inspired GNN reproduction (DAC'22)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("flow", help="run place/route/STA on a benchmark")
+    p.add_argument("benchmark")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--clock", type=float, default=None,
+                   help="clock period in ps (default: auto-derived)")
+    p.set_defaults(func=_cmd_flow)
+
+    p = sub.add_parser("dataset", help="build/cache the benchmark dataset")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser("train", help="train (or load) the timing GNN")
+    p.add_argument("--variant", default="full",
+                   choices=["full", "cell", "net", "none"])
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--epochs", type=int, default=None)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("predict", help="evaluate the model on one design")
+    p.add_argument("benchmark")
+    p.add_argument("--variant", default="full")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("write-verilog", help="export a benchmark netlist")
+    p.add_argument("benchmark")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_write_verilog)
+
+    p = sub.add_parser("write-sdf", help="run the flow, export SDF delays")
+    p.add_argument("benchmark")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_write_sdf)
+
+    p = sub.add_parser("write-spef",
+                       help="run place+route, export SPEF parasitics")
+    p.add_argument("benchmark")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("-c", "--corner", default="late",
+                   choices=["early", "late"])
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_write_spef)
+
+    p = sub.add_parser("write-liberty", help="export a library corner")
+    p.add_argument("-c", "--corner", default="late",
+                   choices=["early", "late"])
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_write_liberty)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

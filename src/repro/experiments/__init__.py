@@ -1,0 +1,23 @@
+"""Experiments: one module per paper table/figure (see DESIGN.md index)."""
+
+from .common import (experiment_scale, experiment_epochs, get_dataset,
+                     train_test_graphs, trained_timing_gnn, trained_gcnii,
+                     trained_net_embedding, model_config, train_config)
+from .table1 import table1_rows, format_table1
+from .table4 import table4_rows, format_table4, fit_baselines
+from .table5 import (table5_accuracy_rows, table5_runtime_rows,
+                     format_table5, GCNII_LAYERS)
+from .figure1 import receptive_field_mask, hop_distances, figure1_data
+from .figure4 import figure4_data, ascii_scatter
+
+__all__ = [
+    "experiment_scale", "experiment_epochs", "get_dataset",
+    "train_test_graphs", "trained_timing_gnn", "trained_gcnii",
+    "trained_net_embedding", "model_config", "train_config",
+    "table1_rows", "format_table1",
+    "table4_rows", "format_table4", "fit_baselines",
+    "table5_accuracy_rows", "table5_runtime_rows", "format_table5",
+    "GCNII_LAYERS",
+    "receptive_field_mask", "hop_distances", "figure1_data",
+    "figure4_data", "ascii_scatter",
+]

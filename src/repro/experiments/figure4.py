@@ -1,0 +1,69 @@
+"""Experiment E5 — Figure 4: slack correlation scatter on usbf_device.
+
+The paper visualises predicted vs. ground-truth endpoint slack (setup
+and hold) for test design usbf_device and reports a strong correlation.
+This module produces the scatter series plus R2/Pearson statistics; the
+benchmark prints them and the example script renders an ASCII scatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphdata import TIME_SCALE
+from ..ml import pearson_correlation, r2_score
+from ..training import slack_from_arrival
+from .common import get_dataset, trained_timing_gnn
+
+__all__ = ["figure4_data", "ascii_scatter"]
+
+
+def figure4_data(design="usbf_device", scale=None):
+    """Slack scatter series for one test design.
+
+    Returns a dict with ``setup`` and ``hold`` entries, each holding
+    ``true``/``pred`` arrays in ps plus ``r2`` and ``pearson``.
+    """
+    records = get_dataset(scale)
+    graph = records[design].graph
+    model = trained_timing_gnn("full", scale=scale)
+    pred = model.predict(graph)
+    slack_true = graph.slack() * TIME_SCALE
+    slack_pred = slack_from_arrival(graph, pred.numpy_arrival()) * TIME_SCALE
+    out = {"design": design}
+    for mode, cols in (("hold", (0, 1)), ("setup", (2, 3))):
+        t = np.nanmin(slack_true[:, cols], axis=1)
+        p = np.nanmin(slack_pred[:, cols], axis=1)
+        out[mode] = {
+            "true": t, "pred": p,
+            "r2": r2_score(t, p),
+            "pearson": pearson_correlation(t, p),
+        }
+    return out
+
+
+def ascii_scatter(true, pred, width=58, height=20, title=""):
+    """Render a predicted-vs-true scatter as ASCII art (for the example)."""
+    true = np.asarray(true)
+    pred = np.asarray(pred)
+    finite = np.isfinite(true) & np.isfinite(pred)
+    true, pred = true[finite], pred[finite]
+    lo = min(true.min(), pred.min())
+    hi = max(true.max(), pred.max())
+    span = max(hi - lo, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    # Diagonal (perfect prediction) reference.
+    for i in range(min(width, height * 3)):
+        x = int(i / max(width - 1, 1) * (width - 1))
+        y = height - 1 - int(i / max(width - 1, 1) * (height - 1))
+        if 0 <= y < height:
+            grid[y][x] = "."
+    for t, p in zip(true, pred):
+        x = int((t - lo) / span * (width - 1))
+        y = height - 1 - int((p - lo) / span * (height - 1))
+        grid[y][x] = "*"
+    lines = [title] if title else []
+    lines.append(f"pred ^  range [{lo:.0f}, {hi:.0f}] ps")
+    lines.extend("".join(row) for row in grid)
+    lines.append("-" * width + "> true")
+    return "\n".join(lines)

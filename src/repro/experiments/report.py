@@ -1,0 +1,183 @@
+"""EXPERIMENTS.md generator: paper-vs-measured for every table/figure.
+
+``python -m repro.experiments.report`` (or ``repro-report`` via the
+example script) regenerates the full experiment report from the cached
+dataset and trained models, so the committed EXPERIMENTS.md is always
+reproducible from code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .figure1 import figure1_data
+from .figure4 import figure4_data
+from .table1 import format_table1, table1_rows
+from .table4 import format_table4, table4_rows
+from .table5 import format_table5, table5_accuracy_rows, table5_runtime_rows
+
+__all__ = ["generate_experiments_markdown", "PAPER_AVERAGES"]
+
+# Key averages reported by the paper, used for side-by-side comparison.
+PAPER_AVERAGES = {
+    "table4": {"rf_train": 0.9944, "rf_test": 0.9418,
+               "mlp_train": 0.9550, "mlp_test": 0.9357,
+               "gnn_train": 0.9870, "gnn_test": 0.9552},
+    "table5": {"gcnii4_train": 0.5710, "gcnii4_test": -0.8446,
+               "gcnii8_train": 0.3586, "gcnii8_test": -0.7766,
+               "gcnii16_train": 0.6810, "gcnii16_test": -1.5101,
+               "full_train": 0.9493, "full_test": 0.8957,
+               "cell_train": 0.8215, "cell_test": 0.8150,
+               "net_train": 0.9374, "net_test": 0.8513,
+               "speedup_train": 2361, "speedup_test": 2664},
+}
+
+
+def _avg(rows, split, key):
+    row = next(r for r in rows if r["benchmark"] == f"Avg. {split}")
+    return row[key]
+
+
+def generate_experiments_markdown(scale=None):
+    """Render the full EXPERIMENTS.md body from live experiment data."""
+    t1 = table1_rows(scale)
+    t4 = table4_rows(scale)
+    t5 = table5_accuracy_rows(scale)
+    t5r = table5_runtime_rows(scale)
+    f1 = figure1_data(scale=scale)
+    f4 = figure4_data(scale=scale)
+    paper4 = PAPER_AVERAGES["table4"]
+    paper5 = PAPER_AVERAGES["table5"]
+
+    sections = []
+    sections.append("""# EXPERIMENTS — paper vs. measured
+
+All numbers below are *measured by this repository* on its synthetic
+substrate (see DESIGN.md for the substitutions); the paper's numbers
+come from real OpenROAD/SkyWater runs on real RTL, so absolute values
+are not expected to match — the reproduction targets are the
+*qualitative claims*: who wins, the sign and rough size of gaps, and
+where behaviour changes.  Regenerate everything with::
+
+    pytest benchmarks/ --benchmark-only            # asserts the claims
+    python -m repro.experiments.report > EXPERIMENTS.md   # this file
+""")
+
+    sections.append("## E1 — Table 1: benchmark statistics\n")
+    sections.append(
+        "The 21 synthetic benchmarks are ~1/50-scale stand-ins with the "
+        "paper's names, split (14 train / 7 test) and per-family "
+        "structure; per-design edge/node and endpoint ratios are within "
+        "a factor-2 band of the paper's (asserted in "
+        "benchmarks/test_table1_benchmarks.py).\n")
+    sections.append("```\n" + format_table1(t1) + "\n```\n")
+
+    sections.append("## E2 — Table 4: net delay prediction (R2)\n")
+    sections.append(f"""| average | paper RF | ours RF | paper MLP | ours MLP | paper GNN | ours GNN |
+|---|---|---|---|---|---|---|
+| train | {paper4['rf_train']:.4f} | {_avg(t4, 'Train', 'rf_r2'):.4f} | {paper4['mlp_train']:.4f} | {_avg(t4, 'Train', 'mlp_r2'):.4f} | {paper4['gnn_train']:.4f} | {_avg(t4, 'Train', 'gnn_r2'):.4f} |
+| test | {paper4['rf_test']:.4f} | {_avg(t4, 'Test', 'rf_r2'):.4f} | {paper4['mlp_test']:.4f} | {_avg(t4, 'Test', 'mlp_r2'):.4f} | {paper4['gnn_test']:.4f} | {_avg(t4, 'Test', 'gnn_r2'):.4f} |
+
+Shapes reproduced: RF > MLP on both splits (paper finding 1); the GNN
+beats the MLP on unseen designs and has the smallest train-test
+generalization gap of the three (paper finding 2 — "better
+generalization to test circuits").  In the paper the GNN also edges out
+the RF's absolute test R2; on our 1/50-scale substrate the RF stays
+slightly ahead in absolute terms (far fewer nets to learn from) while
+the GNN's generalization advantage is preserved — recorded honestly
+here and asserted as such in benchmarks/test_table4_net_delay.py.
+""")
+    sections.append("```\n" + format_table4(t4) + "\n```\n")
+
+    sections.append("## E3/E4 — Table 5: arrival/slack R2 and runtime\n")
+    sections.append(f"""| average | paper | measured |
+|---|---|---|
+| GCNII-4 train / test | {paper5['gcnii4_train']:+.3f} / {paper5['gcnii4_test']:+.3f} | {_avg(t5, 'Train', 'gcnii_4'):+.3f} / {_avg(t5, 'Test', 'gcnii_4'):+.3f} |
+| GCNII-8 train / test | {paper5['gcnii8_train']:+.3f} / {paper5['gcnii8_test']:+.3f} | {_avg(t5, 'Train', 'gcnii_8'):+.3f} / {_avg(t5, 'Test', 'gcnii_8'):+.3f} |
+| GCNII-16 train / test | {paper5['gcnii16_train']:+.3f} / {paper5['gcnii16_test']:+.3f} | {_avg(t5, 'Train', 'gcnii_16'):+.3f} / {_avg(t5, 'Test', 'gcnii_16'):+.3f} |
+| Ours Full train / test | {paper5['full_train']:+.3f} / {paper5['full_test']:+.3f} | {_avg(t5, 'Train', 'ours_full'):+.3f} / {_avg(t5, 'Test', 'ours_full'):+.3f} |
+| Ours w/ Cell train / test | {paper5['cell_train']:+.3f} / {paper5['cell_test']:+.3f} | {_avg(t5, 'Train', 'ours_cell'):+.3f} / {_avg(t5, 'Test', 'ours_cell'):+.3f} |
+| Ours w/ Net train / test | {paper5['net_train']:+.3f} / {paper5['net_test']:+.3f} | {_avg(t5, 'Train', 'ours_net'):+.3f} / {_avg(t5, 'Test', 'ours_net'):+.3f} |
+| speed-up train / test | {paper5['speedup_train']}x / {paper5['speedup_test']}x | {_avg(t5r, 'Train', 'speedup'):.0f}x / {_avg(t5r, 'Test', 'speedup'):.0f}x |
+
+Shapes reproduced (asserted in benchmarks/test_table5_arrival_slack.py):
+
+* the timer-inspired model generalizes across designs; vanilla deep
+  GCNII collapses on test designs (negative average R2) despite a
+  reasonable training fit — the paper's headline finding;
+* the Full auxiliary configuration is the best of the three on average
+  (the paper additionally finds w/ Net > w/ Cell; on our substrate the
+  single-auxiliary variants swap order — cell delay dominates stage
+  delay here because the synthetic designs are at 1/50 scale, so the
+  cell-delay auxiliary carries relatively more signal);
+* GNN inference beats re-running the flow on every design, with the gap
+  growing with design size.  Absolute speed-ups are ~10^1 rather than
+  the paper's ~10^3 because our "flow" is itself a fast Python
+  simulator rather than minutes of real routing.
+""")
+    sections.append("```\n" + format_table5(t5, t5r) + "\n```\n")
+
+    sections.append("## E5 — Figure 4: slack correlation on usbf_device\n")
+    sections.append(f"""| series | paper | measured |
+|---|---|---|
+| setup slack | "strong correlation" (scatter) | Pearson {f4['setup']['pearson']:+.3f}, R2 {f4['setup']['r2']:+.3f} over {len(f4['setup']['true'])} endpoints |
+| hold slack | "strong correlation" (scatter) | Pearson {f4['hold']['pearson']:+.3f}, R2 {f4['hold']['r2']:+.3f} |
+
+The correlation (ranking of endpoints by criticality) is strong in both
+modes, as in the paper's figure.  usbf_device is the hardest test design
+for us (a large control-style circuit whose size is out of the training
+distribution at our scale), so the setup R2 trails the Pearson r —
+the scatter has a design-level offset the correlation ignores.
+Regenerate the scatter with ``python examples/slack_prediction.py``.
+""")
+
+    sections.append("## E6 — Figure 1: K-layer receptive field\n")
+    rows = "\n".join(
+        f"| {r['layers']} | {r['receptive_nodes']} | {r['coverage']:.1%} | "
+        f"{'yes' if r['within_k_hops'] else 'NO'} |" for r in f1["rows"])
+    sections.append(f"""Measured on {f1['design']} ({f1['num_nodes']} nodes), gradient support of a
+K-layer GCNII output at endpoint node {f1['node']}:
+
+| layers | nodes reached | coverage | within K hops |
+|---|---|---|---|
+{rows}
+
+The gradient support never escapes the K-hop ball (the defining property
+of the paper's Figure 1) and shallow stacks see only a small fraction of
+the design — while the levelized model reaches every ancestor in one
+pass.
+""")
+
+    sections.append("## E7 — logic depth vs. GNN depth (Sec. 3.1)\n")
+    sections.append(
+        "Topological level counts across the suite range far above the "
+        "4 layers conventional EDA GNNs use (see "
+        "benchmarks/test_logic_depth.py output); the paper reports ~300 "
+        "levels on million-pin designs, our 1/50-scale suite still needs "
+        "tens to >100 levels.\n")
+
+    sections.append("""## E8 — timing-driven placement (the motivating application)
+
+Beyond the paper's tables: the trained model is placed *inside* a
+placement loop (benchmarks/test_timing_driven_placement.py).  Net
+weights come either from ground-truth STA slack or from the GNN's
+predicted per-pin slack (forward arrivals + a required-time backward
+sweep over its own predicted net/cell delays — possible precisely
+because of the paper's auxiliary tasks).  On a wire-dominated design
+both guided flows improve WNS over wirelength-only placement, and the
+GNN evaluator recovers a large fraction of the STA-guided gain at a
+fraction of the evaluator cost.
+
+## Ablations beyond the paper
+
+benchmarks/test_ablations.py trains reduced-scale variants of the
+design choices DESIGN.md calls out: sum+max vs. single reduction
+channels, and the Kronecker LUT-interpolation module vs. a plain MLP on
+flattened LUT features.  Results are recorded in the benchmark
+``extra_info`` of each run.
+""")
+    return "\n".join(sections)
+
+
+if __name__ == "__main__":
+    print(generate_experiments_markdown())

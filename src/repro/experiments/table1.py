@@ -1,0 +1,71 @@
+"""Experiment E1 — Table 1: benchmark statistics.
+
+Regenerates the benchmark-statistics table (nodes, net edges, cell
+edges, endpoints, train/test split) for the synthetic suite, alongside
+the paper's original numbers for comparison.
+"""
+
+from __future__ import annotations
+
+from ..netlist import BENCHMARKS
+from .common import get_dataset
+
+__all__ = ["table1_rows", "format_table1"]
+
+
+def table1_rows(scale=None):
+    """One dict per benchmark, plus Total Train / Total Test rows."""
+    records = get_dataset(scale)
+    rows = []
+    totals = {"train": dict(nodes=0, net_edges=0, cell_edges=0, endpoints=0),
+              "test": dict(nodes=0, net_edges=0, cell_edges=0, endpoints=0)}
+    for spec in BENCHMARKS:
+        stats = records[spec.name].graph.stats()
+        row = {
+            "benchmark": spec.name,
+            "split": spec.split,
+            "nodes": stats["nodes"],
+            "net_edges": stats["net_edges"],
+            "cell_edges": stats["cell_edges"],
+            "endpoints": stats["endpoints"],
+            "paper_nodes": spec.paper_nodes,
+            "paper_net_edges": spec.paper_net_edges,
+            "paper_cell_edges": spec.paper_cell_edges,
+            "paper_endpoints": spec.paper_endpoints,
+        }
+        rows.append(row)
+        for key in totals[spec.split]:
+            totals[spec.split][key] += row[key]
+    for split in ("train", "test"):
+        rows.append({"benchmark": f"Total {split.capitalize()}",
+                     "split": split, **totals[split],
+                     "paper_nodes": sum(b.paper_nodes for b in BENCHMARKS
+                                        if b.split == split),
+                     "paper_net_edges": sum(b.paper_net_edges
+                                            for b in BENCHMARKS
+                                            if b.split == split),
+                     "paper_cell_edges": sum(b.paper_cell_edges
+                                             for b in BENCHMARKS
+                                             if b.split == split),
+                     "paper_endpoints": sum(b.paper_endpoints
+                                            for b in BENCHMARKS
+                                            if b.split == split)})
+    return rows
+
+
+def format_table1(rows=None, scale=None):
+    """Render Table 1 as text (ours | paper, per column)."""
+    rows = rows if rows is not None else table1_rows(scale)
+    header = (f"{'Benchmark':<16}{'Split':<7}{'#Nodes':>8}{'#Net':>8}"
+              f"{'#Cell':>8}{'#EP':>6}   |"
+              f"{'paper N':>9}{'paper Net':>10}{'paper Cell':>11}"
+              f"{'paper EP':>9}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<16}{row['split']:<7}{row['nodes']:>8}"
+            f"{row['net_edges']:>8}{row['cell_edges']:>8}"
+            f"{row['endpoints']:>6}   |{row['paper_nodes']:>9}"
+            f"{row['paper_net_edges']:>10}{row['paper_cell_edges']:>11}"
+            f"{row['paper_endpoints']:>9}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Experiment E2 — Table 4: net delay prediction R2.
+
+Compares the statistics-based baselines of Barboza et al. [5] (random
+forest and MLP on engineered net features) against the paper's net
+embedding GNN, per benchmark, with train/test averages.  The expected
+shape (paper): RF > MLP on training designs; the GNN generalizes best on
+test designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graphdata import barboza_features
+from ..ml import r2_score
+from ..models import NetDelayMLP, NetDelayRandomForest
+from ..netlist import benchmark_names
+from .common import get_dataset, trained_net_embedding
+
+__all__ = ["table4_rows", "format_table4", "fit_baselines"]
+
+
+def fit_baselines(train_graphs, rf_estimators=25, mlp_epochs=120, seed=0):
+    """Fit the RF and MLP baselines on the training designs."""
+    rf = NetDelayRandomForest(n_estimators=rf_estimators, seed=seed)
+    rf.fit(train_graphs)
+    mlp = NetDelayMLP(epochs=mlp_epochs, seed=seed)
+    mlp.fit(train_graphs)
+    return rf, mlp
+
+
+def _gnn_net_delay_r2(model, graph):
+    with nn.no_grad():
+        _emb, pred = model(graph)
+    mask = graph.is_net_sink
+    return r2_score(graph.net_delay[mask], pred.data[mask])
+
+
+def table4_rows(scale=None, rf_estimators=25, mlp_epochs=120):
+    """Per-benchmark net-delay R2 for RF / MLP / our GNN."""
+    records = get_dataset(scale)
+    train_graphs = [records[n].graph for n in benchmark_names("train")]
+    rf, mlp = fit_baselines(train_graphs, rf_estimators=rf_estimators,
+                            mlp_epochs=mlp_epochs)
+    gnn = trained_net_embedding(scale=scale)
+    rows = []
+    for split in ("train", "test"):
+        for name in benchmark_names(split):
+            graph = records[name].graph
+            _x, y = barboza_features(graph)
+            rows.append({
+                "benchmark": name,
+                "split": split,
+                "rf_r2": r2_score(y, rf.predict(graph)),
+                "mlp_r2": r2_score(y, mlp.predict(graph)),
+                "gnn_r2": _gnn_net_delay_r2(gnn, graph),
+            })
+    for split in ("train", "test"):
+        members = [r for r in rows if r["split"] == split]
+        rows.append({
+            "benchmark": f"Avg. {split.capitalize()}",
+            "split": split,
+            "rf_r2": float(np.mean([r["rf_r2"] for r in members])),
+            "mlp_r2": float(np.mean([r["mlp_r2"] for r in members])),
+            "gnn_r2": float(np.mean([r["gnn_r2"] for r in members])),
+        })
+    return rows
+
+
+def format_table4(rows=None, scale=None):
+    rows = rows if rows is not None else table4_rows(scale)
+    header = f"{'Benchmark':<16}{'Split':<7}{'RF':>9}{'MLP':>9}{'Our GNN':>9}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(f"{row['benchmark']:<16}{row['split']:<7}"
+                     f"{row['rf_r2']:>9.4f}{row['mlp_r2']:>9.4f}"
+                     f"{row['gnn_r2']:>9.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Experiment E3/E4 — Table 5: arrival/slack prediction R2 and runtime.
+
+Left half: per-benchmark arrival-time R2 for vanilla deep GCNII with
+4/8/16 layers vs. the timer-inspired GNN (Full and the two auxiliary-
+loss ablations, "w/ Cell" and "w/ Net").  Expected shape from the paper:
+GCNII fits training designs moderately but *fails on test designs*
+(small or negative R2), while the timer-inspired model keeps high R2 on
+both; the Full variant beats both single-auxiliary ablations on average,
+and "w/ Net" beats "w/ Cell".
+
+Right half: runtime — the flow's routing + STA wall time per design
+(our substrate's equivalent of the OpenROAD flow columns) vs. trained-
+model inference time, and the speed-up ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..models import normalized_adjacency
+from ..netlist import benchmark_names
+from ..training import evaluate_gcnii_output, evaluate_timing_gnn
+from .common import get_dataset, trained_gcnii, trained_timing_gnn
+
+__all__ = ["table5_accuracy_rows", "table5_runtime_rows",
+           "format_table5", "GCNII_LAYERS"]
+
+GCNII_LAYERS = (4, 8, 16)
+
+
+def table5_accuracy_rows(scale=None, layers=GCNII_LAYERS):
+    """Arrival-time/slack R2 per design for all Table 5 model columns."""
+    records = get_dataset(scale)
+    gcnii_models = {k: trained_gcnii(k, scale=scale) for k in layers}
+    ours = {variant: trained_timing_gnn(variant, scale=scale)
+            for variant in ("full", "cell", "net")}
+    rows = []
+    for split in ("train", "test"):
+        for name in benchmark_names(split):
+            graph = records[name].graph
+            row = {"benchmark": name, "split": split, "openroad": 1.0}
+            p_matrix = normalized_adjacency(graph)
+            for k, model in gcnii_models.items():
+                atslew = model.predict(graph, p_matrix=p_matrix).data
+                row[f"gcnii_{k}"] = evaluate_gcnii_output(
+                    graph, atslew)["at_slack_r2"]
+            for variant, model in ours.items():
+                metrics = evaluate_timing_gnn(model, graph)
+                row[f"ours_{variant}"] = metrics["at_slack_r2"]
+                if variant == "full":
+                    row["ours_full_slack"] = metrics["slack_r2"]
+            rows.append(row)
+    for split in ("train", "test"):
+        members = [r for r in rows if r["split"] == split]
+        avg = {"benchmark": f"Avg. {split.capitalize()}", "split": split,
+               "openroad": 1.0}
+        for key in members[0]:
+            if key in ("benchmark", "split", "openroad"):
+                continue
+            avg[key] = float(np.mean([r[key] for r in members]))
+        rows.append(avg)
+    return rows
+
+
+def table5_runtime_rows(scale=None, repeats=3):
+    """Flow runtime vs. model inference runtime and speed-up per design."""
+    records = get_dataset(scale)
+    model = trained_timing_gnn("full", scale=scale)
+    rows = []
+    for split in ("train", "test"):
+        for name in benchmark_names(split):
+            record = records[name]
+            graph = record.graph
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                model.predict(graph)
+                best = min(best, time.perf_counter() - t0)
+            flow = record.flow_time
+            rows.append({
+                "benchmark": name,
+                "split": split,
+                "routing_s": record.routing_time,
+                "sta_s": record.sta_time,
+                "flow_s": flow,
+                "gnn_s": best,
+                "speedup": flow / best if best > 0 else float("inf"),
+            })
+    for split in ("train", "test"):
+        members = [r for r in rows if r["split"] == split]
+        rows.append({
+            "benchmark": f"Avg. {split.capitalize()}", "split": split,
+            "routing_s": float(np.mean([r["routing_s"] for r in members])),
+            "sta_s": float(np.mean([r["sta_s"] for r in members])),
+            "flow_s": float(np.mean([r["flow_s"] for r in members])),
+            "gnn_s": float(np.mean([r["gnn_s"] for r in members])),
+            "speedup": float(np.mean([r["speedup"] for r in members])),
+        })
+    return rows
+
+
+def format_table5(accuracy_rows=None, runtime_rows=None, scale=None):
+    accuracy_rows = (accuracy_rows if accuracy_rows is not None
+                     else table5_accuracy_rows(scale))
+    runtime_rows = (runtime_rows if runtime_rows is not None
+                    else table5_runtime_rows(scale))
+    runtime = {r["benchmark"]: r for r in runtime_rows}
+    header = (f"{'Benchmark':<16}{'Split':<7}"
+              f"{'GCNII-4':>9}{'GCNII-8':>9}{'GCNII-16':>10}"
+              f"{'Full':>8}{'w/Cell':>8}{'w/Net':>8}"
+              f"{'Flow(s)':>9}{'GNN(s)':>8}{'Speedup':>9}")
+    lines = [header, "-" * len(header)]
+    for row in accuracy_rows:
+        rt = runtime.get(row["benchmark"], {})
+        flow = rt.get("flow_s", float("nan"))
+        gnn = rt.get("gnn_s", float("nan"))
+        speed = rt.get("speedup", float("nan"))
+        lines.append(
+            f"{row['benchmark']:<16}{row['split']:<7}"
+            f"{row['gcnii_4']:>9.4f}{row['gcnii_8']:>9.4f}"
+            f"{row['gcnii_16']:>10.4f}"
+            f"{row['ours_full']:>8.4f}{row['ours_cell']:>8.4f}"
+            f"{row['ours_net']:>8.4f}"
+            f"{flow:>9.3f}{gnn:>8.3f}{speed:>8.0f}x")
+    return "\n".join(lines)

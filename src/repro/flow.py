@@ -1,0 +1,154 @@
+"""High-level flow façade: one object from netlist to trained prediction.
+
+Wraps the individual stages (generate/parse -> place -> route -> STA ->
+extract) behind a fluent API, caching each stage's artefact and
+invalidating downstream stages when an upstream one re-runs:
+
+    from repro.flow import Flow
+
+    flow = Flow.from_benchmark("picorv32a").place(seed=1).route().sta()
+    print(flow.timing_summary())
+    data = flow.extract()              # HeteroGraph for model training
+
+    flow2 = Flow.from_verilog(open("mine.v").read())
+    flow2.run()                        # place+route+sta in one call
+
+Every stage accessor runs the missing prerequisites automatically, so
+``Flow.from_benchmark("spm").extract()`` is valid.
+"""
+
+from __future__ import annotations
+
+from .graphdata import extract_graph
+from .liberty import make_sky130_like_library
+from .netlist import build_benchmark, parse_verilog, validate_design
+from .placement import place_design, total_hpwl
+from .routing import route_design
+from .sta import (IncrementalTimer, build_timing_graph, run_sta,
+                  timing_summary, write_sdf)
+from .routing import write_spef
+
+__all__ = ["Flow"]
+
+
+class Flow:
+    """Staged physical flow for one design."""
+
+    def __init__(self, design, library=None):
+        self.library = library or design.library
+        self.design = design
+        self._placement = None
+        self._routing = None
+        self._graph = None
+        self._result = None
+        self._hetero = None
+        self._place_kwargs = {}
+        self._clock_period = None
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_benchmark(cls, name, library=None, scale=1.0):
+        library = library or make_sky130_like_library()
+        design = build_benchmark(name, library, scale=scale)
+        return cls(design, library)
+
+    @classmethod
+    def from_verilog(cls, text, library=None):
+        library = library or make_sky130_like_library()
+        design = parse_verilog(text, library)
+        validate_design(design)
+        return cls(design, library)
+
+    # -- stages ------------------------------------------------------------------
+    def place(self, seed=1, **kwargs):
+        """(Re)place the design; invalidates routing and timing."""
+        self._place_kwargs = dict(seed=seed, **kwargs)
+        self._placement = place_design(self.design, **self._place_kwargs)
+        self._routing = None
+        self._result = None
+        self._hetero = None
+        return self
+
+    def route(self):
+        """(Re)route; requires placement (runs it if missing)."""
+        if self._placement is None:
+            self.place()
+        self._routing = route_design(self.design, self._placement)
+        self._result = None
+        self._hetero = None
+        return self
+
+    def sta(self, clock_period=None):
+        """Run timing analysis; requires routing (runs it if missing)."""
+        if self._routing is None:
+            self.route()
+        if self._graph is None:
+            self._graph = build_timing_graph(self.design)
+        self._clock_period = clock_period or self._clock_period
+        self._result = run_sta(self.design, self._placement, self._routing,
+                               clock_period=self._clock_period,
+                               graph=self._graph)
+        self._clock_period = self._result.clock_period
+        self._hetero = None
+        return self
+
+    def run(self, seed=1, clock_period=None):
+        """place + route + sta in one call."""
+        return self.place(seed=seed).route().sta(clock_period=clock_period)
+
+    # -- artefact accessors (auto-run prerequisites) ----------------------------
+    @property
+    def placement(self):
+        if self._placement is None:
+            self.place()
+        return self._placement
+
+    @property
+    def routing(self):
+        if self._routing is None:
+            self.route()
+        return self._routing
+
+    @property
+    def graph(self):
+        if self._graph is None:
+            self._graph = build_timing_graph(self.design)
+        return self._graph
+
+    @property
+    def result(self):
+        if self._result is None:
+            self.sta()
+        return self._result
+
+    def extract(self, split="train"):
+        """Dataset view (HeteroGraph) of the analysed design."""
+        if self._hetero is None:
+            self._hetero = extract_graph(self.graph, self.placement,
+                                         self.result, split=split)
+        return self._hetero
+
+    # -- conveniences ---------------------------------------------------------------
+    def timing_summary(self):
+        return timing_summary(self.result)
+
+    def hpwl(self):
+        return total_hpwl(self.design, self.placement.pin_xy)
+
+    def incremental_timer(self, tolerance=1e-9):
+        """An IncrementalTimer bound to this flow's current artefacts."""
+        _ = self.result
+        return IncrementalTimer(self.design, self._placement,
+                                self._routing, self._graph, self._result,
+                                tolerance=tolerance)
+
+    def sdf(self):
+        return write_sdf(self.result, design_name=self.design.name)
+
+    def spef(self, corner="late"):
+        return write_spef(self.routing, corner=corner,
+                          design_name=self.design.name)
+
+    def predict(self, model):
+        """Run a trained TimingGNN on this design's extracted graph."""
+        return model.predict(self.extract())

@@ -1,0 +1,18 @@
+"""Dataset layer: heterogeneous graph extraction, features, caching."""
+
+from .hetero import (HeteroGraph, LevelBlock, TIME_SCALE, CAP_SCALE,
+                     DIST_SCALE, NODE_FEATURE_DIM, NET_EDGE_FEATURE_DIM,
+                     CELL_EDGE_FEATURE_DIM)
+from .extract import extract_graph
+from .features import BARBOZA_FEATURE_NAMES, barboza_features
+from .dataset import (DesignRecord, generate_design, load_dataset,
+                      default_cache_dir)
+
+__all__ = [
+    "HeteroGraph", "LevelBlock",
+    "TIME_SCALE", "CAP_SCALE", "DIST_SCALE",
+    "NODE_FEATURE_DIM", "NET_EDGE_FEATURE_DIM", "CELL_EDGE_FEATURE_DIM",
+    "extract_graph",
+    "BARBOZA_FEATURE_NAMES", "barboza_features",
+    "DesignRecord", "generate_design", "load_dataset", "default_cache_dir",
+]

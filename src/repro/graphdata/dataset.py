@@ -1,0 +1,104 @@
+"""Dataset pipeline: benchmark name -> placed/routed/timed HeteroGraph.
+
+Runs the full physical flow (generate, place, route, STA) per design,
+records flow runtimes (used by the paper's Table 5 runtime columns), and
+caches graphs on disk so experiments and benchmarks don't regenerate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from ..liberty import make_sky130_like_library
+from ..netlist import TRAIN_BENCHMARKS, TEST_BENCHMARKS, build_benchmark
+from ..placement import place_design
+from ..routing import route_design
+from ..sta import build_timing_graph, run_sta
+from .extract import extract_graph
+from .hetero import HeteroGraph
+
+__all__ = ["DesignRecord", "generate_design", "load_dataset",
+           "default_cache_dir", "DATASET_VERSION"]
+
+# Bump whenever generation/labeling semantics change, so stale caches
+# are never silently reused.
+DATASET_VERSION = 2
+
+
+@dataclass
+class DesignRecord:
+    """One design's dataset graph plus flow runtimes (seconds)."""
+
+    graph: HeteroGraph
+    routing_time: float
+    sta_time: float
+
+    @property
+    def flow_time(self):
+        """The paper's "OpenROAD flow total": routing + STA."""
+        return self.routing_time + self.sta_time
+
+
+def default_cache_dir():
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        root = os.path.join(os.path.expanduser("~"), ".cache",
+                            "repro-timing-gnn")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def generate_design(name, split, library=None, scale=1.0, seed=0):
+    """Run the full flow for one benchmark; returns a DesignRecord."""
+    if library is None:
+        library = make_sky130_like_library()
+    design = build_benchmark(name, library, scale=scale)
+    placement = place_design(design, seed=seed)
+    t0 = time.perf_counter()
+    routing = route_design(design, placement)
+    routing_time = time.perf_counter() - t0
+    graph = build_timing_graph(design)
+    t0 = time.perf_counter()
+    result = run_sta(design, placement, routing, graph=graph)
+    sta_time = time.perf_counter() - t0
+    hetero = extract_graph(graph, placement, result, split=split)
+    return DesignRecord(graph=hetero, routing_time=routing_time,
+                        sta_time=sta_time)
+
+
+def load_dataset(scale=1.0, cache=True, cache_dir=None, benchmarks=None):
+    """Build (or load from cache) the full 21-design dataset.
+
+    Returns {name: DesignRecord}.  ``scale`` shrinks every design (used
+    by the fast test configuration); caches are keyed by scale.
+    """
+    if benchmarks is None:
+        benchmarks = TRAIN_BENCHMARKS + TEST_BENCHMARKS
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    records = {}
+    library = make_sky130_like_library()
+    for spec in benchmarks:
+        tag = f"{spec.name}_v{DATASET_VERSION}_s{scale:g}"
+        npz_path = os.path.join(cache_dir, tag + ".npz")
+        meta_path = os.path.join(cache_dir, tag + ".json")
+        if cache and os.path.exists(npz_path) and os.path.exists(meta_path):
+            with open(meta_path) as fh:
+                meta = json.load(fh)
+            records[spec.name] = DesignRecord(
+                graph=HeteroGraph.load_npz(npz_path),
+                routing_time=meta["routing_time"],
+                sta_time=meta["sta_time"])
+            continue
+        record = generate_design(spec.name, spec.split, library=library,
+                                 scale=scale)
+        if cache:
+            record.graph.save_npz(npz_path)
+            with open(meta_path, "w") as fh:
+                json.dump({"routing_time": record.routing_time,
+                           "sta_time": record.sta_time}, fh)
+        records[spec.name] = record
+    return records

@@ -1,0 +1,81 @@
+"""Hand-engineered net features for the Barboza et al. (DAC'19) baseline.
+
+The paper's Table 4 compares its net-embedding GNN against a random
+forest and an MLP trained on placement-derived statistical features per
+net sink.  This module builds that feature matrix: per (net, sink) pair,
+geometric and electrical statistics a feature engineer would extract
+before routing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hetero import CAP_SCALE, DIST_SCALE
+
+__all__ = ["BARBOZA_FEATURE_NAMES", "barboza_features"]
+
+BARBOZA_FEATURE_NAMES = [
+    "dx", "dy", "manhattan", "bbox_w", "bbox_h", "hpwl",
+    "fanout", "sink_cap_late", "total_sink_cap_late",
+    "driver_to_bbox_center", "sink_rank_by_distance",
+    "die_boundary_dist_min",
+]
+
+
+def barboza_features(hetero):
+    """Feature matrix for every net edge (sink) of a design.
+
+    Returns (X, y) where X is (E_net, 12) engineered features and y is
+    the (E_net, 4) net-delay label, both aligned with the graph's net
+    edges.  Everything derives from placement quantities already encoded
+    in the HeteroGraph, so the baseline sees exactly the same raw
+    information as the GNN.
+    """
+    n_edges = hetero.num_net_edges
+    x = np.zeros((n_edges, len(BARBOZA_FEATURE_NAMES)))
+    # Reconstruct per-pin positions from the boundary-distance features:
+    # columns 2 and 4 of node_features are distance to left and bottom.
+    px = hetero.node_features[:, 2] * DIST_SCALE
+    py = hetero.node_features[:, 4] * DIST_SCALE
+    cap_late = hetero.node_features[:, 8:10].mean(axis=1) * CAP_SCALE
+    boundary_min = hetero.node_features[:, 2:6].min(axis=1) * DIST_SCALE
+
+    # Group edges by driver to compute per-net statistics.
+    order = np.argsort(hetero.net_src, kind="stable")
+    src_sorted = hetero.net_src[order]
+    boundaries = np.nonzero(np.diff(src_sorted))[0] + 1
+    groups = np.split(order, boundaries)
+
+    for group in groups:
+        if len(group) == 0:
+            continue
+        driver = hetero.net_src[group[0]]
+        sinks = hetero.net_dst[group]
+        xs = np.concatenate([[px[driver]], px[sinks]])
+        ys = np.concatenate([[py[driver]], py[sinks]])
+        bbox_w = xs.max() - xs.min()
+        bbox_h = ys.max() - ys.min()
+        cx, cy = 0.5 * (xs.max() + xs.min()), 0.5 * (ys.max() + ys.min())
+        total_cap = cap_late[sinks].sum()
+        dx = px[sinks] - px[driver]
+        dy = py[sinks] - py[driver]
+        dist = np.abs(dx) + np.abs(dy)
+        rank = np.argsort(np.argsort(dist))
+        for j, edge in enumerate(group):
+            x[edge] = [
+                dx[j] / DIST_SCALE,
+                dy[j] / DIST_SCALE,
+                dist[j] / DIST_SCALE,
+                bbox_w / DIST_SCALE,
+                bbox_h / DIST_SCALE,
+                (bbox_w + bbox_h) / DIST_SCALE,
+                float(len(group)),
+                cap_late[sinks[j]] / CAP_SCALE,
+                total_cap / CAP_SCALE,
+                (abs(px[driver] - cx) + abs(py[driver] - cy)) / DIST_SCALE,
+                float(rank[j]),
+                boundary_min[sinks[j]] / DIST_SCALE,
+            ]
+    y = hetero.net_delay[hetero.net_dst]
+    return x, y

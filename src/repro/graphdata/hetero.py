@@ -1,0 +1,177 @@
+"""Heterogeneous timing-graph dataset container.
+
+One :class:`HeteroGraph` holds everything the models consume for one
+design, as flat numpy arrays:
+
+* pin (node) features and tasks of the paper's Table 2;
+* net-edge and cell-edge features and tasks of Table 3;
+* levelized propagation structure for the timer-inspired model.
+
+All features and labels are stored *normalized* (see the scale constants)
+so models train well; R2 metrics are scale-invariant so evaluation is
+unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["HeteroGraph", "LevelBlock",
+           "TIME_SCALE", "CAP_SCALE", "DIST_SCALE",
+           "NODE_FEATURE_DIM", "NET_EDGE_FEATURE_DIM", "CELL_EDGE_FEATURE_DIM"]
+
+TIME_SCALE = 100.0    # ps
+CAP_SCALE = 10.0      # fF
+DIST_SCALE = 200.0    # um
+
+NODE_FEATURE_DIM = 10        # is_pio(1) + is_fanin(1) + boundary dist(4) + cap(4)
+NET_EDGE_FEATURE_DIM = 2     # dx, dy
+CELL_EDGE_FEATURE_DIM = 8 + 8 * 14 + 8 * 49   # valid + indices + values = 512
+
+
+@dataclass
+class LevelBlock:
+    """Incoming edges of one topological level, grouped by edge type.
+
+    ``net_seg``/``cell_seg`` map each edge to the position of its
+    destination node inside ``net_dst``/``cell_dst`` (for segment
+    reductions over a level).
+    """
+
+    level: int
+    net_eids: np.ndarray
+    net_dst: np.ndarray
+    net_seg: np.ndarray
+    cell_eids: np.ndarray
+    cell_dst: np.ndarray
+    cell_seg: np.ndarray
+
+    @property
+    def dst_nodes(self):
+        return np.concatenate([self.net_dst, self.cell_dst])
+
+
+@dataclass
+class HeteroGraph:
+    """The dataset view of one placed-and-timed design."""
+
+    name: str
+    split: str
+    clock_period: float                    # ps (unnormalized)
+
+    # Nodes.
+    node_features: np.ndarray              # (N, 10)
+    level: np.ndarray                      # (N,)
+    is_source: np.ndarray                  # (N,) bool
+    is_endpoint: np.ndarray                # (N,) bool
+    is_net_sink: np.ndarray                # (N,) bool (fan-in nodes, Eq. 6)
+
+    # Net edges (driver -> sink).
+    net_src: np.ndarray                    # (E_net,)
+    net_dst: np.ndarray                    # (E_net,)
+    net_features: np.ndarray               # (E_net, 2)
+
+    # Cell edges (input pin -> output pin).
+    cell_src: np.ndarray                   # (E_cell,)
+    cell_dst: np.ndarray                   # (E_cell,)
+    cell_valid: np.ndarray                 # (E_cell, 8)
+    cell_indices: np.ndarray               # (E_cell, 112)
+    cell_values: np.ndarray                # (E_cell, 392)
+
+    # Tasks (normalized by TIME_SCALE).
+    net_delay: np.ndarray                  # (N, 4), at net-sink nodes
+    arrival: np.ndarray                    # (N, 4)
+    slew: np.ndarray                       # (N, 4)
+    required: np.ndarray                   # (N, 4), NaN off endpoints
+    cell_arc_delay: np.ndarray             # (E_cell, 4)
+
+    levels: list = field(default_factory=list)   # list[LevelBlock]
+
+    # -- shape -----------------------------------------------------------------
+    @property
+    def num_nodes(self):
+        return len(self.node_features)
+
+    @property
+    def num_net_edges(self):
+        return len(self.net_src)
+
+    @property
+    def num_cell_edges(self):
+        return len(self.cell_src)
+
+    @property
+    def num_levels(self):
+        return int(self.level.max()) + 1 if self.num_nodes else 0
+
+    @property
+    def num_endpoints(self):
+        return int(self.is_endpoint.sum())
+
+    def stats(self):
+        """Structural statistics, Table-1 style."""
+        return {"name": self.name, "nodes": self.num_nodes,
+                "net_edges": self.num_net_edges,
+                "cell_edges": self.num_cell_edges,
+                "endpoints": self.num_endpoints}
+
+    # -- labels ------------------------------------------------------------------
+    def slack(self, arrival=None):
+        """Endpoint slack (normalized) from arrivals + ground-truth RAT.
+
+        ``arrival`` defaults to the ground truth; passing model-predicted
+        arrivals reproduces the paper's slack evaluation (predicted AT
+        combined with the known required times).
+        Early columns (0, 1) are hold slack AT - RAT; late (2, 3) are
+        setup slack RAT - AT.
+        """
+        if arrival is None:
+            arrival = self.arrival
+        out = np.full((self.num_nodes, 4), np.nan)
+        eps = self.is_endpoint
+        out[eps, 0:2] = arrival[eps, 0:2] - self.required[eps, 0:2]
+        out[eps, 2:4] = self.required[eps, 2:4] - arrival[eps, 2:4]
+        return out[eps]
+
+    # -- levelized structure -------------------------------------------------------
+    def build_levels(self):
+        """Group incoming edges by destination level for the prop model."""
+        self.levels = []
+        for lvl in range(1, self.num_levels):
+            net_mask = self.level[self.net_dst] == lvl
+            cell_mask = self.level[self.cell_dst] == lvl
+            net_eids = np.nonzero(net_mask)[0]
+            cell_eids = np.nonzero(cell_mask)[0]
+            net_dst, net_seg = np.unique(self.net_dst[net_eids],
+                                         return_inverse=True)
+            cell_dst, cell_seg = np.unique(self.cell_dst[cell_eids],
+                                           return_inverse=True)
+            self.levels.append(LevelBlock(
+                level=lvl, net_eids=net_eids, net_dst=net_dst,
+                net_seg=net_seg, cell_eids=cell_eids, cell_dst=cell_dst,
+                cell_seg=cell_seg))
+        return self.levels
+
+    # -- persistence --------------------------------------------------------------
+    _ARRAY_FIELDS = [
+        "node_features", "level", "is_source", "is_endpoint", "is_net_sink",
+        "net_src", "net_dst", "net_features",
+        "cell_src", "cell_dst", "cell_valid", "cell_indices", "cell_values",
+        "net_delay", "arrival", "slew", "required", "cell_arc_delay",
+    ]
+
+    def save_npz(self, path):
+        arrays = {name: getattr(self, name) for name in self._ARRAY_FIELDS}
+        np.savez_compressed(path, _name=self.name, _split=self.split,
+                            _clock_period=self.clock_period, **arrays)
+
+    @classmethod
+    def load_npz(cls, path):
+        data = np.load(path, allow_pickle=False)
+        kwargs = {name: data[name] for name in cls._ARRAY_FIELDS}
+        graph = cls(name=str(data["_name"]), split=str(data["_split"]),
+                    clock_period=float(data["_clock_period"]), **kwargs)
+        graph.build_levels()
+        return graph

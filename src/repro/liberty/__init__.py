@@ -1,0 +1,17 @@
+"""Synthetic NLDM cell library (stand-in for the SkyWater 130nm PDK)."""
+
+from .lut import TimingLUT, LUT_SIZE
+from .cell import CORNERS, TRANSITIONS, EL_RF, Sense, TimingArc, PinSpec, CellType
+from .library import (Library, WireModel, make_sky130_like_library,
+                      sizing_alternatives, SLEW_AXIS, LOAD_AXIS)
+from .io import write_liberty, parse_liberty, LibertyError
+
+__all__ = [
+    "TimingLUT", "LUT_SIZE",
+    "CORNERS", "TRANSITIONS", "EL_RF",
+    "Sense", "TimingArc", "PinSpec", "CellType",
+    "Library", "WireModel", "make_sky130_like_library",
+    "sizing_alternatives",
+    "SLEW_AXIS", "LOAD_AXIS",
+    "write_liberty", "parse_liberty", "LibertyError",
+]

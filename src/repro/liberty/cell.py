@@ -1,0 +1,131 @@
+"""Cell, pin and timing-arc models for the synthetic liberty library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .lut import TimingLUT
+
+__all__ = [
+    "CORNERS", "TRANSITIONS", "EL_RF",
+    "Sense", "TimingArc", "PinSpec", "CellType",
+]
+
+# Timing corners, in the fixed order used for all 4-vectors throughout the
+# repo and the dataset ("EL/RF" in the paper): (early, rise), (early, fall),
+# (late, rise), (late, fall).
+CORNERS = ("early", "late")
+TRANSITIONS = ("rise", "fall")
+EL_RF = tuple((c, t) for c in CORNERS for t in TRANSITIONS)
+
+
+class Sense:
+    """Unateness of a combinational timing arc."""
+
+    POSITIVE = "positive"      # output rise is caused by input rise
+    NEGATIVE = "negative"      # output rise is caused by input fall
+    NON_UNATE = "non_unate"    # either input transition can cause either
+
+
+@dataclass
+class TimingArc:
+    """A characterised input->output arc of a cell.
+
+    ``luts`` maps (kind, corner, transition) -> TimingLUT where kind is
+    "delay" or "slew", corner is "early"/"late" and transition is the
+    *output* transition.  That is the paper's 8 LUTs per cell arc.
+    """
+
+    input_pin: str
+    output_pin: str
+    sense: str
+    luts: dict = field(default_factory=dict)
+
+    def lut(self, kind, corner, transition):
+        return self.luts[(kind, corner, transition)]
+
+    def input_transition_for(self, out_transition):
+        """Input transitions that can cause ``out_transition``."""
+        if self.sense == Sense.POSITIVE:
+            return (out_transition,)
+        if self.sense == Sense.NEGATIVE:
+            return ("fall" if out_transition == "rise" else "rise",)
+        return ("rise", "fall")
+
+    def stacked_luts(self):
+        """Return (valid, indices, values) arrays in the dataset's 8-LUT order.
+
+        Order: (delay, slew) x (early, late) x (rise, fall) — shape
+        valid (8,), indices (8, 14), values (8, 49).
+        """
+        valid, indices, values = [], [], []
+        for kind in ("delay", "slew"):
+            for corner in CORNERS:
+                for transition in TRANSITIONS:
+                    lut = self.luts.get((kind, corner, transition))
+                    if lut is None:
+                        valid.append(0.0)
+                        indices.append(np.zeros(14))
+                        values.append(np.zeros(49))
+                    else:
+                        valid.append(1.0)
+                        indices.append(np.concatenate([lut.slew_axis,
+                                                       lut.load_axis]))
+                        values.append(lut.values.reshape(-1))
+        return (np.asarray(valid), np.asarray(indices), np.asarray(values))
+
+
+@dataclass
+class PinSpec:
+    """Static properties of a library pin."""
+
+    name: str
+    direction: str               # "input" or "output"
+    # Capacitance per corner/transition in EL_RF order, fF (inputs only).
+    capacitance: np.ndarray = field(
+        default_factory=lambda: np.zeros(4))
+    is_clock: bool = False
+
+
+@dataclass
+class CellType:
+    """A library cell: pins, arcs, and sequential constraints."""
+
+    name: str
+    pins: dict                     # name -> PinSpec
+    arcs: list                     # list of TimingArc
+    is_sequential: bool = False
+    # Sequential constraints (ps), per corner-transition in EL_RF order.
+    setup: np.ndarray = None
+    hold: np.ndarray = None
+    function: str = ""             # human-readable logic function
+    # False for ECO-only variants (sizing alternatives the synthesis
+    # menu must not pick, so benchmark generation stays reproducible).
+    use_in_synthesis: bool = True
+
+    @property
+    def input_pins(self):
+        return [p.name for p in self.pins.values()
+                if p.direction == "input" and not p.is_clock]
+
+    @property
+    def output_pins(self):
+        return [p.name for p in self.pins.values() if p.direction == "output"]
+
+    @property
+    def clock_pins(self):
+        return [p.name for p in self.pins.values() if p.is_clock]
+
+    def arcs_to(self, output_pin):
+        return [a for a in self.arcs if a.output_pin == output_pin]
+
+    def arc(self, input_pin, output_pin):
+        for a in self.arcs:
+            if a.input_pin == input_pin and a.output_pin == output_pin:
+                return a
+        raise KeyError(f"no arc {input_pin}->{output_pin} in {self.name}")
+
+    def pin_capacitance(self, pin_name):
+        return self.pins[pin_name].capacitance

@@ -1,0 +1,233 @@
+"""Liberty-format writer/parser for the synthetic library.
+
+Emits one ``.lib`` per corner (as real flows do: a fast/early and a
+slow/late library) covering the subset this reproduction needs: pin
+direction + capacitance, combinational timing arcs with ``timing_sense``
+and four 7x7 NLDM tables (cell_rise/cell_fall/rise_transition/
+fall_transition), and sequential cells with CK->Q arcs plus setup/hold
+constraint values.  :func:`parse_liberty` reads both corners back into a
+single :class:`~repro.liberty.library.Library`, round-trip exact.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from .cell import CellType, EL_RF, PinSpec, Sense, TimingArc
+from .library import Library, WireModel
+from .lut import TimingLUT
+
+__all__ = ["write_liberty", "parse_liberty", "LibertyError"]
+
+
+class LibertyError(ValueError):
+    """Raised on malformed liberty text."""
+
+
+_SENSE_TO_LIB = {Sense.POSITIVE: "positive_unate",
+                 Sense.NEGATIVE: "negative_unate",
+                 Sense.NON_UNATE: "non_unate"}
+_LIB_TO_SENSE = {v: k for k, v in _SENSE_TO_LIB.items()}
+
+_TABLE_KEYS = {("delay", "rise"): "cell_rise",
+               ("delay", "fall"): "cell_fall",
+               ("slew", "rise"): "rise_transition",
+               ("slew", "fall"): "fall_transition"}
+_KEY_TO_TABLE = {v: k for k, v in _TABLE_KEYS.items()}
+
+
+def _fmt_values(arr):
+    return ", ".join(f"{v:.6f}" for v in np.asarray(arr).reshape(-1))
+
+
+def _table_text(name, lut, indent):
+    pad = " " * indent
+    rows = [f'{pad}{name} (lut7x7) {{',
+            f'{pad}  index_1 ("{_fmt_values(lut.slew_axis)}");',
+            f'{pad}  index_2 ("{_fmt_values(lut.load_axis)}");',
+            f'{pad}  values ("{_fmt_values(lut.values)}");',
+            f'{pad}}}']
+    return "\n".join(rows)
+
+
+def write_liberty(library, corner):
+    """Serialize one corner of the library as liberty text."""
+    if corner not in ("early", "late"):
+        raise LibertyError(f"unknown corner {corner!r}")
+    out = [f'library ({library.name}_{corner}) {{',
+           '  time_unit : "1ps";',
+           '  capacitive_load_unit (1, ff);',
+           f'  default_input_slew : {library.default_input_slew};']
+    for cell in library.cells.values():
+        out.append(f'  cell ({cell.name}) {{')
+        if cell.is_sequential:
+            out.append('    ff (IQ, IQN) { }')
+        for pin_spec in cell.pins.values():
+            out.append(f'    pin ({pin_spec.name}) {{')
+            out.append(f'      direction : {pin_spec.direction};')
+            if pin_spec.is_clock:
+                out.append('      clock : true;')
+            if pin_spec.direction == "input":
+                caps = pin_spec.capacitance
+                base = 0 if corner == "early" else 2
+                out.append(f'      rise_capacitance : {caps[base]:.6f};')
+                out.append(f'      fall_capacitance : {caps[base + 1]:.6f};')
+            out.append('    }')
+        for arc in cell.arcs:
+            out.append('    timing () {')
+            out.append(f'      related_pin : "{arc.input_pin}";')
+            out.append(f'      output_pin : "{arc.output_pin}";')
+            out.append(f'      timing_sense : {_SENSE_TO_LIB[arc.sense]};')
+            for (kind, transition), key in _TABLE_KEYS.items():
+                lut = arc.luts.get((kind, corner, transition))
+                if lut is not None:
+                    out.append(_table_text(key, lut, 6))
+            out.append('    }')
+        if cell.is_sequential:
+            base = 0 if corner == "early" else 2
+            out.append(f'    setup_rising : "{cell.setup[base]:.6f}, '
+                       f'{cell.setup[base + 1]:.6f}";')
+            out.append(f'    hold_rising : "{cell.hold[base]:.6f}, '
+                       f'{cell.hold[base + 1]:.6f}";')
+        out.append('  }')
+    out.append('}')
+    return "\n".join(out) + "\n"
+
+
+def _parse_numbers(text):
+    return np.asarray([float(tok) for tok in
+                       re.findall(r"[-+0-9.eE]+", text)])
+
+
+def parse_liberty(early_text, late_text):
+    """Parse the early and late corner libraries back into a Library."""
+    cells_data = {}
+    lib_name = None
+    default_slew = 25.0
+    for corner, text in (("early", early_text), ("late", late_text)):
+        name_m = re.search(r"library\s*\((\w+)\)", text)
+        if not name_m:
+            raise LibertyError("missing library declaration")
+        lib_name = name_m.group(1).rsplit("_", 1)[0]
+        slew_m = re.search(r"default_input_slew\s*:\s*([0-9.]+)", text)
+        if slew_m:
+            default_slew = float(slew_m.group(1))
+        for cell_text, cell_name in _split_cells(text):
+            data = cells_data.setdefault(cell_name, {
+                "pins": {}, "arcs": {}, "setup": np.zeros(4),
+                "hold": np.zeros(4), "sequential": False})
+            _parse_cell(cell_text, corner, data)
+    library = Library(name=lib_name, wire=WireModel(),
+                      default_input_slew=default_slew)
+    for cell_name, data in cells_data.items():
+        arcs = []
+        for (inp, outp), arc_data in data["arcs"].items():
+            arcs.append(TimingArc(inp, outp, arc_data["sense"],
+                                  arc_data["luts"]))
+        library.add(CellType(
+            name=cell_name, pins=data["pins"], arcs=arcs,
+            is_sequential=data["sequential"],
+            setup=data["setup"] if data["sequential"] else None,
+            hold=data["hold"] if data["sequential"] else None))
+    return library
+
+
+def _split_cells(text):
+    """Yield (cell body text, cell name) for each cell group."""
+    for match in re.finditer(r"cell\s*\((\w+)\)\s*\{", text):
+        start = match.end()
+        depth = 1
+        pos = start
+        while depth > 0 and pos < len(text):
+            ch = text[pos]
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+            pos += 1
+        yield text[start:pos - 1], match.group(1)
+
+
+def _split_groups(text, keyword):
+    """Yield bodies (and name args) of `keyword (args) { ... }` groups."""
+    pattern = re.compile(rf"{keyword}\s*\(([^)]*)\)\s*\{{")
+    for match in pattern.finditer(text):
+        start = match.end()
+        depth = 1
+        pos = start
+        while depth > 0 and pos < len(text):
+            ch = text[pos]
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+            pos += 1
+        yield match.group(1).strip(), text[start:pos - 1]
+
+
+def _strip_nested_groups(text):
+    """Remove brace groups, keeping only this level's attributes."""
+    out = []
+    depth = 0
+    for ch in text:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        elif depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
+def _parse_cell(cell_text, corner, data):
+    if re.search(r"\bff\s*\(", cell_text):
+        data["sequential"] = True
+    for pin_name, pin_body in _split_groups(cell_text, "pin"):
+        direction_m = re.search(r"direction\s*:\s*(\w+)", pin_body)
+        direction = direction_m.group(1) if direction_m else "input"
+        spec = data["pins"].setdefault(
+            pin_name, PinSpec(pin_name, direction,
+                              capacitance=np.zeros(4),
+                              is_clock="clock : true" in pin_body))
+        if direction == "input":
+            rise_m = re.search(r"rise_capacitance\s*:\s*([0-9.eE+-]+)",
+                               pin_body)
+            fall_m = re.search(r"fall_capacitance\s*:\s*([0-9.eE+-]+)",
+                               pin_body)
+            base = 0 if corner == "early" else 2
+            if rise_m:
+                spec.capacitance[base] = float(rise_m.group(1))
+            if fall_m:
+                spec.capacitance[base + 1] = float(fall_m.group(1))
+    for _args, arc_body in _split_groups(cell_text, "timing"):
+        related = re.search(r'related_pin\s*:\s*"(\w+)"', arc_body)
+        output = re.search(r'output_pin\s*:\s*"(\w+)"', arc_body)
+        sense_m = re.search(r"timing_sense\s*:\s*(\w+)", arc_body)
+        if not (related and output and sense_m):
+            raise LibertyError("incomplete timing group")
+        key = (related.group(1), output.group(1))
+        arc = data["arcs"].setdefault(
+            key, {"sense": _LIB_TO_SENSE[sense_m.group(1)], "luts": {}})
+        for lib_key, (kind, transition) in _KEY_TO_TABLE.items():
+            for _a, body in _split_groups(arc_body, lib_key):
+                idx1 = _parse_numbers(
+                    re.search(r'index_1\s*\("([^"]*)"\)', body).group(1))
+                idx2 = _parse_numbers(
+                    re.search(r'index_2\s*\("([^"]*)"\)', body).group(1))
+                values = _parse_numbers(
+                    re.search(r'values\s*\("([^"]*)"\)', body,
+                              re.S).group(1)).reshape(7, 7)
+                arc["luts"][(kind, corner, transition)] = TimingLUT(
+                    idx1, idx2, values)
+    top = _strip_nested_groups(cell_text)
+    base = 0 if corner == "early" else 2
+    setup_m = re.search(r'setup_rising\s*:\s*"([^"]*)"', top)
+    hold_m = re.search(r'hold_rising\s*:\s*"([^"]*)"', top)
+    if setup_m:
+        vals = _parse_numbers(setup_m.group(1))
+        data["setup"][base:base + 2] = vals
+    if hold_m:
+        vals = _parse_numbers(hold_m.group(1))
+        data["hold"][base:base + 2] = vals

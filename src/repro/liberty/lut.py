@@ -1,0 +1,83 @@
+"""Non-linear delay model (NLDM) look-up tables.
+
+SkyWater130's liberty files characterise each cell arc with 7x7 tables of
+delay and output slew indexed by input slew and output load.  The STA
+engine interpolates these bilinearly, exactly like OpenSTA; the GNN
+consumes the raw index vectors and value matrices as edge features
+(Table 3 of the paper: 8 LUTs per arc, 7+7 indices, 7x7 values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TimingLUT", "LUT_SIZE"]
+
+LUT_SIZE = 7
+
+
+class TimingLUT:
+    """A 2-D look-up table ``values[slew_index, load_index]``.
+
+    Parameters
+    ----------
+    slew_axis : (7,) input-transition index values, strictly increasing (ps).
+    load_axis : (7,) output-capacitance index values, strictly increasing (fF).
+    values : (7, 7) table values (ps).
+    """
+
+    __slots__ = ("slew_axis", "load_axis", "values")
+
+    def __init__(self, slew_axis, load_axis, values):
+        self.slew_axis = np.asarray(slew_axis, dtype=np.float64)
+        self.load_axis = np.asarray(load_axis, dtype=np.float64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.slew_axis.shape != (LUT_SIZE,) or self.load_axis.shape != (LUT_SIZE,):
+            raise ValueError("LUT axes must have 7 entries")
+        if self.values.shape != (LUT_SIZE, LUT_SIZE):
+            raise ValueError("LUT values must be 7x7")
+        if np.any(np.diff(self.slew_axis) <= 0) or np.any(np.diff(self.load_axis) <= 0):
+            raise ValueError("LUT axes must be strictly increasing")
+
+    def lookup(self, slew, load):
+        """Bilinear interpolation (with linear extrapolation at the edges).
+
+        ``slew`` and ``load`` may be scalars or same-shaped arrays.
+        """
+        slew = np.asarray(slew, dtype=np.float64)
+        load = np.asarray(load, dtype=np.float64)
+        si = np.clip(np.searchsorted(self.slew_axis, slew) - 1, 0, LUT_SIZE - 2)
+        li = np.clip(np.searchsorted(self.load_axis, load) - 1, 0, LUT_SIZE - 2)
+        s0, s1 = self.slew_axis[si], self.slew_axis[si + 1]
+        l0, l1 = self.load_axis[li], self.load_axis[li + 1]
+        ts = (slew - s0) / (s1 - s0)
+        tl = (load - l0) / (l1 - l0)
+        v00 = self.values[si, li]
+        v01 = self.values[si, li + 1]
+        v10 = self.values[si + 1, li]
+        v11 = self.values[si + 1, li + 1]
+        top = v00 * (1 - tl) + v01 * tl
+        bot = v10 * (1 - tl) + v11 * tl
+        return top * (1 - ts) + bot * ts
+
+    def scaled(self, factor):
+        """Return a new LUT with all values multiplied by ``factor``."""
+        return TimingLUT(self.slew_axis, self.load_axis, self.values * factor)
+
+    @staticmethod
+    def from_model(slew_axis, load_axis, intrinsic, load_coeff, slew_coeff,
+                   cross_coeff=0.0):
+        """Build a LUT from an analytic delay model.
+
+        value(s, c) = intrinsic + load_coeff*c + slew_coeff*s
+                      + cross_coeff*sqrt(s*c)
+
+        This is how the synthetic library characterises cells: the model is
+        mildly non-linear (the sqrt cross term), so bilinear interpolation
+        and the GNN's learned interpolation both have real work to do.
+        """
+        s = np.asarray(slew_axis)[:, None]
+        c = np.asarray(load_axis)[None, :]
+        values = intrinsic + load_coeff * c + slew_coeff * s + \
+            cross_coeff * np.sqrt(s * c)
+        return TimingLUT(slew_axis, load_axis, values)

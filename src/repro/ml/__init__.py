@@ -1,0 +1,8 @@
+"""Classical ML: CART trees, random forest, and metrics (no sklearn here)."""
+
+from .tree import DecisionTreeRegressor
+from .forest import RandomForestRegressor
+from .metrics import r2_score, mae, rmse, pearson_correlation
+
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor",
+           "r2_score", "mae", "rmse", "pearson_correlation"]

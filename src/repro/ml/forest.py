@@ -1,0 +1,57 @@
+"""Random forest regressor (bagging over CART trees)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor:
+    """Bagged multi-output regression forest.
+
+    Matches the spirit of the random forest in Barboza et al. [5]:
+    bootstrap sampling per tree and sqrt-feature subsampling per split.
+    """
+
+    def __init__(self, n_estimators=40, max_depth=12, min_samples_leaf=4,
+                 max_features="sqrt", seed=0):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_ = []
+
+    def fit(self, x, y):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[:, None]
+        rng = np.random.default_rng(self.seed)
+        n, d = x.shape
+        if self.max_features == "sqrt":
+            max_features = max(1, int(round(np.sqrt(d))))
+        else:
+            max_features = self.max_features
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=np.random.default_rng(rng.integers(0, 2 ** 31)))
+            tree.fit(x[sample], y[sample])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, x):
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        acc = self.trees_[0].predict(x)
+        for tree in self.trees_[1:]:
+            acc = acc + tree.predict(x)
+        return acc / len(self.trees_)

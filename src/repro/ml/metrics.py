@@ -1,0 +1,59 @@
+"""Evaluation metrics used throughout the paper's tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["r2_score", "mae", "rmse", "pearson_correlation"]
+
+
+def r2_score(y_true, y_pred):
+    """Coefficient of determination, pooled over all outputs.
+
+    Matches the paper's usage: 1 - SS_res / SS_tot over every reported
+    value.  Can be negative when predictions are worse than predicting
+    the mean (as for the deep GCNII baselines on test designs in
+    Table 5).
+    """
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    finite = np.isfinite(y_true) & np.isfinite(y_pred)
+    y_true, y_pred = y_true[finite], y_pred[finite]
+    if len(y_true) == 0:
+        return float("nan")
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else -np.inf
+    return 1.0 - ss_res / ss_tot
+
+
+def mae(y_true, y_pred):
+    """Mean absolute error over finite entries."""
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    finite = np.isfinite(y_true) & np.isfinite(y_pred)
+    return float(np.abs(y_true[finite] - y_pred[finite]).mean())
+
+
+def rmse(y_true, y_pred):
+    """Root mean squared error over finite entries."""
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    finite = np.isfinite(y_true) & np.isfinite(y_pred)
+    return float(np.sqrt(((y_true[finite] - y_pred[finite]) ** 2).mean()))
+
+
+def pearson_correlation(y_true, y_pred):
+    """Pearson r (the visual metric behind the paper's Figure 4)."""
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    finite = np.isfinite(y_true) & np.isfinite(y_pred)
+    y_true, y_pred = y_true[finite], y_pred[finite]
+    if len(y_true) < 2:
+        return float("nan")
+    st, sp = y_true.std(), y_pred.std()
+    if st == 0.0 or sp == 0.0:
+        return float("nan")
+    return float(((y_true - y_true.mean()) * (y_pred - y_pred.mean())).mean()
+                 / (st * sp))

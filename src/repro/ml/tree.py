@@ -1,0 +1,134 @@
+"""CART regression trees (multi-output), built on numpy.
+
+scikit-learn is not available in this environment, so the random-forest
+baseline of the paper's Table 4 is backed by this implementation.  Splits
+minimise the summed per-output variance; candidate thresholds are taken
+at feature quantiles, which makes tree construction fast enough for the
+benchmark suite while staying within a constant factor of exhaustive
+CART quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value):
+        self.feature = -1
+        self.threshold = 0.0
+        self.left = None
+        self.right = None
+        self.value = value
+
+    @property
+    def is_leaf(self):
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """A multi-output CART regression tree.
+
+    Parameters
+    ----------
+    max_depth : maximum tree depth.
+    min_samples_split : minimum samples to attempt a split.
+    min_samples_leaf : minimum samples on each side of a split.
+    max_features : number (or fraction) of features examined per split;
+        None uses all features.
+    n_thresholds : quantile candidates per feature per split.
+    """
+
+    def __init__(self, max_depth=12, min_samples_split=8, min_samples_leaf=4,
+                 max_features=None, n_thresholds=16, rng=None):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.n_thresholds = n_thresholds
+        self.rng = rng or np.random.default_rng(0)
+        self.root_ = None
+        self.n_outputs_ = None
+
+    # -- fitting ------------------------------------------------------------
+    def fit(self, x, y):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[:, None]
+        self.n_outputs_ = y.shape[1]
+        self.root_ = self._grow(x, y, depth=0)
+        return self
+
+    def _n_features_to_try(self, total):
+        if self.max_features is None:
+            return total
+        if isinstance(self.max_features, float):
+            return max(1, int(round(self.max_features * total)))
+        return min(total, int(self.max_features))
+
+    def _grow(self, x, y, depth):
+        node = _Node(value=y.mean(axis=0))
+        n, d = x.shape
+        if depth >= self.max_depth or n < self.min_samples_split:
+            return node
+        parent_sse = float(((y - node.value) ** 2).sum())
+        if parent_sse <= 1e-12:
+            return node
+
+        best = (None, None, parent_sse)
+        n_try = self._n_features_to_try(d)
+        features = self.rng.permutation(d)[:n_try]
+        for f in features:
+            col = x[:, f]
+            qs = np.linspace(0.0, 1.0, self.n_thresholds + 2)[1:-1]
+            thresholds = np.unique(np.quantile(col, qs))
+            for t in thresholds:
+                mask = col <= t
+                n_left = int(mask.sum())
+                if n_left < self.min_samples_leaf or \
+                        n - n_left < self.min_samples_leaf:
+                    continue
+                yl, yr = y[mask], y[~mask]
+                sse = float(((yl - yl.mean(axis=0)) ** 2).sum() +
+                            ((yr - yr.mean(axis=0)) ** 2).sum())
+                if sse < best[2]:
+                    best = (f, t, sse)
+        feature, threshold, sse = best
+        if feature is None or sse >= parent_sse - 1e-12:
+            return node
+        mask = x[:, feature] <= threshold
+        node.feature = int(feature)
+        node.threshold = float(threshold)
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    # -- prediction -----------------------------------------------------------
+    def predict(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros((len(x), self.n_outputs_))
+        idx = np.arange(len(x))
+        stack = [(self.root_, idx)]
+        while stack:
+            node, members = stack.pop()
+            if len(members) == 0:
+                continue
+            if node.is_leaf:
+                out[members] = node.value
+                continue
+            mask = x[members, node.feature] <= node.threshold
+            stack.append((node.left, members[mask]))
+            stack.append((node.right, members[~mask]))
+        return out
+
+    def depth(self):
+        def walk(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self.root_)

@@ -1,0 +1,19 @@
+"""Models: the timer-inspired GNN, the deep GCNII baseline, and the
+statistics-based net-delay baselines."""
+
+from .config import ModelConfig
+from .net_embedding import NetConvLayer, NetEmbedding
+from .propagation import LUTInterpolation, DelayPropagation
+from .timing_gnn import TimingGNN, TimingPrediction
+from .gcnii import GCNII, normalized_adjacency
+from .baselines import (NetDelayRandomForest, NetDelayMLP,
+                        collect_barboza_dataset)
+
+__all__ = [
+    "ModelConfig",
+    "NetConvLayer", "NetEmbedding",
+    "LUTInterpolation", "DelayPropagation",
+    "TimingGNN", "TimingPrediction",
+    "GCNII", "normalized_adjacency",
+    "NetDelayRandomForest", "NetDelayMLP", "collect_barboza_dataset",
+]

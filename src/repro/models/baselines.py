@@ -1,0 +1,77 @@
+"""Net-delay baselines from Barboza et al. [5]: random forest and MLP on
+hand-engineered statistical net features (the Table 4 comparison)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graphdata import barboza_features
+from ..ml import RandomForestRegressor
+
+__all__ = ["NetDelayRandomForest", "NetDelayMLP", "collect_barboza_dataset"]
+
+
+def collect_barboza_dataset(graphs):
+    """Stack engineered features/labels over a list of HeteroGraphs."""
+    xs, ys = [], []
+    for graph in graphs:
+        x, y = barboza_features(graph)
+        xs.append(x)
+        ys.append(y)
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+class NetDelayRandomForest:
+    """Random forest on engineered net features (statistics-based [5])."""
+
+    def __init__(self, n_estimators=30, max_depth=14, seed=0):
+        self.model = RandomForestRegressor(n_estimators=n_estimators,
+                                           max_depth=max_depth, seed=seed)
+
+    def fit(self, graphs):
+        x, y = collect_barboza_dataset(graphs)
+        self.model.fit(x, y)
+        return self
+
+    def predict(self, graph):
+        """(E_net, 4) net-delay prediction for one design."""
+        x, _y = barboza_features(graph)
+        return self.model.predict(x)
+
+
+class NetDelayMLP:
+    """MLP on the same engineered features (the weaker baseline in [5])."""
+
+    def __init__(self, hidden=64, num_hidden_layers=3, lr=3e-3, epochs=200,
+                 batch_size=2048, seed=0):
+        self.hidden = hidden
+        self.num_hidden_layers = num_hidden_layers
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.net = None
+
+    def fit(self, graphs):
+        x, y = collect_barboza_dataset(graphs)
+        rng = np.random.default_rng(self.seed)
+        self.net = nn.MLP(x.shape[1], y.shape[1], rng, hidden=self.hidden,
+                          num_hidden_layers=self.num_hidden_layers)
+        optim = nn.Adam(self.net.parameters(), lr=self.lr)
+        n = len(x)
+        for _epoch in range(self.epochs):
+            perm = rng.permutation(n)
+            for lo in range(0, n, self.batch_size):
+                idx = perm[lo:lo + self.batch_size]
+                pred = self.net(nn.Tensor(x[idx]))
+                loss = nn.mse_loss(pred, nn.Tensor(y[idx]))
+                optim.zero_grad()
+                loss.backward()
+                optim.step()
+        return self
+
+    def predict(self, graph):
+        x, _y = barboza_features(graph)
+        with nn.no_grad():
+            return self.net(nn.Tensor(x)).data

@@ -1,0 +1,52 @@
+"""Shared model hyper-parameters.
+
+Paper defaults: every MLP has 3 hidden layers of 64 neurons; the net
+embedding model stacks 3 net convolution layers.  The ``fast()`` profile
+shrinks widths for quick tests while keeping every architectural element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelConfig"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    node_feat_dim: int = 10
+    net_edge_feat_dim: int = 2
+    embedding_dim: int = 64          # net embedding output width
+    prop_dim: int = 64               # propagation state width
+    mlp_hidden: int = 64             # width of hidden MLP layers
+    mlp_layers: int = 3              # hidden layers per MLP (paper: 3x64)
+    lut_query_dim: int = 32          # query vector for LUT interpolation
+    lut_mlp_hidden: int = 32         # hidden width inside the LUT module
+    lut_mlp_layers: int = 2
+    num_net_conv_layers: int = 3     # paper: three net convolution layers
+    seed: int = 7
+    # Ablation switches (DESIGN.md design-choice ablations):
+    # reduction channels used in net embedding / cell propagation.
+    reduction: str = "both"          # "sum" | "max" | "both"
+    # LUT consumption: the paper's Kronecker interpolation module vs. a
+    # plain MLP over the flattened LUT features.
+    lut_mode: str = "kron"           # "kron" | "mlp"
+
+    @staticmethod
+    def paper():
+        return ModelConfig()
+
+    @staticmethod
+    def fast():
+        """Small profile for unit tests: same architecture, thin layers."""
+        return ModelConfig(embedding_dim=16, prop_dim=16, mlp_hidden=16,
+                           mlp_layers=2, lut_query_dim=8, lut_mlp_hidden=12,
+                           lut_mlp_layers=1)
+
+    @staticmethod
+    def benchmark():
+        """Profile used by the experiment harness: close to the paper but
+        sized for CPU-only training on the scaled benchmark suite."""
+        return ModelConfig(embedding_dim=32, prop_dim=32, mlp_hidden=48,
+                           mlp_layers=2, lut_query_dim=16, lut_mlp_hidden=24,
+                           lut_mlp_layers=2)

@@ -1,0 +1,79 @@
+"""Vanilla deep GCNII baseline (paper Sec. 2.2, Eqs. 1-3).
+
+GCNII (Chen et al., ICML'20) alleviates over-smoothing with initial
+residual connections and identity mapping:
+
+    H^{l+1} = sigma( ((1-a) P H^l + a H^0) ((1-b_l) I + b_l W^l) )
+
+where P is the symmetrically normalised adjacency with self-loops
+(Eq. 2).  The paper stacks 4/8/16 such layers on the *undirected*
+homogeneous pin graph and shows the model fails to generalize across
+designs (Table 5) — the comparison this module exists to reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+from .config import ModelConfig
+
+__all__ = ["GCNII", "normalized_adjacency"]
+
+
+def normalized_adjacency(graph):
+    """P = (D+I)^{-1/2} (A+I) (D+I)^{-1/2} over the undirected pin graph.
+
+    Both net edges and cell edges contribute, symmetrized, as a
+    homogeneous GNN would consume the netlist.
+    """
+    n = graph.num_nodes
+    rows = np.concatenate([graph.net_src, graph.net_dst,
+                           graph.cell_src, graph.cell_dst])
+    cols = np.concatenate([graph.net_dst, graph.net_src,
+                           graph.cell_dst, graph.cell_src])
+    data = np.ones(len(rows))
+    adj = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    adj.data[:] = 1.0                     # collapse duplicate edges
+    adj = adj + sp.identity(n, format="csr")
+    degree = np.asarray(adj.sum(axis=1)).reshape(-1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    d_mat = sp.diags(inv_sqrt)
+    return (d_mat @ adj @ d_mat).tocsr()
+
+
+class GCNII(nn.Module):
+    """Deep GCNII stack predicting per-pin arrival time and slew."""
+
+    def __init__(self, num_layers, cfg=None, rng=None, alpha=0.1, beta=0.1,
+                 out_dim=8):
+        super().__init__()
+        cfg = cfg or ModelConfig.paper()
+        rng = rng or np.random.default_rng(cfg.seed + 2)
+        self.cfg = cfg
+        self.num_layers = num_layers
+        self.alpha = alpha
+        self.beta = beta
+        hidden = cfg.embedding_dim
+        self.input_proj = nn.Linear(cfg.node_feat_dim, hidden, rng)
+        self.weights = [nn.Linear(hidden, hidden, rng, bias=False)
+                        for _ in range(num_layers)]
+        self.head = nn.MLP(hidden, out_dim, rng, hidden=cfg.mlp_hidden,
+                           num_hidden_layers=cfg.mlp_layers)
+
+    def forward(self, graph, p_matrix=None):
+        if p_matrix is None:
+            p_matrix = normalized_adjacency(graph)
+        h0 = self.input_proj(nn.Tensor(graph.node_features)).relu()
+        h = h0
+        for layer in self.weights:
+            support = nn.spmm(p_matrix, h) * (1.0 - self.alpha) + \
+                h0 * self.alpha
+            h = (support * (1.0 - self.beta) +
+                 layer(support) * self.beta).relu()
+        return self.head(h)
+
+    def predict(self, graph, p_matrix=None):
+        with nn.no_grad():
+            return self.forward(graph, p_matrix=p_matrix)

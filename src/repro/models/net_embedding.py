@@ -1,0 +1,103 @@
+"""Net embedding model (paper Sec. 3.3.1).
+
+Three net-convolution layers over the bidirected net graph.  Each layer
+performs:
+
+* **graph broadcast** — driver-to-sink flow along net edges: the new sink
+  feature is an MLP of [driver feature, sink feature, net edge feature];
+* **graph reduction** — sink-to-driver flow along reversed net edges,
+  with *two reduction channels* (sum and max) over per-sink messages,
+  combined with the driver's own feature by an MLP.
+
+Because every pin either drives a net or is the sink of exactly one net,
+one layer updates every node.  The final embedding predicts the 4-corner
+net delay at fan-in (sink) nodes — the standalone net delay model of
+Table 4 — and carries free unsupervised dimensions used downstream by the
+delay propagation stage (capacitive load, slew proxies, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .config import ModelConfig
+
+__all__ = ["NetConvLayer", "NetEmbedding"]
+
+
+def reduction_channels(msg, segment_ids, num_segments, mode):
+    """Segment-reduce ``msg`` through the configured channel set.
+
+    The paper uses two channels (sum and max); "sum"/"max" alone are the
+    ablation variants benchmarked in benchmarks/test_ablations.py.
+    """
+    parts = []
+    if mode in ("sum", "both"):
+        parts.append(nn.segment_sum(msg, segment_ids, num_segments))
+    if mode in ("max", "both"):
+        parts.append(nn.segment_max(msg, segment_ids, num_segments))
+    if not parts:
+        raise ValueError(f"unknown reduction mode {mode!r}")
+    return parts
+
+
+def num_reduction_channels(mode):
+    return 2 if mode == "both" else 1
+
+
+class NetConvLayer(nn.Module):
+    """One broadcast + reduce step over the net graph."""
+
+    def __init__(self, in_dim, out_dim, edge_dim, cfg, rng):
+        super().__init__()
+        mlp = dict(hidden=cfg.mlp_hidden, num_hidden_layers=cfg.mlp_layers)
+        self.reduction = cfg.reduction
+        n_ch = num_reduction_channels(cfg.reduction)
+        self.broadcast = nn.MLP(2 * in_dim + edge_dim, out_dim, rng, **mlp)
+        self.reduce_msg = nn.MLP(in_dim + edge_dim, out_dim, rng, **mlp)
+        self.reduce_combine = nn.MLP(in_dim + n_ch * out_dim, out_dim, rng,
+                                     **mlp)
+
+    def forward(self, h, graph):
+        """``h`` is (N, in_dim); returns (N, out_dim)."""
+        n = graph.num_nodes
+        ef = nn.Tensor(graph.net_features)
+        h_src = nn.gather_rows(h, graph.net_src)
+        h_dst = nn.gather_rows(h, graph.net_dst)
+        # Broadcast: driver -> sinks (each sink has exactly one net edge).
+        # New node states are tanh-bounded: the embedding feeds a deep
+        # recurrent composition downstream (one step per topological
+        # level), and unbounded states diverge exponentially with depth.
+        sink_new = self.broadcast(nn.concat([h_src, h_dst, ef])).tanh()
+        # Reduction: sinks -> driver through the configured channels
+        # (paper default: sum and max).
+        msg = self.reduce_msg(nn.concat([h_dst, ef])).tanh()
+        aggs = reduction_channels(msg, graph.net_src, n, self.reduction)
+        driver_new = self.reduce_combine(nn.concat([h] + aggs)).tanh()
+        # Drivers take the reduction result; sinks take the broadcast one.
+        return nn.scatter_rows(driver_new, graph.net_dst, sink_new)
+
+
+class NetEmbedding(nn.Module):
+    """Stacked net convolutions + net-delay prediction head."""
+
+    def __init__(self, cfg=None, rng=None):
+        super().__init__()
+        cfg = cfg or ModelConfig.paper()
+        rng = rng or np.random.default_rng(cfg.seed)
+        self.cfg = cfg
+        dims = ([cfg.node_feat_dim] +
+                [cfg.embedding_dim] * cfg.num_net_conv_layers)
+        self.layers = [NetConvLayer(din, dout, cfg.net_edge_feat_dim, cfg, rng)
+                       for din, dout in zip(dims[:-1], dims[1:])]
+        self.net_delay_head = nn.MLP(cfg.embedding_dim, 4, rng,
+                                     hidden=cfg.mlp_hidden,
+                                     num_hidden_layers=cfg.mlp_layers)
+
+    def forward(self, graph):
+        """Returns (embedding (N, D), net_delay prediction (N, 4))."""
+        h = nn.Tensor(graph.node_features)
+        for layer in self.layers:
+            h = layer(h, graph)
+        return h, self.net_delay_head(h)

@@ -1,0 +1,72 @@
+"""The full timer-inspired GNN: net embedding + delay propagation.
+
+This is the paper's primary contribution (Sec. 3.3): an end-to-end model
+that maps a placed design's heterogeneous pin graph to per-pin arrival
+time and slew, per-sink net delay, and per-arc cell delay — from which
+endpoint slack follows using the known required times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .config import ModelConfig
+from .net_embedding import NetEmbedding
+from .propagation import DelayPropagation
+
+__all__ = ["TimingGNN", "TimingPrediction"]
+
+
+class TimingPrediction:
+    """Model outputs for one design (autograd tensors)."""
+
+    def __init__(self, embedding, net_delay, atslew, cell_delay, edge_order):
+        self.embedding = embedding       # (N, D)
+        self.net_delay = net_delay       # (N, 4)
+        self.atslew = atslew             # (N, 8): arrival | slew
+        self.cell_delay = cell_delay     # (E_visited, 4)
+        self.edge_order = edge_order     # cell-edge ids aligned with above
+
+    @property
+    def arrival(self):
+        return self.atslew[:, 0:4]
+
+    @property
+    def slew(self):
+        return self.atslew[:, 4:8]
+
+    def numpy_arrival(self):
+        return self.atslew.data[:, 0:4]
+
+    def numpy_slew(self):
+        return self.atslew.data[:, 4:8]
+
+    def cell_delay_full(self, num_cell_edges):
+        """Cell-delay predictions re-ordered to the graph's edge order."""
+        out = np.zeros((num_cell_edges, 4))
+        out[self.edge_order] = self.cell_delay.data
+        return out
+
+
+class TimingGNN(nn.Module):
+    """End-to-end pre-routing timing predictor."""
+
+    def __init__(self, cfg=None, rng=None):
+        super().__init__()
+        cfg = cfg or ModelConfig.paper()
+        rng = rng or np.random.default_rng(cfg.seed)
+        self.cfg = cfg
+        self.net_embedding = NetEmbedding(cfg, rng)
+        self.propagation = DelayPropagation(cfg, rng)
+
+    def forward(self, graph):
+        embedding, net_delay = self.net_embedding(graph)
+        atslew, cell_delay, edge_order = self.propagation(graph, embedding)
+        return TimingPrediction(embedding, net_delay, atslew, cell_delay,
+                                edge_order)
+
+    def predict(self, graph):
+        """Inference without gradient tracking."""
+        with nn.no_grad():
+            return self.forward(graph)

@@ -1,0 +1,17 @@
+"""Gate-level netlists: data model, synthetic generator, benchmark suite."""
+
+from .design import Pin, CellInst, Net, Design
+from .generator import CircuitStyle, generate_circuit, STYLES
+from .benchmarks import (BenchmarkSpec, BENCHMARKS, TRAIN_BENCHMARKS,
+                         TEST_BENCHMARKS, build_benchmark, benchmark_names)
+from .validate import NetlistError, validate_design, combinational_depth
+from .verilog import write_verilog, parse_verilog, VerilogError
+
+__all__ = [
+    "Pin", "CellInst", "Net", "Design",
+    "CircuitStyle", "generate_circuit", "STYLES",
+    "BenchmarkSpec", "BENCHMARKS", "TRAIN_BENCHMARKS", "TEST_BENCHMARKS",
+    "build_benchmark", "benchmark_names",
+    "NetlistError", "validate_design", "combinational_depth",
+    "write_verilog", "parse_verilog", "VerilogError",
+]

@@ -1,0 +1,190 @@
+"""Gate-level netlist data model.
+
+A :class:`Design` is a set of cell instances connected by nets.  Every pin
+has a dense integer id so downstream stages (placement, routing, STA,
+graph extraction) can operate on flat numpy arrays.
+
+Clocking follows a pre-CTS model (as in the paper's pre-routing setting):
+flip-flop clock pins receive an ideal clock and are not part of the
+routed net graph, so register Q pins act as timing sources and register D
+pins as timing endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Pin", "CellInst", "Net", "Design"]
+
+
+@dataclass(eq=False)
+class Pin:
+    """A pin in the flat design: either a cell pin or a top-level port."""
+
+    index: int
+    name: str                     # e.g. "u42/A" or "port:clk"
+    direction: str                # "input" or "output" (of the *cell*)
+    cell: "CellInst" = None       # None for top-level ports
+    lib_pin: str = ""             # library pin name ("A", "Y", "D", ...)
+    is_port: bool = False
+    is_clock: bool = False
+    net: "Net" = None
+
+    @property
+    def is_net_driver(self):
+        """True if this pin drives a net (cell output or input port)."""
+        if self.is_port:
+            return self.direction == "input"
+        return self.direction == "output"
+
+    @property
+    def is_primary_input(self):
+        return self.is_port and self.direction == "input"
+
+    @property
+    def is_primary_output(self):
+        return self.is_port and self.direction == "output"
+
+
+@dataclass(eq=False)
+class CellInst:
+    """An instance of a library cell."""
+
+    name: str
+    cell_type: object             # liberty.CellType
+    pins: dict = field(default_factory=dict)   # lib pin name -> Pin
+
+    @property
+    def is_sequential(self):
+        return self.cell_type.is_sequential
+
+
+@dataclass(eq=False)
+class Net:
+    """A net: exactly one driver pin and zero or more sink pins."""
+
+    name: str
+    driver: Pin = None
+    sinks: list = field(default_factory=list)
+
+    @property
+    def pins(self):
+        return ([self.driver] if self.driver else []) + self.sinks
+
+    @property
+    def degree(self):
+        return len(self.sinks) + (1 if self.driver else 0)
+
+
+class Design:
+    """A flat gate-level design bound to a liberty library."""
+
+    def __init__(self, name, library):
+        self.name = name
+        self.library = library
+        self.cells = []            # list[CellInst]
+        self.nets = []             # list[Net]
+        self.pins = []             # list[Pin], index == position
+        self.ports = []            # list[Pin] (top-level, includes clock)
+        self.clock_period = library.clock_period_guess
+
+    # -- construction -------------------------------------------------------
+    def _new_pin(self, name, direction, cell=None, lib_pin="",
+                 is_port=False, is_clock=False):
+        pin = Pin(index=len(self.pins), name=name, direction=direction,
+                  cell=cell, lib_pin=lib_pin, is_port=is_port,
+                  is_clock=is_clock)
+        self.pins.append(pin)
+        return pin
+
+    def add_port(self, name, direction, is_clock=False):
+        pin = self._new_pin(f"port:{name}", direction, is_port=True,
+                            is_clock=is_clock)
+        self.ports.append(pin)
+        return pin
+
+    def add_cell(self, name, cell_type):
+        inst = CellInst(name=name, cell_type=cell_type)
+        for spec in cell_type.pins.values():
+            pin = self._new_pin(f"{name}/{spec.name}", spec.direction,
+                                cell=inst, lib_pin=spec.name,
+                                is_clock=spec.is_clock)
+            inst.pins[spec.name] = pin
+        self.cells.append(inst)
+        return inst
+
+    def add_net(self, name, driver, sinks=()):
+        net = Net(name=name, driver=driver, sinks=list(sinks))
+        driver.net = net
+        for sink in net.sinks:
+            sink.net = net
+        self.nets.append(net)
+        return net
+
+    def connect(self, net, sink):
+        net.sinks.append(sink)
+        sink.net = net
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def num_pins(self):
+        return len(self.pins)
+
+    @property
+    def primary_inputs(self):
+        return [p for p in self.ports
+                if p.direction == "input" and not p.is_clock]
+
+    @property
+    def primary_outputs(self):
+        return [p for p in self.ports if p.direction == "output"]
+
+    @property
+    def sequential_cells(self):
+        return [c for c in self.cells if c.is_sequential]
+
+    @property
+    def combinational_cells(self):
+        return [c for c in self.cells if not c.is_sequential]
+
+    def endpoints(self):
+        """Timing endpoints: register D pins and primary outputs."""
+        eps = []
+        for cell in self.sequential_cells:
+            for name in cell.cell_type.input_pins:
+                eps.append(cell.pins[name])
+        eps.extend(self.primary_outputs)
+        return eps
+
+    def startpoints(self):
+        """Timing sources: primary inputs and register Q pins."""
+        sps = list(self.primary_inputs)
+        for cell in self.sequential_cells:
+            for name in cell.cell_type.output_pins:
+                sps.append(cell.pins[name])
+        return sps
+
+    def pin_capacitance(self, pin):
+        """Liberty pin capacitance 4-vector (zeros for outputs and ports)."""
+        import numpy as np
+        if pin.cell is not None and pin.direction == "input":
+            return pin.cell.cell_type.pin_capacitance(pin.lib_pin)
+        return np.zeros(4)
+
+    def stats(self):
+        """Structural statistics matching the columns of the paper's Table 1."""
+        net_edges = sum(len(n.sinks) for n in self.nets)
+        # Clock pins are ideal (pre-CTS), so CK->Q launch arcs are not part
+        # of the extracted timing graph; count combinational arcs only.
+        cell_edges = sum(len(c.cell_type.arcs)
+                         for c in self.combinational_cells)
+        # Only pins that participate in the timing graph count as nodes:
+        # clock pins are ideal (pre-CTS) and excluded.
+        nodes = sum(1 for p in self.pins if not p.is_clock)
+        return {
+            "name": self.name,
+            "nodes": nodes,
+            "net_edges": net_edges,
+            "cell_edges": cell_edges,
+            "endpoints": len(self.endpoints()),
+        }

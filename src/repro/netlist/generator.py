@@ -1,0 +1,249 @@
+"""Synthetic gate-level circuit generator.
+
+The paper's benchmarks are real RTL designs synthesised with the OpenROAD
+flow.  Without synthesis tools or the RTL here, this module generates
+random-but-structured DAG circuits whose *statistics* (fanout
+distribution, logic depth, register fraction, cell mix) are controlled by
+a per-family :class:`CircuitStyle`, so e.g. the AES-family benchmarks are
+wide and XOR-heavy while the USB-family ones are deep, control-dominated
+and register-rich.
+
+Generation happens in topological order, so circuits are acyclic by
+construction (validated in :mod:`repro.netlist.validate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .design import Design
+
+__all__ = ["CircuitStyle", "generate_circuit", "STYLES"]
+
+
+@dataclass(frozen=True)
+class CircuitStyle:
+    """Knobs shaping the generated circuit's structure."""
+
+    name: str
+    seq_fraction: float = 0.10      # fraction of cells that are registers
+    pi_fraction: float = 0.04       # primary inputs per cell
+    po_fraction: float = 0.03       # primary outputs per cell
+    locality: float = 0.75          # prob. of picking a recent driver (depth)
+    depth_target: int = 40          # approximate combinational depth
+    max_fanout: int = 12
+    arity_weights: tuple = (0.25, 0.55, 0.20)   # 1-, 2-, 3-input cells
+    xor_bias: float = 1.0           # weight multiplier on XOR/XNOR
+    mux_bias: float = 1.0           # weight multiplier on MUX/AOI/OAI
+    buffer_bias: float = 1.0        # weight multiplier on INV/BUF sizes
+
+
+
+STYLES = {
+    # Wide, XOR-heavy rounds of moderate depth: AES / DES / salsa20 / xtea.
+    "cipher": CircuitStyle("cipher", seq_fraction=0.10, pi_fraction=0.05,
+                           po_fraction=0.04, locality=0.60, depth_target=35,
+                           arity_weights=(0.18, 0.62, 0.20), xor_bias=4.0,
+                           mux_bias=0.8),
+    # Register-rich, shallow control logic: USB cores, SPI controllers.
+    "control": CircuitStyle("control", seq_fraction=0.22, pi_fraction=0.05,
+                            po_fraction=0.04, locality=0.85, depth_target=14,
+                            arity_weights=(0.30, 0.50, 0.20), xor_bias=0.5,
+                            mux_bias=1.5),
+    # Deep mux-heavy datapath + control: CPU cores.
+    "cpu": CircuitStyle("cpu", seq_fraction=0.15, pi_fraction=0.03,
+                        po_fraction=0.03, locality=0.88, depth_target=60,
+                        arity_weights=(0.22, 0.48, 0.30), xor_bias=0.8,
+                        mux_bias=2.5),
+    # Multiply-accumulate chains: FIR filters, encoders.
+    "datapath": CircuitStyle("datapath", seq_fraction=0.14, pi_fraction=0.04,
+                             po_fraction=0.05, locality=0.80, depth_target=30,
+                             arity_weights=(0.20, 0.55, 0.25), xor_bias=2.0,
+                             mux_bias=1.2),
+    # Wide shallow mux trees: RAM wrappers, huffman tables.
+    "memory": CircuitStyle("memory", seq_fraction=0.18, pi_fraction=0.06,
+                           po_fraction=0.06, locality=0.45, depth_target=8,
+                           arity_weights=(0.18, 0.42, 0.40), xor_bias=0.4,
+                           mux_bias=3.5),
+}
+
+
+def _cell_menu(library, style):
+    """Return, per arity, (cell names, selection weights)."""
+    menus = {}
+    bias = {
+        "XOR2_X1": style.xor_bias, "XNOR2_X1": style.xor_bias,
+        "MUX2_X1": style.mux_bias, "AOI21_X1": style.mux_bias,
+        "OAI21_X1": style.mux_bias,
+        "INV_X1": style.buffer_bias, "BUF_X1": style.buffer_bias,
+    }
+    for arity in (1, 2, 3):
+        cells = [c for c in library.cells_with_inputs(arity)
+                 if c.use_in_synthesis]
+        names = [c.name for c in cells]
+        weights = np.asarray([bias.get(n, 1.0) for n in names])
+        menus[arity] = (names, weights / weights.sum())
+    return menus
+
+
+class _DriverPool:
+    """Net drivers organised by logic stage, with fanout budgets.
+
+    Cells are generated stage by stage; a cell at stage ``s`` may only
+    consume drivers from stages < s, which bounds the combinational depth
+    at the number of stages by construction.  ``locality`` biases input
+    selection toward the immediately preceding stage (long carry/round
+    chains) versus any earlier stage (wide fanin cones).
+    """
+
+    def __init__(self, rng, style):
+        self.rng = rng
+        self.style = style
+        self.pins = []
+        self.fanout = []
+        self.stage_members = [[]]    # stage -> list of pool indices
+
+    def add(self, pin, stage):
+        while stage >= len(self.stage_members):
+            self.stage_members.append([])
+        self.pins.append(pin)
+        self.fanout.append(0)
+        self.stage_members[stage].append(len(self.pins) - 1)
+
+    def _candidate_pool(self, stage):
+        if self.rng.random() < self.style.locality:
+            # Nearest non-empty earlier stage.
+            for s in range(min(stage, len(self.stage_members)) - 1, -1, -1):
+                if self.stage_members[s]:
+                    return self.stage_members[s]
+        earlier = [i for s in range(min(stage, len(self.stage_members)))
+                   for i in self.stage_members[s]]
+        return earlier
+
+    def pick(self, stage, exclude=()):
+        """Pick a driver visible from ``stage``, preferring spare fanout."""
+        pool = self._candidate_pool(stage)
+        for _ in range(16):
+            i = pool[int(self.rng.integers(0, len(pool)))]
+            if self.fanout[i] < self.style.max_fanout and \
+                    self.pins[i].index not in exclude:
+                self.fanout[i] += 1
+                return self.pins[i]
+        # Fall back to scanning every earlier stage for spare budget.
+        earlier = [i for s in range(min(stage, len(self.stage_members)))
+                   for i in self.stage_members[s]]
+        order = self.rng.permutation(len(earlier))
+        for j in order:
+            i = earlier[j]
+            if self.fanout[i] < self.style.max_fanout and \
+                    self.pins[i].index not in exclude:
+                self.fanout[i] += 1
+                return self.pins[i]
+        # Everything saturated: overload the least-loaded visible driver.
+        i = min(earlier, key=lambda k: self.fanout[k])
+        self.fanout[i] += 1
+        return self.pins[i]
+
+    def unused(self):
+        return [p for p, f in zip(self.pins, self.fanout) if f == 0]
+
+    def index_of(self, pin):
+        return self.pins.index(pin)
+
+
+def generate_circuit(name, target_nodes, style, library, seed):
+    """Generate a design with roughly ``target_nodes`` timing-graph nodes."""
+    if isinstance(style, str):
+        style = STYLES[style]
+    rng = np.random.default_rng(seed)
+    design = Design(name, library)
+    menus = _cell_menu(library, style)
+    arities = np.asarray([1, 2, 3])
+    arity_p = np.asarray(style.arity_weights, dtype=np.float64)
+    arity_p /= arity_p.sum()
+    avg_arity = float((arities * arity_p).sum())
+
+    # -- budget planning ------------------------------------------------------
+    # Node cost: comb cell = arity + 1 pins; register = 2 graph pins (D, Q);
+    # each port = 1 pin.  Solve for the cell count that hits target_nodes.
+    per_comb = avg_arity + 1.0
+    per_seq = 2.0
+    seq_frac = style.seq_fraction
+    port_frac = style.pi_fraction + style.po_fraction
+    denom = (1 - seq_frac) * per_comb + seq_frac * per_seq + port_frac
+    n_cells = max(12, int(round(target_nodes / denom)))
+    n_seq = max(2, int(round(n_cells * seq_frac)))
+    n_pi = max(4, int(round(n_cells * style.pi_fraction)))
+    n_po = max(2, int(round(n_cells * style.po_fraction)))
+
+    # -- ports and registers -----------------------------------------------------
+    design.add_port("clk", "input", is_clock=True)
+    pis = [design.add_port(f"in{i}", "input") for i in range(n_pi)]
+    pool = _DriverPool(rng, style)
+    for pin in pis:
+        pool.add(pin, stage=0)
+
+    seq_types = [c.name for c in library.sequential_cells]
+    dffs = []
+    for i in range(n_seq):
+        cell_name = seq_types[int(rng.integers(0, len(seq_types)))]
+        inst = design.add_cell(f"r{i}", library[cell_name])
+        dffs.append(inst)
+        pool.add(inst.pins["Q"], stage=0)
+
+    # -- combinational fabric -----------------------------------------------------
+    node_budget = target_nodes - n_pi - n_po - n_seq * 2
+    n_comb_est = max(1, int(node_budget / per_comb))
+    n_stages = max(2, min(style.depth_target, n_comb_est))
+    cells_per_stage = max(1, int(np.ceil(n_comb_est / n_stages)))
+    used = 0
+    gate_index = 0
+    while used + 2 <= node_budget:
+        stage = 1 + gate_index // cells_per_stage
+        arity = int(rng.choice(arities, p=arity_p))
+        arity = min(arity, max(1, int(node_budget - used - 1)))
+        names, weights = menus[arity]
+        cell_name = str(rng.choice(names, p=weights))
+        inst = design.add_cell(f"g{gate_index}", library[cell_name])
+        gate_index += 1
+        chosen = set()
+        for pin_name in inst.cell_type.input_pins:
+            driver = pool.pick(stage, exclude=chosen)
+            chosen.add(driver.index)
+            _attach(design, driver, inst.pins[pin_name])
+        pool.add(inst.pins["Y"], stage=stage)
+        used += arity + 1
+
+    # -- close the sequential loop and the outputs --------------------------------
+    # Register D inputs and primary outputs tap preferentially into unused
+    # drivers so few nets dangle.
+    sinks_needed = [dff.pins["D"] for dff in dffs]
+    pos = [design.add_port(f"out{i}", "output") for i in range(n_po)]
+    sinks_needed.extend(pos)
+    unused = pool.unused()
+    rng.shuffle(unused)
+    final_stage = len(pool.stage_members)
+    for sink in sinks_needed:
+        if unused:
+            driver = unused.pop()
+            pool.fanout[pool.index_of(driver)] += 1
+        else:
+            driver = pool.pick(final_stage)
+        _attach(design, driver, sink)
+    # Any remaining dangling drivers become extra observation outputs, as a
+    # synthesis flow would otherwise sweep the logic away.
+    for extra, driver in enumerate(pool.unused()):
+        po = design.add_port(f"obs{extra}", "output")
+        _attach(design, driver, po)
+
+    design.clock_period = library.clock_period_guess
+    return design
+
+
+def _attach(design, driver, sink):
+    """Connect ``sink`` to the net driven by ``driver`` (creating the net)."""
+    if driver.net is None:
+        design.add_net(f"n_{driver.index}", driver)
+    design.connect(driver.net, sink)

@@ -1,0 +1,86 @@
+"""Structural validation of netlists.
+
+Run after generation and before the physical flow; raises
+:class:`NetlistError` with a precise message on the first violation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["NetlistError", "validate_design", "combinational_depth"]
+
+
+class NetlistError(ValueError):
+    """A structural netlist violation."""
+
+
+def validate_design(design):
+    """Check connectivity, direction and acyclicity invariants."""
+    for net in design.nets:
+        if net.driver is None:
+            raise NetlistError(f"net {net.name} has no driver")
+        if not net.driver.is_net_driver:
+            raise NetlistError(f"net {net.name} driven by sink pin "
+                               f"{net.driver.name}")
+        for sink in net.sinks:
+            if sink.is_net_driver:
+                raise NetlistError(f"net {net.name} has driver pin "
+                                   f"{sink.name} as a sink")
+            if sink.net is not net:
+                raise NetlistError(f"pin {sink.name} net back-pointer broken")
+    for cell in design.cells:
+        for name, pin in cell.pins.items():
+            if pin.is_clock:
+                continue
+            if pin.net is None:
+                raise NetlistError(f"pin {pin.name} is unconnected")
+    seen = set()
+    for pin in design.pins:
+        if pin.index in seen:
+            raise NetlistError(f"duplicate pin index {pin.index}")
+        seen.add(pin.index)
+        if design.pins[pin.index] is not pin:
+            raise NetlistError(f"pin index {pin.index} out of place")
+    if combinational_depth(design) < 0:
+        raise NetlistError("combinational loop detected")
+    return True
+
+
+def _forward_adjacency(design):
+    """Pin-level successor lists over net edges + combinational cell arcs."""
+    succ = [[] for _ in design.pins]
+    indeg = [0] * len(design.pins)
+    for net in design.nets:
+        for sink in net.sinks:
+            succ[net.driver.index].append(sink.index)
+            indeg[sink.index] += 1
+    for cell in design.combinational_cells:
+        for arc in cell.cell_type.arcs:
+            src = cell.pins[arc.input_pin].index
+            dst = cell.pins[arc.output_pin].index
+            succ[src].append(dst)
+            indeg[dst] += 1
+    return succ, indeg
+
+
+def combinational_depth(design):
+    """Longest path length in the pin DAG, or -1 if the graph has a cycle."""
+    succ, indeg = _forward_adjacency(design)
+    level = [0] * len(design.pins)
+    queue = deque(i for i, d in enumerate(indeg) if d == 0)
+    visited = 0
+    depth = 0
+    while queue:
+        node = queue.popleft()
+        visited += 1
+        for nxt in succ[node]:
+            level[nxt] = max(level[nxt], level[node] + 1)
+            depth = max(depth, level[nxt])
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                queue.append(nxt)
+    reachable = sum(1 for d in indeg if d >= 0)
+    if visited != reachable:
+        return -1
+    return depth

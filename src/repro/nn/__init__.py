@@ -1,0 +1,34 @@
+"""Minimal numpy-based deep learning framework (autograd, modules, optim).
+
+Stands in for PyTorch + DGL in this reproduction: reverse-mode autograd
+tensors, graph message-passing primitives (gather/scatter/segment ops),
+MLP modules, and Adam/SGD optimizers.
+"""
+
+from .tensor import Tensor, no_grad, is_grad_enabled
+from .ops import (
+    concat,
+    stack,
+    gather_rows,
+    scatter_rows,
+    segment_sum,
+    segment_max,
+    segment_mean,
+    batched_outer,
+    spmm,
+    maximum,
+    dropout,
+    mse_loss,
+    l2_loss,
+)
+from .modules import Module, Linear, MLP, Sequential, ReLU, Sigmoid, Tanh
+from .optim import SGD, Adam, clip_grad_norm
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled",
+    "concat", "stack", "gather_rows", "scatter_rows",
+    "segment_sum", "segment_max", "segment_mean",
+    "batched_outer", "spmm", "maximum", "dropout", "mse_loss", "l2_loss",
+    "Module", "Linear", "MLP", "Sequential", "ReLU", "Sigmoid", "Tanh",
+    "SGD", "Adam", "clip_grad_norm",
+]

@@ -1,0 +1,149 @@
+"""Neural network modules: parameter containers, Linear and MLP.
+
+The paper states all MLPs use 3 hidden layers of 64 neurons; :class:`MLP`
+defaults to that configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Module", "Linear", "MLP", "Sequential", "ReLU", "Sigmoid", "Tanh"]
+
+
+class Module:
+    """Base class tracking parameters and sub-modules by attribute."""
+
+    def __init__(self):
+        self._parameters = {}
+        self._modules = {}
+        self.training = True
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        elif isinstance(value, (list, tuple)) and value and all(
+                isinstance(v, Module) for v in value):
+            for i, mod in enumerate(value):
+                self.__dict__.setdefault("_modules", {})[f"{name}.{i}"] = mod
+        object.__setattr__(self, name, value)
+
+    def parameters(self):
+        """Yield all trainable parameters, depth first, deterministically."""
+        for param in self._parameters.values():
+            yield param
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix=""):
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mname, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mname}.")
+
+    def num_parameters(self):
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self):
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode=True):
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self):
+        return self.train(False)
+
+    def state_dict(self):
+        """Copy of every parameter array keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        own = dict(self.named_parameters())
+        if set(own) != set(state):
+            missing = set(own) ^ set(state)
+            raise KeyError(f"state dict mismatch on keys: {sorted(missing)}")
+        for name, values in state.items():
+            if own[name].data.shape != values.shape:
+                raise ValueError(f"shape mismatch for {name}")
+            own[name].data = values.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``x @ W + b`` with Kaiming-uniform initialisation."""
+
+    def __init__(self, in_features, out_features, rng, bias=True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        bound = np.sqrt(6.0 / in_features)
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, size=(in_features, out_features)),
+            requires_grad=True)
+        self.bias = (Tensor(np.zeros(out_features), requires_grad=True)
+                     if bias else None)
+
+    def forward(self, x):
+        return x.affine(self.weight, self.bias)
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return x.tanh()
+
+
+class Sequential(Module):
+    def __init__(self, *layers):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class MLP(Module):
+    """Multilayer perceptron; paper default is 3 hidden layers of 64 units."""
+
+    def __init__(self, in_features, out_features, rng,
+                 hidden=64, num_hidden_layers=3, activation="relu"):
+        super().__init__()
+        dims = [in_features] + [hidden] * num_hidden_layers + [out_features]
+        layers = []
+        for i, (din, dout) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(din, dout, rng))
+            if i < len(dims) - 2:
+                if activation == "relu":
+                    layers.append(ReLU())
+                elif activation == "tanh":
+                    layers.append(Tanh())
+                else:
+                    raise ValueError(f"unknown activation {activation!r}")
+        self.net = Sequential(*layers)
+
+    def forward(self, x):
+        return self.net(x)

@@ -1,0 +1,227 @@
+"""Graph and structural operations for the autograd tensor.
+
+These are the operations DGL would normally provide: message gathering
+(`gather_rows`), functional node updates (`scatter_rows`), segment
+reductions over edge groups (`segment_sum` / `segment_max`), the batched
+outer product used by the paper's Kronecker LUT-interpolation module, and
+sparse-dense matmul for the GCNII baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "concat",
+    "stack",
+    "gather_rows",
+    "scatter_rows",
+    "segment_sum",
+    "segment_max",
+    "segment_mean",
+    "batched_outer",
+    "spmm",
+    "maximum",
+    "dropout",
+    "mse_loss",
+    "l2_loss",
+]
+
+
+def concat(tensors, axis=-1):
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    datas = [t.data for t in tensors]
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(lo, hi)
+                t._accumulate(g[tuple(index)])
+
+    return Tensor._make(np.concatenate(datas, axis=axis), tuple(tensors), backward)
+
+
+def stack(tensors, axis=0):
+    """Stack tensors along a new axis."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+
+    def backward(g):
+        parts = np.split(g, len(tensors), axis=axis)
+        for t, part in zip(tensors, parts):
+            if t.requires_grad:
+                t._accumulate(np.squeeze(part, axis=axis))
+
+    return Tensor._make(np.stack([t.data for t in tensors], axis=axis),
+                        tuple(tensors), backward)
+
+
+def gather_rows(t, index):
+    """Select rows ``t[index]`` (edges gathering endpoint features)."""
+    index = np.asarray(index, dtype=np.int64)
+    a = t
+
+    def backward(g):
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            np.add.at(full, index, g)
+            a._accumulate(full)
+
+    return Tensor._make(a.data[index], (a,), backward)
+
+
+def scatter_rows(t, index, values):
+    """Return a copy of ``t`` with ``t[index] = values`` (functional update).
+
+    ``index`` must not contain duplicates; this is the levelized update of
+    the delay-propagation model where each node is written exactly once.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    if len(np.unique(index)) != len(index):
+        raise ValueError("scatter_rows requires unique row indices")
+    a, v = t, values
+    out = a.data.copy()
+    out[index] = v.data
+
+    def backward(g):
+        if a.requires_grad:
+            masked = g.copy()
+            masked[index] = 0.0
+            a._accumulate(masked)
+        if v.requires_grad:
+            v._accumulate(g[index])
+
+    return Tensor._make(out, (a, v), backward)
+
+
+def segment_sum(t, segment_ids, num_segments):
+    """Sum rows of ``t`` grouped by ``segment_ids`` into ``num_segments`` rows."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    a = t
+    out = np.zeros((num_segments,) + a.data.shape[1:], dtype=a.data.dtype)
+    np.add.at(out, segment_ids, a.data)
+
+    def backward(g):
+        if a.requires_grad:
+            a._accumulate(g[segment_ids])
+
+    return Tensor._make(out, (a,), backward)
+
+
+def segment_max(t, segment_ids, num_segments):
+    """Max-reduce rows of ``t`` by segment.  Empty segments yield zeros.
+
+    Gradient is split evenly between tied maxima within a segment.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    a = t
+    out = np.full((num_segments,) + a.data.shape[1:], -np.inf, dtype=a.data.dtype)
+    np.maximum.at(out, segment_ids, a.data)
+    empty = ~np.isfinite(out)
+    out = np.where(empty, 0.0, out)
+    mask = (a.data == out[segment_ids]).astype(a.data.dtype)
+    counts = np.zeros_like(out)
+    np.add.at(counts, segment_ids, mask)
+
+    def backward(g):
+        if a.requires_grad:
+            denom = np.maximum(counts, 1.0)
+            a._accumulate(mask * (g / denom)[segment_ids])
+
+    return Tensor._make(out, (a,), backward)
+
+
+def segment_mean(t, segment_ids, num_segments):
+    """Mean-reduce rows by segment (empty segments yield zeros)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    total = segment_sum(t, segment_ids, num_segments)
+    scale = 1.0 / np.maximum(counts, 1.0)
+    return total * Tensor(scale[:, None] if total.ndim == 2 else scale)
+
+
+def batched_outer(a, b):
+    """Per-row outer product: (E, m) x (E, n) -> (E, m*n).
+
+    This implements the Kronecker-product combination of the two LUT-axis
+    coefficient vectors in the paper's LUT interpolation module (Sec. 3.3.2).
+    """
+    ta, tb = a, b
+    out = ta.data[:, :, None] * tb.data[:, None, :]
+    m, n = ta.data.shape[1], tb.data.shape[1]
+
+    def backward(g):
+        g3 = g.reshape(-1, m, n)
+        if ta.requires_grad:
+            ta._accumulate((g3 * tb.data[:, None, :]).sum(axis=2))
+        if tb.requires_grad:
+            tb._accumulate((g3 * ta.data[:, :, None]).sum(axis=1))
+
+    return Tensor._make(out.reshape(-1, m * n), (ta, tb), backward)
+
+
+def spmm(matrix, t):
+    """Sparse @ dense product with gradient ``matrix.T @ g`` (GCNII's P H)."""
+    if not sp.issparse(matrix):
+        raise TypeError("spmm expects a scipy sparse matrix")
+    matrix = matrix.tocsr()
+    a = t
+    mt = matrix.T.tocsr()
+
+    def backward(g):
+        if a.requires_grad:
+            a._accumulate(mt @ g)
+
+    return Tensor._make(matrix @ a.data, (a,), backward)
+
+
+def maximum(a, b):
+    """Elementwise maximum of two tensors (ties send gradient to both halves)."""
+    ta = a if isinstance(a, Tensor) else Tensor(a)
+    tb = b if isinstance(b, Tensor) else Tensor(b)
+    take_a = ta.data >= tb.data
+
+    def backward(g):
+        if ta.requires_grad:
+            ta._accumulate(g * take_a)
+        if tb.requires_grad:
+            tb._accumulate(g * ~take_a)
+
+    return Tensor._make(np.where(take_a, ta.data, tb.data), (ta, tb), backward)
+
+
+def dropout(t, rate, rng, training=True):
+    """Inverted dropout; identity when not training or rate == 0."""
+    if not training or rate <= 0.0:
+        return t
+    mask = (rng.random(t.data.shape) >= rate) / (1.0 - rate)
+    return t * Tensor(mask)
+
+
+def mse_loss(pred, target, mask=None):
+    """Mean squared error, optionally restricted to rows where mask is true."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    sq = diff * diff
+    if mask is not None:
+        mask = np.asarray(mask)
+        if mask.dtype == bool:
+            mask = mask.astype(np.float64)
+        weights = mask if mask.ndim == sq.ndim else mask[:, None]
+        sq = sq * Tensor(np.broadcast_to(weights, sq.data.shape).copy())
+        denom = float(np.broadcast_to(weights, sq.data.shape).sum())
+        if denom == 0.0:
+            return Tensor(0.0)
+        return sq.sum() * (1.0 / denom)
+    return sq.mean()
+
+
+def l2_loss(pred, target, mask=None):
+    """Paper-style L2 objective (Eqs. 4-6): mean squared error over entries."""
+    return mse_loss(pred, target, mask=mask)

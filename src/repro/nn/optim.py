@@ -1,0 +1,87 @@
+"""Optimizers: SGD with momentum and Adam (the paper trains with Adam-style
+stochastic gradient descent; we default to Adam throughout)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters, max_norm):
+    """Scale gradients in place so their global L2 norm is at most max_norm."""
+    parameters = [p for p in parameters if p.grad is not None]
+    total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in parameters:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    def __init__(self, parameters, lr):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self):
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self):
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, parameters, lr=1e-2, momentum=0.0, weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            v *= self.momentum
+            v += grad
+            p.data -= self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with optional decoupled weight decay."""
+
+    def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8,
+                 weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self):
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data -= self.lr * update

@@ -1,0 +1,432 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This is the computational substrate for every neural model in the
+reproduction (the paper used PyTorch + DGL, neither of which is available
+here).  The design is a classic dynamic tape: each :class:`Tensor` records
+the tensors it was computed from and a closure that accumulates gradients
+into them.  ``backward()`` runs the closures in reverse topological order.
+
+Only the operations required by the paper's models are implemented, but
+each is implemented completely (full broadcasting, correct gradients) and
+is property-tested against numerical differentiation in
+``tests/test_nn_autograd.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = [True]
+
+
+class no_grad:
+    """Context manager that disables gradient recording (for inference)."""
+
+    def __enter__(self):
+        _GRAD_ENABLED.append(False)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _GRAD_ENABLED.pop()
+        return False
+
+
+def is_grad_enabled():
+    """Return True when operations should be recorded on the tape."""
+    return _GRAD_ENABLED[-1]
+
+
+def _unbroadcast(grad, shape):
+    """Reduce ``grad`` so its shape matches the pre-broadcast ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended broadcast dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value):
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got Tensor")
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy array with an optional gradient and autograd history."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad=False):
+        self.data = _as_array(data)
+        self.grad = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward = None
+        self._parents = ()
+
+    # -- basic introspection ------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag})"
+
+    def numpy(self):
+        """Return the underlying array (shared, do not mutate)."""
+        return self.data
+
+    def item(self):
+        return float(self.data)
+
+    def detach(self):
+        """Return a view of the data cut off from the autograd tape."""
+        return Tensor(self.data)
+
+    # -- graph construction helpers ------------------------------------------
+    @staticmethod
+    def _make(data, parents, backward):
+        out = Tensor(data)
+        parents = tuple(p for p in parents if isinstance(p, Tensor))
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad):
+        if self.grad is None:
+            # Copy: the incoming gradient may be a view into another
+            # tensor's buffer, and later accumulations add in place.
+            self.grad = np.array(grad, dtype=self.data.dtype)
+            if self.grad.shape != self.data.shape:
+                self.grad = np.broadcast_to(
+                    self.grad, self.data.shape).copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad=None):
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (so scalars need no argument).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+        topo, seen = [], set()
+
+        def visit(node):
+            stack = [(node, False)]
+            while stack:
+                cur, done = stack.pop()
+                if done:
+                    topo.append(cur)
+                    continue
+                if id(cur) in seen or not cur.requires_grad:
+                    continue
+                seen.add(id(cur))
+                stack.append((cur, True))
+                for p in cur._parents:
+                    stack.append((p, False))
+
+        visit(self)
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self):
+        self.grad = None
+
+    # -- arithmetic -----------------------------------------------------------
+    @staticmethod
+    def _coerce(other):
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self, other
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(g, a.data.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(g, b.data.shape))
+
+        return Tensor._make(a.data + b.data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        a = self
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(-g)
+
+        return Tensor._make(-a.data, (a,), backward)
+
+    def __sub__(self, other):
+        return self + (-Tensor._coerce(other))
+
+    def __rsub__(self, other):
+        return Tensor._coerce(other) + (-self)
+
+    def __mul__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self, other
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(g * b.data, a.data.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(g * a.data, b.data.shape))
+
+        return Tensor._make(a.data * b.data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self, other
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(g / b.data, a.data.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(-g * a.data / (b.data ** 2), b.data.shape))
+
+        return Tensor._make(a.data / b.data, (a, b), backward)
+
+    def __rtruediv__(self, other):
+        return Tensor._coerce(other) / self
+
+    def __pow__(self, exponent):
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g * exponent * a.data ** (exponent - 1))
+
+        return Tensor._make(a.data ** exponent, (a,), backward)
+
+    def __matmul__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self, other
+        if a.data.ndim != 2 or b.data.ndim != 2:
+            raise ValueError("matmul supports 2-D tensors only")
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g @ b.data.T)
+            if b.requires_grad:
+                b._accumulate(a.data.T @ g)
+
+        return Tensor._make(a.data @ b.data, (a, b), backward)
+
+    def affine(self, weight, bias=None):
+        """Fused ``x @ W + b`` (one tape node; the hot path of every MLP)."""
+        a, w = self, weight
+        out = a.data @ w.data
+        if bias is not None:
+            out = out + bias.data
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g @ w.data.T)
+            if w.requires_grad:
+                w._accumulate(a.data.T @ g)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(g.sum(axis=0))
+
+        parents = (a, w) if bias is None else (a, w, bias)
+        return Tensor._make(out, parents, backward)
+
+    # -- shape ops --------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        old = a.data.shape
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g.reshape(old))
+
+        return Tensor._make(a.data.reshape(shape), (a,), backward)
+
+    def transpose(self):
+        a = self
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g.T)
+
+        return Tensor._make(a.data.T, (a,), backward)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def __getitem__(self, key):
+        a = self
+
+        def backward(g):
+            if a.requires_grad:
+                full = np.zeros_like(a.data)
+                np.add.at(full, key, g)
+                a._accumulate(full)
+
+        return Tensor._make(a.data[key], (a,), backward)
+
+    # -- reductions --------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        a = self
+
+        def backward(g):
+            if not a.requires_grad:
+                return
+            if axis is None:
+                a._accumulate(np.broadcast_to(g, a.data.shape).copy())
+                return
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            a._accumulate(np.broadcast_to(g, a.data.shape).copy())
+
+        return Tensor._make(a.data.sum(axis=axis, keepdims=keepdims), (a,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis, keepdims=False):
+        a = self
+        out = a.data.max(axis=axis, keepdims=True)
+        mask = a.data == out
+
+        def backward(g):
+            if not a.requires_grad:
+                return
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            counts = mask.sum(axis=axis, keepdims=True)
+            a._accumulate(mask * g / counts)
+
+        data = out if keepdims else np.squeeze(out, axis=axis)
+        return Tensor._make(data, (a,), backward)
+
+    # -- elementwise nonlinearities ----------------------------------------------
+    def relu(self):
+        a = self
+        mask = a.data > 0
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g * mask)
+
+        return Tensor._make(a.data * mask, (a,), backward)
+
+    def leaky_relu(self, slope=0.01):
+        a = self
+        mask = a.data > 0
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g * np.where(mask, 1.0, slope))
+
+        return Tensor._make(np.where(mask, a.data, slope * a.data), (a,), backward)
+
+    def sigmoid(self):
+        a = self
+        out = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60, 60)))
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g * out * (1.0 - out))
+
+        return Tensor._make(out, (a,), backward)
+
+    def tanh(self):
+        a = self
+        out = np.tanh(a.data)
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g * (1.0 - out ** 2))
+
+        return Tensor._make(out, (a,), backward)
+
+    def exp(self):
+        a = self
+        out = np.exp(np.clip(a.data, -60, 60))
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g * out)
+
+        return Tensor._make(out, (a,), backward)
+
+    def log(self):
+        a = self
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g / a.data)
+
+        return Tensor._make(np.log(a.data), (a,), backward)
+
+    def sqrt(self):
+        a = self
+        out = np.sqrt(a.data)
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g * 0.5 / np.maximum(out, 1e-12))
+
+        return Tensor._make(out, (a,), backward)
+
+    def softplus(self):
+        a = self
+        x = np.clip(a.data, -60, 60)
+        out = np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0)
+
+        def backward(g):
+            if a.requires_grad:
+                a._accumulate(g / (1.0 + np.exp(-x)))
+
+        return Tensor._make(out, (a,), backward)
+
+    def softmax(self, axis=-1):
+        a = self
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        out = e / e.sum(axis=axis, keepdims=True)
+
+        def backward(g):
+            if a.requires_grad:
+                dot = (g * out).sum(axis=axis, keepdims=True)
+                a._accumulate(out * (g - dot))
+
+        return Tensor._make(out, (a,), backward)

@@ -1,0 +1,20 @@
+"""Physical optimization on top of the timing substrate.
+
+The paper motivates fast timing prediction with timing-driven physical
+design; this package implements the consumers: gate sizing and buffer
+insertion ECOs (driven by incremental STA), and a timing-driven
+placement loop whose evaluator can be either the ground-truth flow or
+the trained GNN.
+"""
+
+from .sizing import SizingResult, size_for_setup
+from .buffering import BufferingResult, buffer_critical_nets
+from .timing_placement import (PlacementOptResult, net_criticality_weights,
+                               optimize_placement, predicted_pin_slack)
+
+__all__ = [
+    "SizingResult", "size_for_setup",
+    "BufferingResult", "buffer_critical_nets",
+    "PlacementOptResult", "net_criticality_weights",
+    "optimize_placement", "predicted_pin_slack",
+]

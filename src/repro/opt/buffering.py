@@ -1,0 +1,125 @@
+"""Buffer insertion on timing-critical nets.
+
+Long or high-fanout nets contribute large Elmore delays; inserting a
+buffer near a critical sink both shields the driver from part of the
+load and restores the slew.  This pass:
+
+1. enumerates the worst setup paths;
+2. finds the net arc with the largest interconnect delay contribution;
+3. splits that arc — driver keeps the original net, a new buffer drives
+   the critical sink (placed at the midpoint);
+4. re-analyses and keeps the edit if WNS improved, reverts otherwise.
+
+Buffering changes the netlist structure, so each trial rebuilds the
+timing graph and re-runs analysis on the edited design (this is the
+expensive loop that motivates learned timing models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..placement import Placement
+from ..routing import route_design
+from ..sta import build_timing_graph, run_sta
+from ..sta.paths import enumerate_worst_paths
+
+__all__ = ["BufferingResult", "buffer_critical_nets"]
+
+
+@dataclass
+class BufferingResult:
+    initial_wns: float
+    final_wns: float
+    inserted: list = field(default_factory=list)   # buffer cell names
+    trials: int = 0
+
+
+def _worst_net_arc(result, path):
+    """(src node, dst node, interconnect delay) of the path's worst net arc."""
+    graph = result.graph
+    worst = None
+    for (a, col_a), (b, col_b) in zip(path.nodes[:-1], path.nodes[1:]):
+        pin_a = graph.node_pins[a]
+        pin_b = graph.node_pins[b]
+        # Net arc: driver pin -> sink pin on the same net.
+        if pin_a.net is not None and pin_b.net is pin_a.net:
+            delay = result.net_delay[b, col_b]
+            if worst is None or delay > worst[2]:
+                worst = (a, b, float(delay))
+    return worst
+
+
+def _reanalyse(design, placement, clock_period):
+    routing = route_design(design, placement)
+    graph = build_timing_graph(design)
+    result = run_sta(design, placement, routing, clock_period=clock_period,
+                     graph=graph)
+    return routing, graph, result
+
+
+def buffer_critical_nets(design, placement, result, buffer_cell="BUF_X2",
+                         max_buffers=8, k_paths=6):
+    """Insert buffers on the worst nets; returns (result, BufferingResult).
+
+    ``placement`` gains positions for the new buffer cells;
+    the returned ``result`` reflects the final design.
+    """
+    clock_period = result.clock_period
+    outcome = BufferingResult(initial_wns=result.wns("setup"),
+                              final_wns=result.wns("setup"))
+    buffer_type = design.library[buffer_cell]
+
+    for i in range(max_buffers):
+        paths = enumerate_worst_paths(result, k=k_paths, mode="setup")
+        candidate = None
+        for path in paths:
+            if path.slack >= 0:
+                break
+            arc = _worst_net_arc(result, path)
+            if arc is not None and arc[2] > 1.0:     # > 1 ps of wire delay
+                candidate = arc
+                break
+        if candidate is None:
+            break
+        src_node, dst_node, _delay = candidate
+        graph = result.graph
+        driver_pin = graph.node_pins[src_node]
+        sink_pin = graph.node_pins[dst_node]
+        net = driver_pin.net
+
+        # Structural edit: detach the critical sink, drive it through a
+        # new buffer placed at the arc midpoint.
+        buf = design.add_cell(f"ecobuf{i}", buffer_type)
+        net.sinks.remove(sink_pin)
+        design.connect(net, buf.pins["A"])
+        design.add_net(f"econet{i}", buf.pins["Y"], [sink_pin])
+        mid = 0.5 * (placement.pin_xy[driver_pin.index] +
+                     placement.pin_xy[sink_pin.index])
+        placement.cell_xy = np.vstack([placement.cell_xy, mid])
+        for pin in buf.pins.values():
+            offset = placement._pin_offset(pin)
+            new_xy = placement.die.clamp(mid + offset)
+            placement.pin_xy = np.vstack([placement.pin_xy, new_xy])
+
+        _routing, _graph, new_result = _reanalyse(design, placement,
+                                                  clock_period)
+        outcome.trials += 1
+        if new_result.wns("setup") > result.wns("setup") + 1e-9:
+            result = new_result
+            outcome.inserted.append(buf.name)
+        else:
+            # Revert the structural edit.
+            design.cells.remove(buf)
+            design.nets.pop()          # econet{i}
+            net.sinks.remove(buf.pins["A"])
+            design.connect(net, sink_pin)
+            design.pins = design.pins[:-len(buf.pins)]
+            placement.cell_xy = placement.cell_xy[:-1]
+            placement.pin_xy = placement.pin_xy[:-len(buf.pins)]
+            _routing, _graph, result = _reanalyse(design, placement,
+                                                  clock_period)
+    outcome.final_wns = result.wns("setup")
+    return result, outcome

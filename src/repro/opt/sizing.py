@@ -1,0 +1,91 @@
+"""Greedy critical-path gate sizing on top of the incremental timer.
+
+The classic ECO loop: enumerate the worst setup paths, try upsizing the
+cells they traverse (X1 -> X2 -> X4 pin-compatible variants), keep every
+swap that improves WNS, revert the rest.  Because each trial runs
+through :class:`~repro.sta.incremental.IncrementalTimer`, the cost per
+trial is the update cone rather than a full analysis — the workflow the
+paper's fast timing models are meant to accelerate further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..liberty import sizing_alternatives
+from ..sta.paths import enumerate_worst_paths
+
+__all__ = ["SizingResult", "size_for_setup"]
+
+
+@dataclass
+class SizingResult:
+    """Outcome of a sizing pass."""
+
+    initial_wns: float
+    final_wns: float
+    initial_tns: float
+    final_tns: float
+    swaps: list = field(default_factory=list)   # (cell name, from, to)
+    trials: int = 0
+
+    @property
+    def wns_gain(self):
+        return self.final_wns - self.initial_wns
+
+
+def _cells_on_paths(timer, k_paths):
+    """Cells traversed by the K worst setup paths, most critical first."""
+    paths = enumerate_worst_paths(timer.result, k=k_paths, mode="setup")
+    seen = []
+    seen_ids = set()
+    for path in paths:
+        for node, _col in path.nodes:
+            pin = timer.graph.node_pins[node]
+            cell = pin.cell
+            if cell is None or cell.is_sequential:
+                continue
+            if id(cell) not in seen_ids:
+                seen_ids.add(id(cell))
+                seen.append(cell)
+    return seen
+
+
+def size_for_setup(timer, max_swaps=20, k_paths=8, max_rounds=4):
+    """Upsize cells on critical paths until WNS stops improving.
+
+    ``timer`` is a live :class:`IncrementalTimer`; the design is edited
+    in place.  Returns a :class:`SizingResult`.
+    """
+    library = timer.design.library
+    outcome = SizingResult(
+        initial_wns=timer.wns("setup"), final_wns=timer.wns("setup"),
+        initial_tns=timer.tns("setup"), final_tns=timer.tns("setup"))
+
+    for _round in range(max_rounds):
+        improved_this_round = False
+        for cell in _cells_on_paths(timer, k_paths):
+            if len(outcome.swaps) >= max_swaps:
+                break
+            variants = sizing_alternatives(library, cell.cell_type)
+            position = variants.index(cell.cell_type)
+            if position + 1 >= len(variants):
+                continue           # already at max drive
+            bigger = variants[position + 1]
+            before = timer.wns("setup")
+            old_type = cell.cell_type
+            timer.resize_cell(cell, bigger)
+            outcome.trials += 1
+            after = timer.wns("setup")
+            if after > before + 1e-9:
+                outcome.swaps.append((cell.name, old_type.name,
+                                      bigger.name))
+                improved_this_round = True
+            else:
+                timer.resize_cell(cell, old_type)   # revert
+        if not improved_this_round or len(outcome.swaps) >= max_swaps:
+            break
+
+    outcome.final_wns = timer.wns("setup")
+    outcome.final_tns = timer.tns("setup")
+    return outcome

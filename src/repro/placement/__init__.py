@@ -1,0 +1,8 @@
+"""Placement substrate: die model, quadratic placer, wirelength metrics."""
+
+from .die import Die
+from .placer import Placement, place_design
+from .hpwl import net_hpwl, total_hpwl, net_bounding_box
+
+__all__ = ["Die", "Placement", "place_design",
+           "net_hpwl", "total_hpwl", "net_bounding_box"]

@@ -1,0 +1,45 @@
+"""Die area and row geometry for placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Die"]
+
+
+@dataclass(frozen=True)
+class Die:
+    """A rectangular die, origin at (0, 0), dimensions in um."""
+
+    width: float
+    height: float
+
+    @staticmethod
+    def for_cell_count(n_cells, pitch=6.0, utilization=0.7):
+        """Size a square die so ``n_cells`` fit at the given utilization."""
+        area = n_cells * pitch * pitch / utilization
+        side = float(np.sqrt(area))
+        return Die(width=side, height=side)
+
+    def clamp(self, xy):
+        """Clamp (N, 2) coordinates into the die."""
+        xy = np.asarray(xy, dtype=np.float64)
+        out = xy.copy()
+        out[..., 0] = np.clip(out[..., 0], 0.0, self.width)
+        out[..., 1] = np.clip(out[..., 1], 0.0, self.height)
+        return out
+
+    def boundary_distances(self, xy):
+        """Distances to the 4 boundaries (left, right, bottom, top), (N, 4)."""
+        xy = np.asarray(xy, dtype=np.float64)
+        return np.stack([xy[..., 0], self.width - xy[..., 0],
+                         xy[..., 1], self.height - xy[..., 1]], axis=-1)
+
+    def contains(self, xy, tol=1e-9):
+        xy = np.asarray(xy)
+        return bool(np.all(xy[..., 0] >= -tol) and
+                    np.all(xy[..., 0] <= self.width + tol) and
+                    np.all(xy[..., 1] >= -tol) and
+                    np.all(xy[..., 1] <= self.height + tol))

@@ -1,0 +1,26 @@
+"""Wirelength metrics over a placement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["net_hpwl", "total_hpwl", "net_bounding_box"]
+
+
+def net_bounding_box(net, pin_xy):
+    """(xmin, ymin, xmax, ymax) of a net's pins."""
+    idx = [p.index for p in net.pins]
+    xy = pin_xy[idx]
+    return (xy[:, 0].min(), xy[:, 1].min(), xy[:, 0].max(), xy[:, 1].max())
+
+
+def net_hpwl(net, pin_xy):
+    """Half-perimeter wirelength of one net (um)."""
+    x0, y0, x1, y1 = net_bounding_box(net, pin_xy)
+    return float((x1 - x0) + (y1 - y0))
+
+
+def total_hpwl(design, pin_xy):
+    """Sum of HPWL over all nets — the surrogate analytic placers optimize."""
+    return float(sum(net_hpwl(net, pin_xy) for net in design.nets
+                     if net.degree >= 2))

@@ -1,0 +1,10 @@
+"""Routing substrate: rectilinear Steiner trees and RC parasitics."""
+
+from .steiner import SteinerTree, build_steiner_tree
+from .rctree import RCTree, extract_rc_tree
+from .router import RoutedNet, Routing, route_design
+from .spef import write_spef
+
+__all__ = ["SteinerTree", "build_steiner_tree",
+           "RCTree", "extract_rc_tree",
+           "RoutedNet", "Routing", "route_design", "write_spef"]

@@ -1,0 +1,90 @@
+"""Whole-design routing: Steiner trees + per-corner RC trees for every net."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..liberty.cell import CORNERS, EL_RF
+from .rctree import extract_rc_tree
+from .steiner import build_steiner_tree
+
+__all__ = ["RoutedNet", "Routing", "route_design"]
+
+
+class RoutedNet:
+    """Routing + parasitics of one net.
+
+    ``rc`` maps corner name -> RCTree.  ``sink_delay[corner_transition]``
+    is the per-sink Elmore delay 4-vector source, aligned with
+    ``net.sinks``; transitions share the wire delay (Elmore is
+    transition-independent) but corners differ through derating and pin
+    capacitance.
+    """
+
+    def __init__(self, net, tree, rc):
+        self.net = net
+        self.tree = tree
+        self.rc = rc
+
+    @property
+    def wirelength(self):
+        return self.tree.total_wirelength
+
+    def load_cap(self, corner):
+        """Total capacitance presented to the driver at ``corner`` (fF)."""
+        return self.rc[corner].total_cap
+
+    def sink_elmore(self, corner):
+        """Elmore delay (ps) per sink pin, aligned with ``net.sinks``."""
+        return self.rc[corner].sink_delays()[1:]
+
+    def sink_delay_4(self):
+        """Per-sink (num_sinks, 4) net delays in EL_RF corner order."""
+        per_corner = {c: self.sink_elmore(c) for c in CORNERS}
+        cols = [per_corner[c] for c, _t in EL_RF]
+        if len(self.net.sinks) == 0:
+            return np.zeros((0, 4))
+        return np.stack(cols, axis=1)
+
+
+class Routing:
+    """Routing result for a whole design."""
+
+    def __init__(self, design, placement):
+        self.design = design
+        self.placement = placement
+        self.nets = {}               # net name -> RoutedNet
+
+    def __getitem__(self, net_name):
+        return self.nets[net_name]
+
+    @property
+    def total_wirelength(self):
+        return float(sum(r.wirelength for r in self.nets.values()))
+
+
+def _sink_caps(design, net, corner_index):
+    return np.asarray([design.pin_capacitance(sink)[corner_index]
+                       for sink in net.sinks])
+
+
+def route_design(design, placement):
+    """Route every net of a placed design and extract per-corner RC trees."""
+    wire = design.library.wire
+    routing = Routing(design, placement)
+    pin_xy = placement.pin_xy
+    for net in design.nets:
+        coords = pin_xy[[p.index for p in net.pins]]
+        tree = build_steiner_tree(coords)
+        rc = {}
+        for corner in CORNERS:
+            # Pin capacitance per corner: EL_RF order is (early rise,
+            # early fall, late rise, late fall); wire analysis uses the
+            # mean of rise/fall pin caps for that corner.
+            base = 0 if corner == "early" else 2
+            caps_r = _sink_caps(design, net, base)
+            caps_f = _sink_caps(design, net, base + 1)
+            rc[corner] = extract_rc_tree(tree, 0.5 * (caps_r + caps_f),
+                                         wire, corner)
+        routing.nets[net.name] = RoutedNet(net, tree, rc)
+    return routing

@@ -1,0 +1,64 @@
+"""SPEF-style parasitics writer for routed nets.
+
+Extraction flows hand the router's RC networks to the timer through a
+SPEF file (Standard Parasitic Exchange Format).  This writer emits the
+subset matching our RC trees — per net: total capacitance, *CAP entries
+for every tree node, *RES entries for every tree edge — at a chosen
+corner, with node names ``<net>:<k>`` for internal Steiner nodes and pin
+names for pin nodes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["write_spef"]
+
+
+def _node_name(routed_net, graph_names, node):
+    tree = routed_net.tree
+    if node in tree.pin_nodes:
+        pin_pos = tree.pin_nodes.index(node)
+        pin = routed_net.net.pins[pin_pos]
+        return pin.name.replace("/", ":")
+    return f"{routed_net.net.name}:{node}"
+
+
+def write_spef(routing, corner="late", design_name="design",
+               divider="/", delimiter=":"):
+    """Serialize a :class:`~repro.routing.router.Routing` as SPEF text."""
+    lines = [
+        '*SPEF "IEEE 1481"',
+        f'*DESIGN "{design_name}"',
+        f'*DIVIDER {divider}',
+        f'*DELIMITER {delimiter}',
+        '*T_UNIT 1 PS',
+        '*C_UNIT 1 FF',
+        '*R_UNIT 1 KOHM',
+        '',
+    ]
+    for net_name in sorted(routing.nets):
+        routed = routing.nets[net_name]
+        rc = routed.rc[corner]
+        tree = routed.tree
+        lines.append(f"*D_NET {net_name} {rc.total_cap:.4f}")
+        lines.append("*CONN")
+        driver = routed.net.driver
+        lines.append(f"*I {driver.name.replace('/', delimiter)} O")
+        for sink in routed.net.sinks:
+            lines.append(f"*I {sink.name.replace('/', delimiter)} I")
+        lines.append("*CAP")
+        for node in range(tree.num_nodes):
+            if rc.node_cap[node] > 0:
+                name = _node_name(routed, None, node)
+                lines.append(f"{node + 1} {name} {rc.node_cap[node]:.4f}")
+        lines.append("*RES")
+        res_id = 1
+        for node in range(tree.num_nodes):
+            parent = tree.parent[node]
+            if parent >= 0 and rc.edge_res[node] > 0:
+                a = _node_name(routed, None, parent)
+                b = _node_name(routed, None, node)
+                lines.append(f"{res_id} {a} {b} {rc.edge_res[node]:.6f}")
+                res_id += 1
+        lines.append("*END")
+        lines.append("")
+    return "\n".join(lines)

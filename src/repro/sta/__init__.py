@@ -1,0 +1,18 @@
+"""Static timing analysis engine (stand-in for OpenSTA/OpenROAD)."""
+
+from .graph import NetEdge, CellEdge, TimingGraph, build_timing_graph
+from .engine import (TimingResult, run_sta, derive_clock_period,
+                     degrade_slew, CORNER_INDEX, EARLY_COLS, LATE_COLS, LN9)
+from .report import timing_summary, format_path_report
+from .paths import TimingPath, enumerate_worst_paths, path_summary
+from .sdf import write_sdf
+from .incremental import IncrementalTimer
+
+__all__ = [
+    "NetEdge", "CellEdge", "TimingGraph", "build_timing_graph",
+    "TimingResult", "run_sta", "derive_clock_period", "degrade_slew",
+    "CORNER_INDEX", "EARLY_COLS", "LATE_COLS", "LN9",
+    "timing_summary", "format_path_report",
+    "TimingPath", "enumerate_worst_paths", "path_summary",
+    "write_sdf", "IncrementalTimer",
+]

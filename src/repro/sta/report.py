@@ -1,0 +1,50 @@
+"""Timing reports: summary statistics and human-readable path reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .engine import EARLY_COLS, LATE_COLS
+
+__all__ = ["timing_summary", "format_path_report"]
+
+
+def timing_summary(result):
+    """WNS/TNS and endpoint counts for both analysis modes."""
+    eps, slack = result.endpoint_slack()
+    setup = np.nanmin(slack[:, LATE_COLS], axis=1)
+    hold = np.nanmin(slack[:, EARLY_COLS], axis=1)
+    return {
+        "clock_period": result.clock_period,
+        "num_endpoints": len(eps),
+        "setup_wns": float(setup.min()) if len(eps) else 0.0,
+        "setup_tns": float(np.minimum(setup, 0.0).sum()) if len(eps) else 0.0,
+        "setup_violations": int((setup < 0).sum()),
+        "hold_wns": float(hold.min()) if len(eps) else 0.0,
+        "hold_tns": float(np.minimum(hold, 0.0).sum()) if len(eps) else 0.0,
+        "hold_violations": int((hold < 0).sum()),
+        "max_logic_level": int(result.graph.level.max()),
+    }
+
+
+def format_path_report(result, mode="setup"):
+    """Render the critical path like a signoff timer's report_checks."""
+    graph = result.graph
+    path = result.critical_path(mode=mode)
+    lines = [f"# Critical {mode} path (clock period "
+             f"{result.clock_period:.1f} ps)"]
+    lines.append(f"{'pin':<40}{'corner':<14}{'AT (ps)':>10}{'slew (ps)':>11}")
+    corner_names = ["early/rise", "early/fall", "late/rise", "late/fall"]
+    for node, col in path:
+        pin = graph.node_pins[node]
+        at = result.arrival[node, col]
+        slew = result.slew[node, col]
+        lines.append(f"{pin.name:<40}{corner_names[col]:<14}"
+                     f"{at:>10.1f}{slew:>11.1f}")
+    end_node, end_col = path[-1]
+    rat = result.required[end_node, end_col]
+    at = result.arrival[end_node, end_col]
+    slack = (rat - at) if end_col in LATE_COLS else (at - rat)
+    lines.append(f"required: {rat:.1f} ps   arrival: {at:.1f} ps   "
+                 f"slack: {slack:.1f} ps")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Training: losses (Eqs. 4-7), trainers, evaluation metrics."""
+
+from .loss import atslew_loss, cell_delay_loss, net_delay_loss, combined_loss
+from .trainer import (TrainConfig, TrainHistory, train_timing_gnn,
+                      train_gcnii, train_net_embedding, evaluate_on)
+from .evaluate import (evaluate_timing_gnn, evaluate_gcnii_output,
+                       slack_from_arrival, evaluate_net_delay)
+
+__all__ = [
+    "atslew_loss", "cell_delay_loss", "net_delay_loss", "combined_loss",
+    "TrainConfig", "TrainHistory", "train_timing_gnn", "train_gcnii", "train_net_embedding",
+    "evaluate_on",
+    "evaluate_timing_gnn", "evaluate_gcnii_output", "slack_from_arrival",
+    "evaluate_net_delay",
+]

@@ -1,0 +1,175 @@
+"""Training loops for the timer-inspired GNN and the GCNII baseline.
+
+Training is full-batch per design (each design's graph is one sample),
+iterating over the training designs each epoch in a shuffled order with
+Adam — matching the paper's setup of training one model across all 14
+training benchmarks and evaluating generalization on the 7 test ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..models import GCNII, ModelConfig, TimingGNN, normalized_adjacency
+from .loss import combined_loss
+from .evaluate import evaluate_timing_gnn, evaluate_gcnii_output
+
+__all__ = ["TrainConfig", "TrainHistory", "train_timing_gnn", "train_gcnii"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    epochs: int = 60
+    lr: float = 1e-3
+    grad_clip: float = 5.0
+    use_net_aux: bool = True      # Eq. (6) on/off ("w/ Cell" disables it)
+    use_cell_aux: bool = True     # Eq. (5) on/off ("w/ Net" disables it)
+    net_weight: float = 500.0     # auxiliary loss weights; see loss.py on
+    cell_weight: float = 10.0     # why they compensate target scales
+    seed: int = 1
+    log_every: int = 0            # 0 = silent
+    lr_decay: float = 1.0         # multiplicative per-epoch decay
+
+
+@dataclass
+class TrainHistory:
+    loss: list = field(default_factory=list)
+    parts: list = field(default_factory=list)
+    wall_time: float = 0.0
+
+
+def train_timing_gnn(train_graphs, cfg=None, train_cfg=None):
+    """Train a :class:`TimingGNN` on a list of HeteroGraphs."""
+    cfg = cfg or ModelConfig.benchmark()
+    train_cfg = train_cfg or TrainConfig()
+    rng = np.random.default_rng(train_cfg.seed)
+    model = TimingGNN(cfg, rng=np.random.default_rng(cfg.seed))
+    optim = nn.Adam(model.parameters(), lr=train_cfg.lr)
+    history = TrainHistory()
+    start = time.perf_counter()
+    for epoch in range(train_cfg.epochs):
+        order = rng.permutation(len(train_graphs))
+        epoch_loss, epoch_parts = 0.0, {}
+        for gi in order:
+            graph = train_graphs[gi]
+            pred = model(graph)
+            loss, parts = combined_loss(
+                pred, graph, use_net_aux=train_cfg.use_net_aux,
+                use_cell_aux=train_cfg.use_cell_aux,
+                net_weight=train_cfg.net_weight,
+                cell_weight=train_cfg.cell_weight)
+            optim.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
+            optim.step()
+            epoch_loss += float(loss.data)
+            for key, value in parts.items():
+                epoch_parts[key] = epoch_parts.get(key, 0.0) + value
+        optim.lr *= train_cfg.lr_decay
+        history.loss.append(epoch_loss / len(train_graphs))
+        history.parts.append({k: v / len(train_graphs)
+                              for k, v in epoch_parts.items()})
+        if train_cfg.log_every and (epoch + 1) % train_cfg.log_every == 0:
+            print(f"[timing-gnn] epoch {epoch + 1}/{train_cfg.epochs} "
+                  f"loss {history.loss[-1]:.4f}")
+    history.wall_time = time.perf_counter() - start
+    return model, history
+
+
+def train_gcnii(train_graphs, num_layers, cfg=None, train_cfg=None):
+    """Train a deep GCNII baseline on arrival time + slew (main task only).
+
+    The baseline is homogeneous and cannot consume LUT edge features, so
+    only Eq. (4) applies, as in the paper's comparison.
+    """
+    cfg = cfg or ModelConfig.benchmark()
+    train_cfg = train_cfg or TrainConfig()
+    rng = np.random.default_rng(train_cfg.seed)
+    model = GCNII(num_layers, cfg, rng=np.random.default_rng(cfg.seed))
+    optim = nn.Adam(model.parameters(), lr=train_cfg.lr)
+    history = TrainHistory()
+    matrices = [normalized_adjacency(g) for g in train_graphs]
+    start = time.perf_counter()
+    for epoch in range(train_cfg.epochs):
+        order = rng.permutation(len(train_graphs))
+        epoch_loss = 0.0
+        for gi in order:
+            graph = train_graphs[gi]
+            atslew = model(graph, p_matrix=matrices[gi])
+            target = np.concatenate([graph.arrival, graph.slew], axis=1)
+            mask = np.isfinite(target)
+            diff = (atslew - nn.Tensor(np.where(mask, target, 0.0))) * \
+                nn.Tensor(mask.astype(np.float64))
+            loss = (diff * diff).sum() * (1.0 / max(int(mask.sum()), 1))
+            optim.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
+            optim.step()
+            epoch_loss += float(loss.data)
+        optim.lr *= train_cfg.lr_decay
+        history.loss.append(epoch_loss / len(train_graphs))
+        if train_cfg.log_every and (epoch + 1) % train_cfg.log_every == 0:
+            print(f"[gcnii-{num_layers}] epoch {epoch + 1}/{train_cfg.epochs}"
+                  f" loss {history.loss[-1]:.4f}")
+    history.wall_time = time.perf_counter() - start
+    return model, history
+
+
+def train_net_embedding(train_graphs, cfg=None, train_cfg=None):
+    """Train the net embedding model standalone on net delay (Table 4).
+
+    Sec. 3.3.1: "our net embedding model can be used standalone to
+    predict net delays" — this is the GNN column of the paper's Table 4.
+    """
+    from ..models import NetEmbedding
+    from .loss import net_delay_loss
+
+    cfg = cfg or ModelConfig.benchmark()
+    train_cfg = train_cfg or TrainConfig()
+    rng = np.random.default_rng(train_cfg.seed)
+    model = NetEmbedding(cfg, rng=np.random.default_rng(cfg.seed))
+    optim = nn.Adam(model.parameters(), lr=train_cfg.lr)
+    history = TrainHistory()
+    start = time.perf_counter()
+
+    class _Pred:
+        __slots__ = ("net_delay",)
+
+    for epoch in range(train_cfg.epochs):
+        order = rng.permutation(len(train_graphs))
+        epoch_loss = 0.0
+        for gi in order:
+            graph = train_graphs[gi]
+            _emb, net_delay = model(graph)
+            pred = _Pred()
+            pred.net_delay = net_delay
+            loss = net_delay_loss(pred, graph)
+            optim.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
+            optim.step()
+            epoch_loss += float(loss.data)
+        optim.lr *= train_cfg.lr_decay
+        history.loss.append(epoch_loss / len(train_graphs))
+        if train_cfg.log_every and (epoch + 1) % train_cfg.log_every == 0:
+            print(f"[net-emb] epoch {epoch + 1}/{train_cfg.epochs} "
+                  f"loss {history.loss[-1]:.5f}")
+    history.wall_time = time.perf_counter() - start
+    return model, history
+
+
+def evaluate_on(model, graphs, names=None, kind="timing"):
+    """Evaluate a trained model on several designs; returns {name: metrics}."""
+    out = {}
+    for i, graph in enumerate(graphs):
+        name = names[i] if names else graph.name
+        if kind == "timing":
+            out[name] = evaluate_timing_gnn(model, graph)
+        else:
+            atslew = model.predict(graph).data
+            out[name] = evaluate_gcnii_output(graph, atslew)
+    return out

@@ -1,0 +1,152 @@
+"""Edge cases and defensive behaviour across the library."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.liberty import TimingLUT, make_sky130_like_library
+from repro.liberty.library import SLEW_AXIS, LOAD_AXIS
+from repro.netlist.design import Design
+from repro.routing import build_steiner_tree, extract_rc_tree
+
+
+class TestTensorEdges:
+    def test_scalar_tensor(self):
+        t = nn.Tensor(3.0, requires_grad=True)
+        (t * 2).backward()
+        np.testing.assert_allclose(t.grad, 2.0)
+        assert t.item() == 3.0
+
+    def test_repr(self):
+        t = nn.Tensor(np.zeros((2, 3)), requires_grad=True)
+        assert "shape=(2, 3)" in repr(t)
+        assert "requires_grad=True" in repr(t)
+
+    def test_len(self):
+        assert len(nn.Tensor(np.zeros((5, 2)))) == 5
+
+    def test_nested_no_grad(self):
+        with nn.no_grad():
+            with nn.no_grad():
+                assert not nn.is_grad_enabled()
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_requires_grad_suppressed_inside_no_grad(self):
+        with nn.no_grad():
+            t = nn.Tensor(np.ones(2), requires_grad=True)
+        assert not t.requires_grad
+
+    def test_matmul_rejects_1d(self):
+        a = nn.Tensor(np.ones(3))
+        b = nn.Tensor(np.ones(3))
+        with pytest.raises(ValueError):
+            a @ b
+
+    def test_pow_rejects_tensor_exponent(self):
+        t = nn.Tensor(np.ones(2))
+        with pytest.raises(TypeError):
+            t ** nn.Tensor(np.ones(2))
+
+    def test_max_keepdims(self):
+        t = nn.Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = t.max(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad.sum(), 2.0)
+
+    def test_gather_empty_index(self):
+        t = nn.Tensor(np.ones((4, 2)), requires_grad=True)
+        out = nn.gather_rows(t, np.asarray([], dtype=np.int64))
+        assert out.shape == (0, 2)
+
+    def test_segment_sum_empty_data(self):
+        out = nn.segment_sum(nn.Tensor(np.zeros((0, 3))),
+                             np.asarray([], dtype=np.int64), 4)
+        assert out.shape == (4, 3)
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_segment_max_all_empty_segments(self):
+        out = nn.segment_max(nn.Tensor(np.zeros((0, 2))),
+                             np.asarray([], dtype=np.int64), 3)
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_spmm_rejects_dense(self):
+        with pytest.raises(TypeError):
+            nn.spmm(np.eye(3), nn.Tensor(np.ones((3, 1))))
+
+    def test_softmax_axis0(self):
+        t = nn.Tensor(np.random.default_rng(0).normal(size=(4, 2)))
+        s = t.softmax(axis=0)
+        np.testing.assert_allclose(s.data.sum(axis=0), np.ones(2),
+                                   atol=1e-12)
+
+
+class TestLibertyEdges:
+    def test_lut_lookup_below_grid_extrapolates(self):
+        lut = TimingLUT.from_model(SLEW_AXIS, LOAD_AXIS, 20.0, 1.0, 0.1)
+        below = float(lut.lookup(SLEW_AXIS[0] / 2, LOAD_AXIS[0] / 2))
+        at_corner = float(lut.lookup(SLEW_AXIS[0], LOAD_AXIS[0]))
+        assert below < at_corner
+
+    def test_library_contains_protocol(self, library):
+        assert "INV_X1" in library
+        assert "NOT_A_CELL" not in library
+
+    def test_cell_pin_queries(self, library):
+        nand = library["NAND2_X1"]
+        assert nand.input_pins == ["A", "B"]
+        assert nand.output_pins == ["Y"]
+        assert nand.clock_pins == []
+        dff = library["DFF_X1"]
+        assert dff.clock_pins == ["CK"]
+        assert dff.input_pins == ["D"]
+
+    def test_arcs_to(self, library):
+        arcs = library["NAND2_X1"].arcs_to("Y")
+        assert {a.input_pin for a in arcs} == {"A", "B"}
+
+
+class TestDesignEdges:
+    def test_empty_design_stats(self, library):
+        design = Design("empty", library)
+        stats = design.stats()
+        assert stats["nodes"] == 0
+        assert stats["endpoints"] == 0
+
+    def test_port_only_design(self, library):
+        design = Design("ports", library)
+        a = design.add_port("a", "input")
+        y = design.add_port("y", "output")
+        design.add_net("n", a, [y])
+        assert design.stats()["nodes"] == 2
+        assert len(design.endpoints()) == 1
+        assert len(design.startpoints()) == 1
+
+    def test_net_degree(self, library):
+        design = Design("deg", library)
+        a = design.add_port("a", "input")
+        y = design.add_port("y", "output")
+        net = design.add_net("n", a, [y])
+        assert net.degree == 2
+        assert net.pins == [a, y]
+
+
+class TestRoutingEdges:
+    def test_coincident_pins(self):
+        pins = np.asarray([[5.0, 5.0], [5.0, 5.0], [5.0, 5.0]])
+        tree = build_steiner_tree(pins)
+        assert tree.validate()
+        assert tree.total_wirelength == 0.0
+
+    def test_zero_length_rc_tree(self, library):
+        pins = np.asarray([[5.0, 5.0], [5.0, 5.0]])
+        tree = build_steiner_tree(pins)
+        rc = extract_rc_tree(tree, [4.0], library.wire, "late")
+        np.testing.assert_allclose(rc.sink_delays()[1], 0.0)
+        np.testing.assert_allclose(rc.total_cap, 4.0)
+
+    def test_two_pins_same_row(self):
+        tree = build_steiner_tree(np.asarray([[0.0, 7.0], [9.0, 7.0]]))
+        assert tree.num_nodes == 2
+        np.testing.assert_allclose(tree.total_wirelength, 9.0)

@@ -1,0 +1,76 @@
+"""High-level Flow façade: staging, invalidation, artefact wiring."""
+
+import numpy as np
+import pytest
+
+from repro.flow import Flow
+from repro.netlist import write_verilog
+
+
+class TestConstruction:
+    def test_from_benchmark(self):
+        flow = Flow.from_benchmark("spm")
+        assert flow.design.name == "spm"
+        assert flow.design.stats()["nodes"] > 100
+
+    def test_from_verilog_roundtrip(self, library, small_design):
+        text = write_verilog(small_design)
+        flow = Flow.from_verilog(text, library)
+        assert flow.design.stats() == small_design.stats()
+
+
+class TestStaging:
+    def test_accessors_auto_run(self):
+        flow = Flow.from_benchmark("spm")
+        hetero = flow.extract()       # triggers place+route+sta
+        assert hetero.num_nodes == flow.graph.num_nodes
+        assert np.all(np.isfinite(hetero.arrival))
+
+    def test_run_chains_all_stages(self):
+        flow = Flow.from_benchmark("usb").run(seed=2)
+        summary = flow.timing_summary()
+        assert summary["num_endpoints"] > 0
+        assert flow.hpwl() > 0
+
+    def test_replace_invalidates_downstream(self):
+        flow = Flow.from_benchmark("spm").run(seed=1)
+        result_a = flow.result
+        arrivals_a = result_a.arrival.copy()
+        flow.place(seed=9)
+        assert flow._result is None
+        result_b = flow.sta().result
+        assert result_b is not result_a
+        assert not np.allclose(arrivals_a, result_b.arrival)
+
+    def test_clock_period_sticky_across_reanalysis(self):
+        flow = Flow.from_benchmark("spm").run(seed=1)
+        period = flow.result.clock_period
+        flow.place(seed=2).route().sta()
+        assert flow.result.clock_period == period
+
+    def test_explicit_clock_period(self):
+        flow = Flow.from_benchmark("spm").run(clock_period=1234.0)
+        assert flow.result.clock_period == 1234.0
+
+
+class TestConveniences:
+    def test_incremental_timer_bound(self):
+        flow = Flow.from_benchmark("spm").run()
+        timer = flow.incremental_timer()
+        wns = timer.wns("setup")
+        cell = flow.design.combinational_cells[0]
+        timer.move_cell(cell, [1.0, 1.0])
+        assert np.isfinite(timer.wns("setup"))
+        assert timer.result is flow.result
+
+    def test_sdf_and_spef_export(self):
+        flow = Flow.from_benchmark("spm").run()
+        assert flow.sdf().startswith("(DELAYFILE")
+        assert "*D_NET" in flow.spef()
+
+    def test_predict_with_fresh_model(self):
+        from repro.models import ModelConfig, TimingGNN
+        flow = Flow.from_benchmark("spm")
+        model = TimingGNN(ModelConfig.fast())
+        pred = flow.predict(model)
+        assert pred.atslew.shape == (flow.extract().num_nodes, 8)

@@ -1,0 +1,195 @@
+"""Dataset layer: extraction shapes, Table 2/3 dims, persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graphdata import (CAP_SCALE, CELL_EDGE_FEATURE_DIM, DIST_SCALE,
+                             NET_EDGE_FEATURE_DIM, NODE_FEATURE_DIM,
+                             TIME_SCALE, HeteroGraph, barboza_features,
+                             BARBOZA_FEATURE_NAMES)
+from repro.sta import CORNER_INDEX
+
+
+class TestExtraction:
+    def test_node_feature_dim_matches_table2(self, hetero):
+        # Table 2: is_pio(1) + fanin/fanout(1) + boundary(4) + cap(4) = 10.
+        assert hetero.node_features.shape == (hetero.num_nodes,
+                                              NODE_FEATURE_DIM)
+        assert NODE_FEATURE_DIM == 10
+
+    def test_cell_edge_feature_dim_matches_table3(self, hetero):
+        # Table 3: valid(8) + indices 8x14 + values 8x49 = 512.
+        assert CELL_EDGE_FEATURE_DIM == 512
+        assert hetero.cell_valid.shape[1] == 8
+        assert hetero.cell_indices.shape[1] == 112
+        assert hetero.cell_values.shape[1] == 392
+
+    def test_net_edge_features(self, hetero):
+        assert hetero.net_features.shape == (hetero.num_net_edges,
+                                             NET_EDGE_FEATURE_DIM)
+
+    def test_task_shapes(self, hetero):
+        n = hetero.num_nodes
+        assert hetero.arrival.shape == (n, 4)
+        assert hetero.slew.shape == (n, 4)
+        assert hetero.net_delay.shape == (n, 4)
+        assert hetero.required.shape == (n, 4)
+        assert hetero.cell_arc_delay.shape == (hetero.num_cell_edges, 4)
+
+    def test_binary_flags(self, hetero):
+        assert set(np.unique(hetero.node_features[:, 0])) <= {0.0, 1.0}
+        assert set(np.unique(hetero.node_features[:, 1])) <= {0.0, 1.0}
+
+    def test_is_fanin_matches_net_drivers(self, hetero):
+        drivers = np.zeros(hetero.num_nodes, dtype=bool)
+        drivers[hetero.net_src] = True
+        flagged = hetero.node_features[:, 1] > 0.5
+        # Every net driver is flagged; flagged non-drivers are dangling
+        # output pins, which the generator eliminates.
+        assert np.all(flagged[hetero.net_src])
+
+    def test_every_node_driver_or_sink(self, hetero):
+        driver = np.zeros(hetero.num_nodes, dtype=bool)
+        driver[hetero.net_src] = True
+        assert np.all(driver | hetero.is_net_sink)
+
+    def test_net_sinks_have_one_in_edge(self, hetero):
+        counts = np.bincount(hetero.net_dst, minlength=hetero.num_nodes)
+        assert counts.max() == 1
+
+    def test_nodes_not_both_net_sink_and_cell_dst(self, hetero):
+        cell_dst = np.zeros(hetero.num_nodes, dtype=bool)
+        cell_dst[hetero.cell_dst] = True
+        assert not np.any(cell_dst & hetero.is_net_sink)
+
+    def test_boundary_distance_normalization(self, hetero):
+        dist = hetero.node_features[:, 2:6]
+        assert np.all(dist >= 0)
+        # Opposite boundary distances sum to die width / DIST_SCALE.
+        sums_x = dist[:, 0] + dist[:, 1]
+        np.testing.assert_allclose(sums_x, sums_x[0], rtol=1e-9)
+
+    def test_lut_indices_normalized(self, hetero):
+        idx = hetero.cell_indices.reshape(-1, 8, 14)
+        # Slew axes in units of TIME_SCALE: raw axis max is 320 ps.
+        assert idx[:, :, :7].max() <= 320.0 / TIME_SCALE + 1e-9
+        assert idx[:, :, 7:].max() <= 180.0 / CAP_SCALE + 1e-9
+
+    def test_levels_cover_all_non_source_nodes(self, hetero):
+        covered = set()
+        for block in hetero.levels:
+            covered.update(block.net_dst.tolist())
+            covered.update(block.cell_dst.tolist())
+        non_source = set(np.nonzero(~hetero.is_source)[0].tolist())
+        assert covered == non_source
+
+    def test_level_block_edges_match_levels(self, hetero):
+        for block in hetero.levels:
+            assert np.all(hetero.level[hetero.net_dst[block.net_eids]]
+                          == block.level)
+            assert np.all(hetero.level[hetero.cell_dst[block.cell_eids]]
+                          == block.level)
+
+    def test_segment_mapping_consistent(self, hetero):
+        for block in hetero.levels:
+            if len(block.cell_eids):
+                np.testing.assert_array_equal(
+                    block.cell_dst[block.cell_seg],
+                    hetero.cell_dst[block.cell_eids])
+
+    def test_sources_match_zero_fanin(self, hetero):
+        indeg = np.zeros(hetero.num_nodes, dtype=int)
+        np.add.at(indeg, hetero.net_dst, 1)
+        np.add.at(indeg, hetero.cell_dst, 1)
+        np.testing.assert_array_equal(hetero.is_source, indeg == 0)
+
+    def test_stats(self, hetero):
+        stats = hetero.stats()
+        assert stats["nodes"] == hetero.num_nodes
+        assert stats["endpoints"] == int(hetero.is_endpoint.sum())
+
+    def test_required_nan_off_endpoints_is_allowed(self, hetero):
+        non_ep = ~hetero.is_endpoint
+        # Internal nodes may have propagated RATs, but endpoints must all
+        # be finite.
+        assert np.all(np.isfinite(hetero.required[hetero.is_endpoint]))
+        assert non_ep.any()
+
+
+class TestSlackComputation:
+    def test_ground_truth_slack_shape(self, hetero):
+        slack = hetero.slack()
+        assert slack.shape == (hetero.num_endpoints, 4)
+        assert np.all(np.isfinite(slack))
+
+    def test_slack_identity_on_truth(self, hetero):
+        """slack(arrival=truth) equals RAT-combined ground truth."""
+        eps = hetero.is_endpoint
+        slack = hetero.slack()
+        np.testing.assert_allclose(
+            slack[:, 2], hetero.required[eps, 2] - hetero.arrival[eps, 2])
+        np.testing.assert_allclose(
+            slack[:, 0], hetero.arrival[eps, 0] - hetero.required[eps, 0])
+
+    def test_slack_with_predicted_arrivals(self, hetero):
+        noisy = hetero.arrival + 0.01
+        slack = hetero.slack(arrival=noisy)
+        base = hetero.slack()
+        np.testing.assert_allclose(slack[:, 2], base[:, 2] - 0.01)
+        np.testing.assert_allclose(slack[:, 0], base[:, 0] + 0.01)
+
+
+class TestPersistence:
+    def test_npz_roundtrip(self, hetero, tmp_path):
+        path = os.path.join(tmp_path, "g.npz")
+        hetero.save_npz(path)
+        loaded = HeteroGraph.load_npz(path)
+        assert loaded.name == hetero.name
+        assert loaded.clock_period == hetero.clock_period
+        np.testing.assert_allclose(loaded.node_features,
+                                   hetero.node_features)
+        np.testing.assert_allclose(loaded.arrival, hetero.arrival)
+        np.testing.assert_allclose(loaded.required, hetero.required,
+                                   equal_nan=True)
+        assert len(loaded.levels) == len(hetero.levels)
+
+    def test_loaded_levels_identical(self, hetero, tmp_path):
+        path = os.path.join(tmp_path, "g2.npz")
+        hetero.save_npz(path)
+        loaded = HeteroGraph.load_npz(path)
+        for a, b in zip(loaded.levels, hetero.levels):
+            np.testing.assert_array_equal(a.net_eids, b.net_eids)
+            np.testing.assert_array_equal(a.cell_dst, b.cell_dst)
+
+
+class TestBarbozaFeatures:
+    def test_shapes(self, hetero):
+        x, y = barboza_features(hetero)
+        assert x.shape == (hetero.num_net_edges, len(BARBOZA_FEATURE_NAMES))
+        assert y.shape == (hetero.num_net_edges, 4)
+
+    def test_fanout_column_matches_graph(self, hetero):
+        x, _y = barboza_features(hetero)
+        fanout_col = BARBOZA_FEATURE_NAMES.index("fanout")
+        counts = np.bincount(hetero.net_src, minlength=hetero.num_nodes)
+        np.testing.assert_allclose(x[:, fanout_col],
+                                   counts[hetero.net_src])
+
+    def test_manhattan_consistent_with_dx_dy(self, hetero):
+        x, _y = barboza_features(hetero)
+        dx = x[:, BARBOZA_FEATURE_NAMES.index("dx")]
+        dy = x[:, BARBOZA_FEATURE_NAMES.index("dy")]
+        man = x[:, BARBOZA_FEATURE_NAMES.index("manhattan")]
+        np.testing.assert_allclose(np.abs(dx) + np.abs(dy), man, atol=1e-9)
+
+    def test_labels_are_net_delays(self, hetero):
+        _x, y = barboza_features(hetero)
+        np.testing.assert_allclose(y, hetero.net_delay[hetero.net_dst])
+
+    def test_hpwl_bounds_distance(self, hetero):
+        x, _y = barboza_features(hetero)
+        hpwl = x[:, BARBOZA_FEATURE_NAMES.index("hpwl")]
+        man = x[:, BARBOZA_FEATURE_NAMES.index("manhattan")]
+        assert np.all(hpwl >= man - 1e-9)

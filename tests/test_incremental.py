@@ -1,0 +1,147 @@
+"""Incremental STA: equivalence with full re-analysis under edits."""
+
+import numpy as np
+import pytest
+
+from repro.liberty import make_sky130_like_library, sizing_alternatives
+from repro.netlist import build_benchmark
+from repro.placement import place_design
+from repro.routing import route_design
+from repro.sta import build_timing_graph, run_sta
+from repro.sta.incremental import IncrementalTimer
+
+
+@pytest.fixture()
+def timer_setup():
+    library = make_sky130_like_library()
+    design = build_benchmark("zipdiv", library)
+    placement = place_design(design, seed=1)
+    routing = route_design(design, placement)
+    graph = build_timing_graph(design)
+    result = run_sta(design, placement, routing, graph=graph)
+    clock = result.clock_period
+    timer = IncrementalTimer(design, placement, routing, graph, result)
+    return library, design, placement, routing, graph, result, clock, timer
+
+
+def full_reference(design, placement, graph, clock):
+    routing = route_design(design, placement)
+    return run_sta(design, placement, routing, clock_period=clock,
+                   graph=graph)
+
+
+class TestMoveCell:
+    def test_single_move_matches_full(self, timer_setup):
+        (_lib, design, placement, _rt, graph, result, clock,
+         timer) = timer_setup
+        cell = design.combinational_cells[5]
+        timer.move_cell(cell, [placement.die.width * 0.1,
+                               placement.die.height * 0.9])
+        reference = full_reference(design, placement, graph, clock)
+        np.testing.assert_allclose(result.arrival, reference.arrival,
+                                   atol=1e-6)
+        np.testing.assert_allclose(result.slew, reference.slew, atol=1e-6)
+
+    def test_random_edit_sequence_matches_full(self, timer_setup):
+        (_lib, design, placement, _rt, graph, result, clock,
+         timer) = timer_setup
+        rng = np.random.default_rng(3)
+        cells = design.combinational_cells
+        for _ in range(6):
+            cell = cells[int(rng.integers(len(cells)))]
+            xy = rng.uniform([0, 0], [placement.die.width,
+                                      placement.die.height])
+            timer.move_cell(cell, xy)
+        reference = full_reference(design, placement, graph, clock)
+        np.testing.assert_allclose(result.arrival, reference.arrival,
+                                   atol=1e-6)
+        np.testing.assert_allclose(result.net_delay, reference.net_delay,
+                                   atol=1e-6)
+
+    def test_wns_tracks_full(self, timer_setup):
+        (_lib, design, placement, _rt, graph, _res, clock,
+         timer) = timer_setup
+        cell = design.combinational_cells[0]
+        timer.move_cell(cell, [0.0, 0.0])
+        reference = full_reference(design, placement, graph, clock)
+        np.testing.assert_allclose(timer.wns("setup"),
+                                   reference.wns("setup"), atol=1e-6)
+
+    def test_cone_smaller_than_graph(self, timer_setup):
+        (_lib, design, placement, _rt, graph, _res, _clock,
+         timer) = timer_setup
+        cell = design.combinational_cells[-1]
+        timer.move_cell(cell, [placement.die.width / 2,
+                               placement.die.height / 2])
+        assert 0 < timer.last_update_nodes < graph.num_nodes
+
+    def test_noop_move_small_cone(self, timer_setup):
+        """Moving a cell to (almost) the same spot converges instantly."""
+        (_lib, design, placement, _rt, _graph, _res, _clock,
+         timer) = timer_setup
+        cell = design.combinational_cells[3]
+        cell_index = design.cells.index(cell)
+        xy = placement.cell_xy[cell_index].copy()
+        timer.move_cell(cell, xy)
+        # The seeds are revisited but nothing changes downstream.
+        assert timer.last_update_nodes <= 25
+
+    def test_required_refresh(self, timer_setup):
+        (_lib, design, placement, _rt, graph, result, clock,
+         timer) = timer_setup
+        cell = design.combinational_cells[2]
+        timer.move_cell(cell, [1.0, 1.0])
+        timer.refresh_required()
+        reference = full_reference(design, placement, graph, clock)
+        np.testing.assert_allclose(result.required, reference.required,
+                                   atol=1e-6, equal_nan=True)
+
+
+class TestResizeCell:
+    def test_resize_matches_full(self, timer_setup):
+        (lib, design, placement, _rt, graph, result, clock,
+         timer) = timer_setup
+        cell = next(c for c in design.combinational_cells
+                    if c.cell_type.name == "INV_X1")
+        bigger = sizing_alternatives(lib, cell.cell_type)[1]
+        timer.resize_cell(cell, bigger)
+        reference = full_reference(design, placement, graph, clock)
+        np.testing.assert_allclose(result.arrival, reference.arrival,
+                                   atol=1e-6)
+
+    def test_resize_then_revert_restores_timing(self, timer_setup):
+        (lib, design, _pl, _rt, _graph, result, _clock,
+         timer) = timer_setup
+        before = result.arrival.copy()
+        cell = next(c for c in design.combinational_cells
+                    if c.cell_type.name == "INV_X1")
+        variants = sizing_alternatives(lib, cell.cell_type)
+        timer.resize_cell(cell, variants[1])
+        assert not np.allclose(result.arrival, before)
+        timer.resize_cell(cell, variants[0])
+        np.testing.assert_allclose(result.arrival, before, atol=1e-6)
+
+    def test_incompatible_resize_rejected(self, timer_setup):
+        (lib, design, _pl, _rt, _graph, _res, _clock, timer) = timer_setup
+        cell = next(c for c in design.combinational_cells
+                    if c.cell_type.name == "INV_X1")
+        with pytest.raises(ValueError):
+            timer.resize_cell(cell, lib["NAND2_X1"])
+
+    def test_upsizing_driver_helps_loaded_net(self, timer_setup):
+        """Upsizing the driver of the most-loaded net cannot hurt the
+        arrival at its sinks (stronger drive, same everything else)."""
+        (lib, design, _pl, _rt, graph, result, _clock,
+         timer) = timer_setup
+        candidates = [c for c in design.combinational_cells
+                      if c.cell_type.name == "INV_X1"
+                      and c.pins["Y"].net is not None
+                      and len(c.pins["Y"].net.sinks) >= 2]
+        if not candidates:
+            pytest.skip("no loaded INV_X1 in this design")
+        cell = candidates[0]
+        out_node = graph.node_of_pin[cell.pins["Y"].index]
+        before = result.arrival[out_node, 2]
+        timer.resize_cell(cell, lib["INV_X4"])
+        after = result.arrival[out_node, 2]
+        assert after <= before + 1e-6

@@ -1,0 +1,107 @@
+"""End-to-end integration: full pipeline on fresh designs, cross-layer
+consistency between the STA labels and the extracted dataset."""
+
+import numpy as np
+import pytest
+
+from repro.graphdata import TIME_SCALE, extract_graph, generate_design
+from repro.liberty import make_sky130_like_library
+from repro.models import ModelConfig, TimingGNN
+from repro.netlist import generate_circuit, validate_design
+from repro.placement import place_design
+from repro.routing import route_design
+from repro.sta import LATE_COLS, build_timing_graph, run_sta
+from repro.training import TrainConfig, train_timing_gnn, evaluate_timing_gnn
+
+
+class TestFullFlow:
+    def test_generate_design_record(self):
+        record = generate_design("spm", "test")
+        graph = record.graph
+        assert graph.name == "spm"
+        assert graph.split == "test"
+        assert record.routing_time > 0
+        assert record.sta_time > 0
+        assert graph.num_nodes > 100
+
+    def test_labels_match_sta(self, small_design, placed, routed,
+                              timing_graph, sta_result, hetero):
+        np.testing.assert_allclose(hetero.arrival * TIME_SCALE,
+                                   sta_result.arrival)
+        np.testing.assert_allclose(hetero.slew * TIME_SCALE,
+                                   sta_result.slew)
+        np.testing.assert_allclose(hetero.cell_arc_delay * TIME_SCALE,
+                                   sta_result.cell_arc_delay)
+        np.testing.assert_array_equal(hetero.is_endpoint,
+                                      sta_result.endpoint_mask)
+
+    def test_edge_alignment_with_sta_graph(self, timing_graph, hetero):
+        for i, edge in enumerate(timing_graph.net_edges):
+            assert hetero.net_src[i] == edge.src
+            assert hetero.net_dst[i] == edge.dst
+        for i, edge in enumerate(timing_graph.cell_edges):
+            assert hetero.cell_src[i] == edge.src
+            assert hetero.cell_dst[i] == edge.dst
+
+    def test_arrival_dominated_by_path_delays(self, hetero):
+        """Each non-source node's arrival is at least the max incoming
+        (arrival + edge delay) in the late corner, up to engine rounding
+        — the defining recurrence of STA."""
+        at = hetero.arrival
+        for block in hetero.levels[:10]:
+            for pos, eid in enumerate(block.net_eids):
+                src = hetero.net_src[eid]
+                dst = hetero.net_dst[eid]
+                assert at[dst, 2] >= at[src, 2] - 1e-9
+            for pos, eid in enumerate(block.cell_eids):
+                src = hetero.cell_src[eid]
+                dst = hetero.cell_dst[eid]
+                # Late arrival must cover this arc's contribution.
+                contrib = at[src, 2] + hetero.cell_arc_delay[eid, 2]
+                # Non-unate arcs may map rise->fall, so compare against
+                # the max over the two late channels.
+                assert at[dst, 2:4].max() >= contrib - \
+                    hetero.cell_arc_delay[eid, 2] * 0.5 - 1e-9
+
+    def test_train_quickly_on_fresh_design(self):
+        """A fresh pipeline + short training run beats the mean
+        predictor on the design it trained on."""
+        library = make_sky130_like_library(seed=77)
+        design = generate_circuit("it_fresh", 250, "datapath", library,
+                                  seed=21)
+        validate_design(design)
+        placement = place_design(design, seed=2)
+        routing = route_design(design, placement)
+        graph = build_timing_graph(design)
+        result = run_sta(design, placement, routing, graph=graph)
+        hetero = extract_graph(graph, placement, result)
+        cfg = ModelConfig.fast()
+        model, history = train_timing_gnn(
+            [hetero], cfg, TrainConfig(epochs=30, lr=3e-3))
+        metrics = evaluate_timing_gnn(model, hetero)
+        assert metrics["arrival_r2"] > 0.25
+        assert history.loss[-1] < history.loss[0]
+
+    def test_different_styles_produce_different_timing(self):
+        library = make_sky130_like_library(seed=3)
+        depths = {}
+        for style in ("memory", "cpu"):
+            design = generate_circuit(f"it_{style}", 400, style, library,
+                                      seed=9)
+            placement = place_design(design, seed=0)
+            routing = route_design(design, placement)
+            result = run_sta(design, placement, routing)
+            depths[style] = float(np.nanmax(result.arrival[:, LATE_COLS]))
+        assert depths["cpu"] > 2.0 * depths["memory"]
+
+    def test_clock_period_scales_with_depth(self):
+        library = make_sky130_like_library(seed=3)
+        periods = {}
+        for style in ("memory", "cpu"):
+            design = generate_circuit(f"it2_{style}", 400, style, library,
+                                      seed=10)
+            placement = place_design(design, seed=0)
+            routing = route_design(design, placement)
+            result = run_sta(design, placement, routing)
+            periods[style] = result.clock_period
+        assert periods["cpu"] > periods["memory"]

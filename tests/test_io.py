@@ -1,0 +1,197 @@
+"""Serialization: structural Verilog and liberty round-trips, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.liberty import (LibertyError, make_sky130_like_library,
+                           parse_liberty, write_liberty)
+from repro.netlist import (VerilogError, generate_circuit, parse_verilog,
+                           validate_design, write_verilog)
+from repro.placement import place_design
+from repro.routing import route_design
+from repro.sta import run_sta
+
+
+class TestVerilogRoundtrip:
+    def test_structure_preserved(self, library, small_design):
+        text = write_verilog(small_design)
+        parsed = parse_verilog(text, library)
+        validate_design(parsed)
+        assert parsed.stats() == small_design.stats()
+
+    def test_cell_mix_preserved(self, library, small_design):
+        parsed = parse_verilog(write_verilog(small_design), library)
+        original = sorted(c.cell_type.name for c in small_design.cells)
+        roundtrip = sorted(c.cell_type.name for c in parsed.cells)
+        assert original == roundtrip
+
+    def test_timing_equivalent(self, library, small_design):
+        """Round-tripped netlists produce identical STA results."""
+        parsed = parse_verilog(write_verilog(small_design), library)
+
+        def arrivals(design):
+            placement = place_design(design, seed=7)
+            routing = route_design(design, placement)
+            return run_sta(design, placement, routing,
+                           clock_period=2500.0).arrival
+
+        a = np.sort(arrivals(small_design), axis=0)
+        b = np.sort(arrivals(parsed), axis=0)
+        np.testing.assert_allclose(a, b)
+
+    def test_idempotent(self, library, small_design):
+        text1 = write_verilog(small_design)
+        text2 = write_verilog(parse_verilog(text1, library))
+        # Second generation differs only in net naming derived from pin
+        # indices; structure (statement counts) must match exactly.
+        assert len(text1.splitlines()) == len(text2.splitlines())
+
+    def test_contains_module_and_instances(self, small_design):
+        text = write_verilog(small_design)
+        assert text.startswith("// generated")
+        assert "module " in text and "endmodule" in text
+        assert text.count("(") > len(small_design.cells)
+
+    def test_unknown_cell_rejected(self, library):
+        bad = """module m (a, y);
+          input a; output y; wire w;
+          BOGUS_X1 u0 (.A(a), .Y(w));
+          assign y = w;
+        endmodule"""
+        with pytest.raises(VerilogError):
+            parse_verilog(bad, library)
+
+    def test_multiple_drivers_rejected(self, library):
+        bad = """module m (a, b, y);
+          input a; input b; output y; wire w;
+          INV_X1 u0 (.A(a), .Y(w));
+          INV_X1 u1 (.A(b), .Y(w));
+          assign y = w;
+        endmodule"""
+        with pytest.raises(VerilogError):
+            parse_verilog(bad, library)
+
+    def test_undeclared_signal_rejected(self, library):
+        bad = """module m (a, y);
+          input a; output y;
+          INV_X1 u0 (.A(a), .Y(ghost));
+          assign y = ghost;
+        endmodule"""
+        with pytest.raises(VerilogError):
+            parse_verilog(bad, library)
+
+    def test_no_module_rejected(self, library):
+        with pytest.raises(VerilogError):
+            parse_verilog("wire w;", library)
+
+    def test_handwritten_netlist(self, library):
+        text = """// tiny and-invert chain
+        module tiny (clk, a, b, y);
+          input clk; input a; input b; output y;
+          wire n1;
+          AND2_X1 u0 (.A(a), .B(b), .Y(n1));
+          INV_X1 u1 (.A(n1), .Y(yw));
+          wire yw;
+          assign y = yw;
+        endmodule"""
+        design = parse_verilog(text, library)
+        validate_design(design)
+        assert len(design.cells) == 2
+        assert design.stats()["endpoints"] == 1   # the output port
+
+    def test_dff_clock_ignored_in_nets(self, library):
+        text = """module seq (clk, d, q);
+          input clk; input d; output q;
+          wire qi;
+          DFF_X1 r0 (.D(d), .CK(clk), .Q(qi));
+          assign q = qi;
+        endmodule"""
+        design = parse_verilog(text, library)
+        validate_design(design)
+        assert len(design.sequential_cells) == 1
+        ck = design.sequential_cells[0].pins["CK"]
+        assert ck.net is None
+
+
+class TestLibertyRoundtrip:
+    @pytest.fixture(scope="class")
+    def roundtrip(self, library):
+        early = write_liberty(library, "early")
+        late = write_liberty(library, "late")
+        return library, parse_liberty(early, late)
+
+    def test_cell_roster(self, roundtrip):
+        original, parsed = roundtrip
+        assert set(parsed.cells) == set(original.cells)
+
+    def test_pin_capacitances(self, roundtrip):
+        original, parsed = roundtrip
+        for name, cell in original.cells.items():
+            for pin_name, spec in cell.pins.items():
+                np.testing.assert_allclose(
+                    parsed[name].pins[pin_name].capacitance,
+                    spec.capacitance, atol=1e-5)
+
+    def test_luts_identical(self, roundtrip):
+        original, parsed = roundtrip
+        for name, cell in original.cells.items():
+            for arc in cell.arcs:
+                arc2 = parsed[name].arc(arc.input_pin, arc.output_pin)
+                assert arc2.sense == arc.sense
+                for key, lut in arc.luts.items():
+                    np.testing.assert_allclose(arc2.luts[key].values,
+                                               lut.values, atol=1e-5)
+
+    def test_sequential_constraints(self, roundtrip):
+        original, parsed = roundtrip
+        dff = original["DFF_X1"]
+        dff2 = parsed["DFF_X1"]
+        assert dff2.is_sequential
+        np.testing.assert_allclose(dff2.setup, dff.setup, atol=1e-5)
+        np.testing.assert_allclose(dff2.hold, dff.hold, atol=1e-5)
+
+    def test_parsed_library_runs_sta(self, roundtrip):
+        """A parsed library must be usable end to end."""
+        _original, parsed = roundtrip
+        design = generate_circuit("libtest", 180, "control", parsed,
+                                  seed=2)
+        placement = place_design(design, seed=2)
+        routing = route_design(design, placement)
+        result = run_sta(design, placement, routing)
+        assert np.all(np.isfinite(result.arrival))
+
+    def test_bad_corner_rejected(self, library):
+        with pytest.raises(LibertyError):
+            write_liberty(library, "typical")
+
+    def test_missing_library_decl_rejected(self):
+        with pytest.raises(LibertyError):
+            parse_liberty("cell (X) { }", "cell (X) { }")
+
+
+class TestCLI:
+    def test_flow_command(self, capsys):
+        from repro.cli import main
+        assert main(["flow", "spm", "--scale", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "design spm" in out
+        assert "Critical setup path" in out
+
+    def test_write_verilog_command(self, capsys, tmp_path):
+        from repro.cli import main
+        target = str(tmp_path / "out.v")
+        assert main(["write-verilog", "spm", "-o", target]) == 0
+        with open(target) as fh:
+            assert "module spm" in fh.read()
+
+    def test_write_liberty_command(self, capsys, tmp_path):
+        from repro.cli import main
+        target = str(tmp_path / "lib.lib")
+        assert main(["write-liberty", "-c", "early", "-o", target]) == 0
+        with open(target) as fh:
+            assert "library (synth_sky130_early)" in fh.read()
+
+    def test_parser_rejects_unknown_command(self):
+        from repro.cli import build_parser
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])

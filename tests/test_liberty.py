@@ -1,0 +1,184 @@
+"""Cell library: LUT interpolation, arcs, unateness, corner ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.liberty import (EL_RF, LUT_SIZE, Sense, TimingLUT,
+                           make_sky130_like_library)
+from repro.liberty.library import SLEW_AXIS, LOAD_AXIS
+
+
+class TestTimingLUT:
+    def make_lut(self):
+        return TimingLUT.from_model(SLEW_AXIS, LOAD_AXIS, intrinsic=30.0,
+                                    load_coeff=2.0, slew_coeff=0.15,
+                                    cross_coeff=0.1)
+
+    def test_exact_at_grid_points(self):
+        lut = self.make_lut()
+        for i in range(LUT_SIZE):
+            for j in range(LUT_SIZE):
+                got = lut.lookup(SLEW_AXIS[i], LOAD_AXIS[j])
+                np.testing.assert_allclose(got, lut.values[i, j], rtol=1e-12)
+
+    def test_interpolation_between_grid_points(self):
+        lut = self.make_lut()
+        s = 0.5 * (SLEW_AXIS[2] + SLEW_AXIS[3])
+        c = LOAD_AXIS[4]
+        expected = 0.5 * (lut.values[2, 4] + lut.values[3, 4])
+        np.testing.assert_allclose(lut.lookup(s, c), expected, rtol=1e-12)
+
+    def test_bilinear_midpoint(self):
+        lut = self.make_lut()
+        s = 0.5 * (SLEW_AXIS[1] + SLEW_AXIS[2])
+        c = 0.5 * (LOAD_AXIS[1] + LOAD_AXIS[2])
+        expected = 0.25 * (lut.values[1, 1] + lut.values[1, 2] +
+                           lut.values[2, 1] + lut.values[2, 2])
+        np.testing.assert_allclose(lut.lookup(s, c), expected, rtol=1e-12)
+
+    def test_vectorized_lookup(self):
+        lut = self.make_lut()
+        s = np.asarray([10.0, 50.0, 200.0])
+        c = np.asarray([2.0, 30.0, 100.0])
+        out = lut.lookup(s, c)
+        assert out.shape == (3,)
+        for i in range(3):
+            np.testing.assert_allclose(out[i], lut.lookup(s[i], c[i]))
+
+    def test_extrapolation_is_linear(self):
+        lut = self.make_lut()
+        # Beyond the last load point the table continues linearly.
+        c1, c2 = LOAD_AXIS[-2], LOAD_AXIS[-1]
+        v1 = lut.lookup(SLEW_AXIS[0], c1)
+        v2 = lut.lookup(SLEW_AXIS[0], c2)
+        slope = (v2 - v1) / (c2 - c1)
+        beyond = lut.lookup(SLEW_AXIS[0], c2 + 50.0)
+        np.testing.assert_allclose(beyond, v2 + slope * 50.0, rtol=1e-9)
+
+    def test_monotone_in_load(self):
+        lut = self.make_lut()
+        loads = np.linspace(LOAD_AXIS[0], LOAD_AXIS[-1], 40)
+        vals = lut.lookup(np.full(40, 50.0), loads)
+        assert np.all(np.diff(vals) > 0)
+
+    def test_scaled(self):
+        lut = self.make_lut()
+        np.testing.assert_allclose(lut.scaled(2.0).values, lut.values * 2)
+
+    def test_rejects_bad_axes(self):
+        with pytest.raises(ValueError):
+            TimingLUT(np.ones(LUT_SIZE), LOAD_AXIS,
+                      np.zeros((LUT_SIZE, LUT_SIZE)))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            TimingLUT(SLEW_AXIS, LOAD_AXIS, np.zeros((3, 3)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=st.floats(5.0, 320.0), c=st.floats(1.0, 180.0))
+    def test_lookup_within_table_bounds(self, s, c):
+        """Inside the grid, bilinear interpolation stays within the
+        min/max of the table values."""
+        lut = self.make_lut()
+        val = float(lut.lookup(s, c))
+        assert lut.values.min() - 1e-9 <= val <= lut.values.max() + 1e-9
+
+
+class TestLibrary:
+    def test_deterministic(self):
+        a = make_sky130_like_library(seed=1)
+        b = make_sky130_like_library(seed=1)
+        la = a["NAND2_X1"].arc("A", "Y").lut("delay", "late", "rise")
+        lb = b["NAND2_X1"].arc("A", "Y").lut("delay", "late", "rise")
+        np.testing.assert_allclose(la.values, lb.values)
+
+    def test_seed_changes_library(self):
+        a = make_sky130_like_library(seed=1)
+        b = make_sky130_like_library(seed=2)
+        la = a["NAND2_X1"].arc("A", "Y").lut("delay", "late", "rise")
+        lb = b["NAND2_X1"].arc("A", "Y").lut("delay", "late", "rise")
+        assert not np.allclose(la.values, lb.values)
+
+    def test_cell_roster(self, library):
+        assert "INV_X1" in library
+        assert "DFF_X1" in library
+        assert len(library.sequential_cells) == 2
+        assert len(library.combinational_cells) >= 15
+
+    def test_arity_buckets(self, library):
+        for arity in (1, 2, 3):
+            cells = library.cells_with_inputs(arity)
+            assert cells, f"no cells with {arity} inputs"
+            for cell in cells:
+                assert len(cell.input_pins) == arity
+
+    def test_early_faster_than_late(self, library):
+        arc = library["NAND2_X1"].arc("A", "Y")
+        early = arc.lut("delay", "early", "rise").values
+        late = arc.lut("delay", "late", "rise").values
+        assert np.all(early < late)
+
+    def test_all_arcs_have_8_luts(self, library):
+        for cell in library.cells.values():
+            for arc in cell.arcs:
+                assert len(arc.luts) == 8
+
+    def test_stacked_luts_shapes_and_order(self, library):
+        arc = library["XOR2_X1"].arc("A", "Y")
+        valid, indices, values = arc.stacked_luts()
+        assert valid.shape == (8,)
+        assert indices.shape == (8, 14)
+        assert values.shape == (8, 49)
+        assert np.all(valid == 1.0)
+        # First LUT in the stack is (delay, early, rise).
+        lut = arc.lut("delay", "early", "rise")
+        np.testing.assert_allclose(values[0], lut.values.reshape(-1))
+        np.testing.assert_allclose(indices[0, :7], lut.slew_axis)
+        np.testing.assert_allclose(indices[0, 7:], lut.load_axis)
+
+    def test_unateness_mapping(self):
+        lib = make_sky130_like_library()
+        inv = lib["INV_X1"].arc("A", "Y")
+        assert inv.sense == Sense.NEGATIVE
+        assert inv.input_transition_for("rise") == ("fall",)
+        assert inv.input_transition_for("fall") == ("rise",)
+        buf = lib["BUF_X1"].arc("A", "Y")
+        assert buf.input_transition_for("rise") == ("rise",)
+        xor = lib["XOR2_X1"].arc("A", "Y")
+        assert set(xor.input_transition_for("rise")) == {"rise", "fall"}
+
+    def test_drive_strength_reduces_load_sensitivity(self, library):
+        x1 = library["INV_X1"].arc("A", "Y").lut("delay", "late", "rise")
+        x4 = library["INV_X4"].arc("A", "Y").lut("delay", "late", "rise")
+        # Delay increase from min to max load should be much smaller for
+        # the stronger driver.
+        slope1 = x1.values[0, -1] - x1.values[0, 0]
+        slope4 = x4.values[0, -1] - x4.values[0, 0]
+        assert slope4 < 0.6 * slope1
+
+    def test_input_capacitance_scales_with_drive(self, library):
+        c1 = library["INV_X1"].pin_capacitance("A").mean()
+        c4 = library["INV_X4"].pin_capacitance("A").mean()
+        assert c4 > 2.0 * c1
+
+    def test_dff_has_constraints(self, library):
+        dff = library["DFF_X1"]
+        assert dff.is_sequential
+        assert dff.setup.shape == (4,)
+        assert dff.hold.shape == (4,)
+        assert np.all(dff.setup > dff.hold)
+        assert dff.pins["CK"].is_clock
+
+    def test_el_rf_order(self):
+        assert EL_RF == (("early", "rise"), ("early", "fall"),
+                         ("late", "rise"), ("late", "fall"))
+
+    def test_wire_model_derating(self, library):
+        wire = library.wire
+        assert wire.unit_r("early") < wire.unit_r("late")
+        assert wire.unit_c("early") < wire.unit_c("late")
+
+    def test_missing_arc_raises(self, library):
+        with pytest.raises(KeyError):
+            library["NAND2_X1"].arc("Z", "Y")

@@ -1,0 +1,167 @@
+"""Classical ML: decision trees, random forest, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (DecisionTreeRegressor, RandomForestRegressor,
+                      mae, pearson_correlation, r2_score, rmse)
+
+
+def make_regression(n=400, seed=0, noise=0.05):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 4))
+    y = (np.sin(3 * x[:, 0]) + x[:, 1] ** 2 - 0.5 * x[:, 2] +
+         noise * rng.normal(size=n))
+    return x, y
+
+
+class TestDecisionTree:
+    def test_fits_step_function_exactly(self):
+        x = np.linspace(0, 1, 200)[:, None]
+        y = (x[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=4, n_thresholds=32,
+                                     min_samples_leaf=1).fit(x, y)
+        pred = tree.predict(x)
+        # Quantile-candidate splits land within one grid cell of the
+        # step, so a handful of boundary samples may be off.
+        assert r2_score(y, pred) > 0.95
+
+    def test_nonlinear_regression(self):
+        x, y = make_regression()
+        tree = DecisionTreeRegressor(max_depth=10,
+                                     min_samples_leaf=2).fit(x, y)
+        assert r2_score(y, tree.predict(x)) > 0.9
+
+    def test_depth_limit(self):
+        x, y = make_regression()
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        assert tree.depth() <= 3
+
+    def test_deeper_fits_better(self):
+        x, y = make_regression()
+        shallow = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=10).fit(x, y)
+        assert r2_score(y, deep.predict(x)) > r2_score(y, shallow.predict(x))
+
+    def test_multi_output(self):
+        x, y1 = make_regression(seed=1)
+        _x, y2 = make_regression(seed=1)
+        y = np.stack([y1, 2 * y2], axis=1)
+        tree = DecisionTreeRegressor(max_depth=8).fit(x, y)
+        pred = tree.predict(x)
+        assert pred.shape == (len(x), 2)
+        assert r2_score(y, pred) > 0.8
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(0).normal(size=(50, 3))
+        y = np.full(50, 7.0)
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert tree.depth() == 0
+        np.testing.assert_allclose(tree.predict(x), 7.0)
+
+    def test_min_samples_leaf(self):
+        x, y = make_regression(n=40)
+        tree = DecisionTreeRegressor(max_depth=20,
+                                     min_samples_leaf=10).fit(x, y)
+
+        def leaf_sizes(node, x_subset, y_subset):
+            if node.is_leaf:
+                return [len(x_subset)]
+            mask = x_subset[:, node.feature] <= node.threshold
+            return (leaf_sizes(node.left, x_subset[mask], y_subset[mask]) +
+                    leaf_sizes(node.right, x_subset[~mask], y_subset[~mask]))
+
+        assert min(leaf_sizes(tree.root_, x, y)) >= 10
+
+    def test_1d_y_accepted(self):
+        x, y = make_regression(n=60)
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert tree.predict(x).shape == (60, 1)
+
+
+class TestRandomForest:
+    def test_outperforms_single_tree_on_holdout(self):
+        x, y = make_regression(n=600, noise=0.25)
+        x_train, y_train = x[:400], y[:400]
+        x_test, y_test = x[400:], y[400:]
+        tree = DecisionTreeRegressor(max_depth=12,
+                                     min_samples_leaf=2).fit(x_train, y_train)
+        forest = RandomForestRegressor(n_estimators=20,
+                                       max_depth=12).fit(x_train, y_train)
+        r2_tree = r2_score(y_test, tree.predict(x_test))
+        r2_forest = r2_score(y_test, forest.predict(x_test))
+        assert r2_forest >= r2_tree - 0.02
+
+    def test_deterministic_given_seed(self):
+        x, y = make_regression(n=120)
+        a = RandomForestRegressor(n_estimators=5, seed=3).fit(x, y)
+        b = RandomForestRegressor(n_estimators=5, seed=3).fit(x, y)
+        np.testing.assert_allclose(a.predict(x), b.predict(x))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((2, 3)))
+
+    def test_reasonable_accuracy(self):
+        x, y = make_regression(n=500)
+        forest = RandomForestRegressor(n_estimators=15, max_depth=10)
+        forest.fit(x[:350], y[:350])
+        assert r2_score(y[350:], forest.predict(x[350:])) > 0.75
+
+
+class TestMetrics:
+    def test_r2_perfect(self):
+        y = np.asarray([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_mean_prediction_is_zero(self):
+        y = np.asarray([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(r2_score(y, np.full(3, 2.0)), 0.0)
+
+    def test_r2_can_be_negative(self):
+        y = np.asarray([1.0, 2.0, 3.0])
+        assert r2_score(y, np.asarray([3.0, 2.0, 1.0])) < 0
+
+    def test_r2_ignores_nan(self):
+        y = np.asarray([1.0, np.nan, 3.0])
+        p = np.asarray([1.0, 99.0, 3.0])
+        assert r2_score(y, p) == 1.0
+
+    def test_r2_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=100)
+        p = y + 0.1 * rng.normal(size=100)
+        np.testing.assert_allclose(r2_score(y, p),
+                                   r2_score(10 * y, 10 * p), rtol=1e-9)
+
+    def test_mae_rmse(self):
+        y = np.asarray([0.0, 0.0])
+        p = np.asarray([3.0, -4.0])
+        np.testing.assert_allclose(mae(y, p), 3.5)
+        np.testing.assert_allclose(rmse(y, p), np.sqrt(12.5))
+
+    def test_pearson_perfect(self):
+        y = np.asarray([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(pearson_correlation(y, 2 * y + 1), 1.0)
+
+    def test_pearson_antiperfect(self):
+        y = np.asarray([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(pearson_correlation(y, -y), -1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(3, 50))
+    def test_r2_never_above_one(self, seed, n):
+        rng = np.random.default_rng(seed)
+        y = rng.normal(size=n)
+        p = rng.normal(size=n)
+        assert r2_score(y, p) <= 1.0 + 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_pearson_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.normal(size=30)
+        p = rng.normal(size=30)
+        r = pearson_correlation(y, p)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9

@@ -1,0 +1,194 @@
+"""Netlist generation: structure, determinism, styles, benchmark suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import (BENCHMARKS, STYLES, TRAIN_BENCHMARKS,
+                           TEST_BENCHMARKS, benchmark_names, build_benchmark,
+                           combinational_depth, generate_circuit,
+                           validate_design, NetlistError)
+
+
+class TestGenerator:
+    def test_deterministic(self, library):
+        a = generate_circuit("d", 300, "cipher", library, seed=9)
+        b = generate_circuit("d", 300, "cipher", library, seed=9)
+        assert a.stats() == b.stats()
+        assert [c.cell_type.name for c in a.cells] == \
+               [c.cell_type.name for c in b.cells]
+
+    def test_seed_matters(self, library):
+        a = generate_circuit("d", 300, "cipher", library, seed=1)
+        b = generate_circuit("d", 300, "cipher", library, seed=2)
+        assert [c.cell_type.name for c in a.cells] != \
+               [c.cell_type.name for c in b.cells]
+
+    def test_node_count_near_target(self, library):
+        for target in (150, 400, 1200):
+            design = generate_circuit("d", target, "datapath", library,
+                                      seed=3)
+            nodes = design.stats()["nodes"]
+            assert abs(nodes - target) / target < 0.15
+
+    def test_validates(self, library):
+        design = generate_circuit("d", 500, "cpu", library, seed=4)
+        assert validate_design(design)
+
+    def test_acyclic(self, library):
+        design = generate_circuit("d", 500, "memory", library, seed=5)
+        assert combinational_depth(design) >= 0
+
+    def test_depth_tracks_style_target(self, library):
+        shallow = generate_circuit("d", 900, "memory", library, seed=6)
+        deep = generate_circuit("d", 900, "cpu", library, seed=6)
+        assert combinational_depth(deep) > 2 * combinational_depth(shallow)
+
+    def test_every_net_driven_and_loaded(self, library):
+        design = generate_circuit("d", 300, "control", library, seed=7)
+        for net in design.nets:
+            assert net.driver is not None
+            assert len(net.sinks) >= 1
+
+    def test_fanout_within_bounds(self, library):
+        style = STYLES["control"]
+        design = generate_circuit("d", 600, style, library, seed=8)
+        # The generator may overload a driver only when saturated, which
+        # should be rare: allow a small tolerance above max_fanout.
+        for net in design.nets:
+            assert len(net.sinks) <= style.max_fanout + 2
+
+    def test_seq_fraction_respected(self, library):
+        design = generate_circuit("d", 1000, "control", library, seed=9)
+        frac = len(design.sequential_cells) / len(design.cells)
+        assert abs(frac - STYLES["control"].seq_fraction) < 0.08
+
+    def test_xor_bias_shapes_cell_mix(self, library):
+        cipher = generate_circuit("d", 1200, "cipher", library, seed=10)
+        control = generate_circuit("d", 1200, "control", library, seed=10)
+
+        def xor_frac(design):
+            n = sum(1 for c in design.cells
+                    if c.cell_type.name.startswith(("XOR", "XNOR")))
+            return n / len(design.cells)
+
+        assert xor_frac(cipher) > 2 * xor_frac(control)
+
+    def test_endpoints_are_dff_d_and_pos(self, library):
+        design = generate_circuit("d", 300, "control", library, seed=11)
+        for pin in design.endpoints():
+            ok = pin.is_primary_output or (
+                pin.cell is not None and pin.cell.is_sequential
+                and pin.direction == "input")
+            assert ok
+
+    def test_startpoints_are_pis_and_qs(self, library):
+        design = generate_circuit("d", 300, "control", library, seed=11)
+        for pin in design.startpoints():
+            ok = pin.is_primary_input or (
+                pin.cell is not None and pin.cell.is_sequential
+                and pin.direction == "output")
+            assert ok
+
+    def test_clock_port_present_and_ideal(self, library):
+        design = generate_circuit("d", 300, "control", library, seed=12)
+        clocks = [p for p in design.ports if p.is_clock]
+        assert len(clocks) == 1
+        assert clocks[0].net is None     # ideal clock, not routed
+
+    def test_pin_indices_dense(self, library):
+        design = generate_circuit("d", 300, "cipher", library, seed=13)
+        for i, pin in enumerate(design.pins):
+            assert pin.index == i
+
+    @settings(max_examples=10, deadline=None)
+    @given(target=st.integers(120, 800),
+           style=st.sampled_from(sorted(STYLES)),
+           seed=st.integers(0, 1000))
+    def test_generated_designs_always_valid(self, library, target, style,
+                                            seed):
+        design = generate_circuit("h", target, style, library, seed=seed)
+        assert validate_design(design)
+        assert combinational_depth(design) > 0
+
+
+class TestValidation:
+    def test_detects_missing_driver(self, library):
+        design = generate_circuit("d", 200, "control", library, seed=14)
+        design.nets[0].driver = None
+        with pytest.raises(NetlistError):
+            validate_design(design)
+
+    def test_detects_dangling_pin(self, library):
+        design = generate_circuit("d", 200, "control", library, seed=15)
+        victim = design.combinational_cells[0].pins["A"]
+        victim.net.sinks.remove(victim)
+        victim.net = None
+        with pytest.raises(NetlistError):
+            validate_design(design)
+
+
+class TestBenchmarkSuite:
+    def test_21_benchmarks(self):
+        assert len(BENCHMARKS) == 21
+        assert len(TRAIN_BENCHMARKS) == 14
+        assert len(TEST_BENCHMARKS) == 7
+
+    def test_paper_names(self):
+        names = benchmark_names()
+        for expected in ("aes256", "picorv32a", "jpeg_encoder", "spm",
+                         "usbf_device", "synth_ram"):
+            assert expected in names
+
+    def test_split_matches_paper(self):
+        assert benchmark_names("test") == [
+            "jpeg_encoder", "usbf_device", "aes192", "xtea", "spm",
+            "y_huff", "synth_ram"]
+
+    def test_paper_totals(self):
+        # The statistics columns of Table 1 sum to the paper's totals.
+        assert sum(b.paper_nodes for b in TRAIN_BENCHMARKS) == 920301
+        assert sum(b.paper_nodes for b in TEST_BENCHMARKS) == 624232
+        assert sum(b.paper_endpoints for b in TRAIN_BENCHMARKS) == 34067
+        assert sum(b.paper_endpoints for b in TEST_BENCHMARKS) == 21977
+
+    def test_build_benchmark(self, library):
+        design = build_benchmark("zipdiv", library)
+        assert design.name == "zipdiv"
+        assert validate_design(design)
+
+    def test_scale_shrinks(self, library):
+        full = build_benchmark("des", library, scale=1.0)
+        half = build_benchmark("des", library, scale=0.5)
+        assert half.stats()["nodes"] < 0.7 * full.stats()["nodes"]
+
+    def test_relative_sizes_preserved(self, library):
+        small = build_benchmark("spm", library)
+        large = build_benchmark("aes256", library)
+        assert large.stats()["nodes"] > 10 * small.stats()["nodes"]
+
+    def test_stable_seeds(self):
+        spec = next(b for b in BENCHMARKS if b.name == "des")
+        assert spec.seed == spec.seed        # deterministic property
+        assert isinstance(spec.seed, int)
+
+
+class TestDesignStats:
+    def test_stats_consistency(self, small_design):
+        stats = small_design.stats()
+        assert stats["net_edges"] == sum(len(n.sinks)
+                                         for n in small_design.nets)
+        assert stats["endpoints"] == len(small_design.endpoints())
+        clock_pins = sum(1 for p in small_design.pins if p.is_clock)
+        assert stats["nodes"] == len(small_design.pins) - clock_pins
+
+    def test_pin_capacitance_zero_for_outputs(self, small_design):
+        for cell in small_design.combinational_cells:
+            out_pin = cell.pins["Y"]
+            np.testing.assert_allclose(
+                small_design.pin_capacitance(out_pin), 0.0)
+
+    def test_pin_capacitance_positive_for_inputs(self, small_design):
+        cell = small_design.combinational_cells[0]
+        name = cell.cell_type.input_pins[0]
+        assert np.all(small_design.pin_capacitance(cell.pins[name]) > 0)

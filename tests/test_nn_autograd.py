@@ -1,0 +1,408 @@
+"""Autograd correctness: every op's gradient vs. numerical differentiation.
+
+The GNN framework is hand-rolled, so each operation gets an exact
+finite-difference check plus shape/semantic tests; hypothesis drives
+randomized cases for the structural (gather/scatter/segment) ops.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn wrt array x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grad(make_output, x0, atol=1e-5):
+    """Compare autograd and numerical gradients for input array x0."""
+    x = Tensor(x0.copy(), requires_grad=True)
+    out = make_output(x)
+    out.backward()
+    auto = x.grad
+
+    def scalar_fn(arr):
+        return float(make_output(Tensor(arr)).data.sum())
+
+    num = numerical_grad(scalar_fn, x0.copy())
+    np.testing.assert_allclose(auto, num, atol=atol, rtol=1e-4)
+
+
+class TestElementwiseGrads:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+        self.x = self.rng.normal(size=(4, 3))
+
+    def test_add(self):
+        check_grad(lambda t: (t + 2.5).sum(), self.x)
+
+    def test_add_tensor(self):
+        other = Tensor(self.rng.normal(size=(4, 3)))
+        check_grad(lambda t: (t + other).sum(), self.x)
+
+    def test_sub(self):
+        check_grad(lambda t: (t - 1.2).sum(), self.x)
+
+    def test_rsub(self):
+        check_grad(lambda t: (1.2 - t).sum(), self.x)
+
+    def test_mul(self):
+        other = Tensor(self.rng.normal(size=(4, 3)))
+        check_grad(lambda t: (t * other).sum(), self.x)
+
+    def test_div(self):
+        other = Tensor(self.rng.uniform(0.5, 2.0, size=(4, 3)))
+        check_grad(lambda t: (t / other).sum(), self.x)
+
+    def test_rdiv(self):
+        x = np.abs(self.x) + 0.5
+        check_grad(lambda t: (2.0 / t).sum(), x)
+
+    def test_neg(self):
+        check_grad(lambda t: (-t).sum(), self.x)
+
+    def test_pow(self):
+        x = np.abs(self.x) + 0.5
+        check_grad(lambda t: (t ** 3).sum(), x)
+
+    def test_exp(self):
+        check_grad(lambda t: t.exp().sum(), self.x)
+
+    def test_log(self):
+        x = np.abs(self.x) + 0.5
+        check_grad(lambda t: t.log().sum(), x)
+
+    def test_sqrt(self):
+        x = np.abs(self.x) + 0.5
+        check_grad(lambda t: t.sqrt().sum(), x)
+
+    def test_sigmoid(self):
+        check_grad(lambda t: t.sigmoid().sum(), self.x)
+
+    def test_tanh(self):
+        check_grad(lambda t: t.tanh().sum(), self.x)
+
+    def test_softplus(self):
+        check_grad(lambda t: t.softplus().sum(), self.x)
+
+    def test_relu(self):
+        x = self.x + 0.05  # keep away from the kink
+        check_grad(lambda t: t.relu().sum(), x)
+
+    def test_leaky_relu(self):
+        x = self.x + 0.05
+        check_grad(lambda t: t.leaky_relu(0.1).sum(), x)
+
+    def test_softmax(self):
+        weight = Tensor(self.rng.normal(size=(4, 3)))
+        check_grad(lambda t: (t.softmax(axis=1) * weight).sum(), self.x)
+
+
+class TestShapeAndReduceGrads:
+    def setup_method(self):
+        self.rng = np.random.default_rng(1)
+        self.x = self.rng.normal(size=(5, 4))
+
+    def test_sum_all(self):
+        check_grad(lambda t: t.sum(), self.x)
+
+    def test_sum_axis0(self):
+        w = Tensor(self.rng.normal(size=(4,)))
+        check_grad(lambda t: (t.sum(axis=0) * w).sum(), self.x)
+
+    def test_sum_keepdims(self):
+        check_grad(lambda t: t.sum(axis=1, keepdims=True).sum(), self.x)
+
+    def test_mean(self):
+        check_grad(lambda t: t.mean().sum(), self.x)
+
+    def test_max_axis(self):
+        # Perturb to avoid exact ties.
+        x = self.x + np.arange(20).reshape(5, 4) * 1e-3
+        check_grad(lambda t: t.max(axis=1).sum(), x)
+
+    def test_reshape(self):
+        check_grad(lambda t: (t.reshape(2, 10) ** 2).sum(), self.x)
+
+    def test_transpose(self):
+        w = Tensor(self.rng.normal(size=(4, 5)))
+        check_grad(lambda t: (t.T * w).sum(), self.x)
+
+    def test_getitem(self):
+        check_grad(lambda t: (t[1:4] ** 2).sum(), self.x)
+
+    def test_matmul(self):
+        w = Tensor(self.rng.normal(size=(4, 3)))
+        check_grad(lambda t: (t @ w).sum(), self.x)
+
+    def test_matmul_grad_wrt_weight(self):
+        w0 = self.rng.normal(size=(4, 3))
+        x = Tensor(self.x)
+        check_grad(lambda t: (x @ t).sum(), w0)
+
+    def test_affine(self):
+        w = Tensor(self.rng.normal(size=(4, 3)))
+        b = Tensor(self.rng.normal(size=(3,)))
+        check_grad(lambda t: t.affine(w, b).sum(), self.x)
+
+    def test_affine_matches_unfused(self):
+        x = Tensor(self.x, requires_grad=True)
+        w = Tensor(self.rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(3,)), requires_grad=True)
+        fused = x.affine(w, b)
+        manual = x @ w + b
+        np.testing.assert_allclose(fused.data, manual.data)
+        fused.sum().backward()
+        gx, gw, gb = x.grad.copy(), w.grad.copy(), b.grad.copy()
+        x.zero_grad(), w.zero_grad(), b.zero_grad()
+        manual = x @ w + b
+        manual.sum().backward()
+        np.testing.assert_allclose(gx, x.grad)
+        np.testing.assert_allclose(gw, w.grad)
+        np.testing.assert_allclose(gb, b.grad)
+
+
+class TestBroadcasting:
+    def test_add_broadcast_rows(self):
+        rng = np.random.default_rng(2)
+        bias = rng.normal(size=(3,))
+        check_grad(lambda t: (t + Tensor(bias)).sum(),
+                   rng.normal(size=(5, 3)))
+
+    def test_add_broadcast_grad_on_small(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(3,))
+        big = Tensor(rng.normal(size=(5, 3)))
+        check_grad(lambda t: (big + t).sum(), x)
+
+    def test_mul_broadcast_column(self):
+        rng = np.random.default_rng(4)
+        col = Tensor(rng.normal(size=(5, 1)))
+        check_grad(lambda t: (t * col).sum(), rng.normal(size=(5, 3)))
+
+    def test_scalar_ops(self):
+        check_grad(lambda t: (3.0 * t + 1.0).sum(),
+                   np.random.default_rng(5).normal(size=(2, 2)))
+
+
+class TestStructuralOps:
+    def setup_method(self):
+        self.rng = np.random.default_rng(6)
+
+    def test_concat_grad(self):
+        b = Tensor(self.rng.normal(size=(4, 2)))
+        check_grad(lambda t: nn.concat([t, b], axis=1).sum(),
+                   self.rng.normal(size=(4, 3)))
+
+    def test_concat_axis0(self):
+        b = Tensor(self.rng.normal(size=(2, 3)))
+        check_grad(lambda t: (nn.concat([t, b], axis=0) ** 2).sum(),
+                   self.rng.normal(size=(4, 3)))
+
+    def test_stack(self):
+        b = Tensor(self.rng.normal(size=(4,)))
+        check_grad(lambda t: (nn.stack([t, b], axis=0) ** 2).sum(),
+                   self.rng.normal(size=(4,)))
+
+    def test_gather_rows(self):
+        idx = np.array([0, 2, 2, 1])
+        check_grad(lambda t: (nn.gather_rows(t, idx) ** 2).sum(),
+                   self.rng.normal(size=(3, 2)))
+
+    def test_scatter_rows_values_grad(self):
+        base = Tensor(self.rng.normal(size=(5, 2)))
+        idx = np.array([1, 3])
+        check_grad(lambda t: (nn.scatter_rows(base, idx, t) ** 2).sum(),
+                   self.rng.normal(size=(2, 2)))
+
+    def test_scatter_rows_base_grad(self):
+        values = Tensor(self.rng.normal(size=(2, 2)))
+        idx = np.array([1, 3])
+        check_grad(lambda t: (nn.scatter_rows(t, idx, values) ** 2).sum(),
+                   self.rng.normal(size=(5, 2)))
+
+    def test_scatter_rows_rejects_duplicates(self):
+        base = Tensor(np.zeros((4, 2)))
+        values = Tensor(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            nn.scatter_rows(base, np.array([1, 1]), values)
+
+    def test_segment_sum_matches_loop(self):
+        data = self.rng.normal(size=(6, 3))
+        seg = np.array([0, 0, 1, 2, 2, 2])
+        out = nn.segment_sum(Tensor(data), seg, 4)
+        expected = np.zeros((4, 3))
+        for i, s in enumerate(seg):
+            expected[s] += data[i]
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_segment_sum_grad(self):
+        seg = np.array([0, 0, 1, 2, 2, 2])
+        check_grad(lambda t: (nn.segment_sum(t, seg, 4) ** 2).sum(),
+                   self.rng.normal(size=(6, 3)))
+
+    def test_segment_max_matches_loop(self):
+        data = self.rng.normal(size=(6, 2))
+        seg = np.array([0, 0, 1, 1, 1, 3])
+        out = nn.segment_max(Tensor(data), seg, 4)
+        assert out.data[2].tolist() == [0.0, 0.0]  # empty segment -> 0
+        np.testing.assert_allclose(out.data[0], data[0:2].max(axis=0))
+        np.testing.assert_allclose(out.data[1], data[2:5].max(axis=0))
+
+    def test_segment_max_grad(self):
+        seg = np.array([0, 0, 1, 1, 1, 3])
+        x = self.rng.normal(size=(6, 2)) + \
+            np.arange(12).reshape(6, 2) * 1e-3   # no ties
+        check_grad(lambda t: (nn.segment_max(t, seg, 4) ** 2).sum(), x)
+
+    def test_segment_mean(self):
+        data = self.rng.normal(size=(4, 2))
+        seg = np.array([0, 0, 1, 1])
+        out = nn.segment_mean(Tensor(data), seg, 3)
+        np.testing.assert_allclose(out.data[0], data[0:2].mean(axis=0))
+        np.testing.assert_allclose(out.data[2], 0.0)
+
+    def test_batched_outer_values(self):
+        a = self.rng.normal(size=(3, 2))
+        b = self.rng.normal(size=(3, 4))
+        out = nn.batched_outer(Tensor(a), Tensor(b))
+        assert out.shape == (3, 8)
+        np.testing.assert_allclose(out.data[1],
+                                   np.outer(a[1], b[1]).reshape(-1))
+
+    def test_batched_outer_grad(self):
+        b = Tensor(self.rng.normal(size=(3, 4)))
+        check_grad(lambda t: (nn.batched_outer(t, b) ** 2).sum(),
+                   self.rng.normal(size=(3, 2)))
+
+    def test_batched_outer_grad_second(self):
+        a = Tensor(self.rng.normal(size=(3, 2)))
+        check_grad(lambda t: (nn.batched_outer(a, t) ** 2).sum(),
+                   self.rng.normal(size=(3, 4)))
+
+    def test_spmm(self):
+        import scipy.sparse as sp
+        mat = sp.random(5, 4, density=0.5, random_state=7, format="csr")
+        check_grad(lambda t: (nn.spmm(mat, t) ** 2).sum(),
+                   self.rng.normal(size=(4, 3)))
+
+    def test_maximum(self):
+        a = self.rng.normal(size=(4, 2))
+        b = Tensor(self.rng.normal(size=(4, 2)))
+        check_grad(lambda t: nn.maximum(t, b).sum(), a)
+
+
+class TestAutogradMachinery:
+    def test_no_grad_blocks_tape(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with nn.no_grad():
+            y = (x * 2).sum()
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_grad_enabled_restored(self):
+        assert nn.is_grad_enabled()
+        with nn.no_grad():
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x.detach()
+        assert not y.requires_grad
+
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor(np.ones((2,)), requires_grad=True)
+        y = (x * 2 + x * 3).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+    def test_backward_through_diamond(self):
+        x = Tensor(np.asarray([2.0]), requires_grad=True)
+        a = x * 3
+        b = x * 4
+        y = (a * b).sum()     # y = 12 x^2, dy/dx = 24 x = 48
+        y.backward()
+        np.testing.assert_allclose(x.grad, [48.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1e-4
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_mse_loss_masked(self):
+        pred = Tensor(np.asarray([[1.0, 2.0], [3.0, 4.0]]),
+                      requires_grad=True)
+        target = np.asarray([[0.0, 0.0], [0.0, 0.0]])
+        mask = np.asarray([True, False])
+        loss = nn.mse_loss(pred, target, mask=mask)
+        np.testing.assert_allclose(loss.data, (1 + 4) / 2)
+
+    def test_mse_loss_empty_mask(self):
+        pred = Tensor(np.ones((2, 2)), requires_grad=True)
+        loss = nn.mse_loss(pred, np.zeros((2, 2)),
+                           mask=np.asarray([False, False]))
+        assert float(loss.data) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.integers(2, 8), cols=st.integers(1, 5),
+       segs=st.integers(1, 6), seed=st.integers(0, 10_000))
+def test_segment_sum_property(rows, cols, segs, seed):
+    """segment_sum equals a naive python accumulation for random inputs."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(rows, cols))
+    seg = rng.integers(0, segs, size=rows)
+    out = nn.segment_sum(Tensor(data), seg, segs)
+    expected = np.zeros((segs, cols))
+    for i, s in enumerate(seg):
+        expected[s] += data[i]
+    np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.integers(2, 8), cols=st.integers(1, 4),
+       seed=st.integers(0, 10_000))
+def test_gather_scatter_roundtrip(rows, cols, seed):
+    """scatter(gather(x)) at the same unique indices is the identity."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(rows, cols)))
+    k = rng.integers(1, rows + 1)
+    idx = rng.permutation(rows)[:k]
+    gathered = nn.gather_rows(x, idx)
+    back = nn.scatter_rows(x, idx, gathered)
+    np.testing.assert_allclose(back.data, x.data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 30), seed=st.integers(0, 10_000))
+def test_softmax_rows_sum_to_one(n, seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(scale=5, size=(n, 4)))
+    s = x.softmax(axis=1)
+    np.testing.assert_allclose(s.data.sum(axis=1), np.ones(n), atol=1e-12)

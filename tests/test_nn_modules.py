@@ -1,0 +1,178 @@
+"""Module system, Linear/MLP behaviour, optimizers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestModuleSystem:
+    def test_linear_shapes(self, rng):
+        layer = nn.Linear(5, 3, rng)
+        out = layer(nn.Tensor(rng.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_linear_no_bias(self, rng):
+        layer = nn.Linear(5, 3, rng, bias=False)
+        assert layer.bias is None
+        out = layer(nn.Tensor(np.zeros((2, 5))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_parameters_enumeration(self, rng):
+        mlp = nn.MLP(4, 2, rng, hidden=8, num_hidden_layers=2)
+        params = list(mlp.parameters())
+        # 3 Linear layers, each weight + bias.
+        assert len(params) == 6
+        assert all(p.requires_grad for p in params)
+
+    def test_named_parameters_unique(self, rng):
+        mlp = nn.MLP(4, 2, rng, hidden=8, num_hidden_layers=2)
+        names = [n for n, _p in mlp.named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_num_parameters(self, rng):
+        layer = nn.Linear(5, 3, rng)
+        assert layer.num_parameters() == 5 * 3 + 3
+
+    def test_zero_grad_clears(self, rng):
+        layer = nn.Linear(3, 1, rng)
+        layer(nn.Tensor(rng.normal(size=(4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self, rng):
+        mlp = nn.MLP(4, 2, rng, hidden=8, num_hidden_layers=1)
+        state = mlp.state_dict()
+        mlp2 = nn.MLP(4, 2, np.random.default_rng(99), hidden=8,
+                      num_hidden_layers=1)
+        x = nn.Tensor(rng.normal(size=(3, 4)))
+        before = mlp2(x).data.copy()
+        mlp2.load_state_dict(state)
+        after = mlp2(x).data
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(after, mlp(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        mlp = nn.MLP(4, 2, rng, hidden=8, num_hidden_layers=1)
+        with pytest.raises(KeyError):
+            mlp.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_train_eval_mode_propagates(self, rng):
+        mlp = nn.MLP(4, 2, rng)
+        mlp.eval()
+        assert not mlp.training
+        assert not mlp.net.training
+        mlp.train()
+        assert mlp.net.layers[0].training
+
+    def test_module_list_registration(self, rng):
+        class Stack(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.blocks = [nn.Linear(2, 2, rng) for _ in range(3)]
+
+        stack = Stack()
+        assert len(list(stack.parameters())) == 6
+
+    def test_bare_parameter_registration(self, rng):
+        class WithGate(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.gate = nn.Tensor(np.zeros(4), requires_grad=True)
+
+        mod = WithGate()
+        assert len(list(mod.parameters())) == 1
+
+    def test_mlp_depth(self, rng):
+        mlp = nn.MLP(4, 2, rng, hidden=8, num_hidden_layers=3)
+        linears = [l for l in mlp.net.layers if isinstance(l, nn.Linear)]
+        assert len(linears) == 4      # 3 hidden + output
+        assert linears[0].in_features == 4
+        assert linears[-1].out_features == 2
+
+
+class TestOptimizers:
+    def _quadratic_problem(self, optimizer_cls, steps, **kwargs):
+        """Minimize ||xW - y||^2 with a realizable target y = x W*."""
+        rng = np.random.default_rng(0)
+        w = nn.Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        x = nn.Tensor(rng.normal(size=(20, 3)))
+        w_true = rng.normal(size=(3, 2))
+        target = nn.Tensor(x.data @ w_true)
+        opt = optimizer_cls([w], **kwargs)
+        losses = []
+        for _ in range(steps):
+            loss = nn.mse_loss(x @ w, target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        return losses
+
+    def test_sgd_decreases_loss(self):
+        losses = self._quadratic_problem(nn.SGD, 60, lr=0.05)
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_sgd_momentum_faster_than_plain(self):
+        plain = self._quadratic_problem(nn.SGD, 40, lr=0.02)
+        mom = self._quadratic_problem(nn.SGD, 40, lr=0.02, momentum=0.9)
+        assert mom[-1] < plain[-1]
+
+    def test_adam_converges(self):
+        losses = self._quadratic_problem(nn.Adam, 200, lr=0.05)
+        assert losses[-1] < 1e-2 * losses[0] + 1e-6
+
+    def test_adam_weight_decay_shrinks_weights(self):
+        rng = np.random.default_rng(1)
+        w = nn.Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        opt = nn.Adam([w], lr=1e-2, weight_decay=0.5)
+        norm0 = np.linalg.norm(w.data)
+        for _ in range(50):
+            loss = (w * 0.0).sum()     # zero-gradient objective
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.linalg.norm(w.data) < norm0
+
+    def test_optimizer_rejects_empty(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=1e-3)
+
+    def test_optimizer_skips_gradless_params(self, rng):
+        w = nn.Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        opt = nn.Adam([w], lr=1.0)
+        before = w.data.copy()
+        opt.step()                     # no backward happened
+        np.testing.assert_allclose(w.data, before)
+
+    def test_clip_grad_norm(self, rng):
+        w = nn.Tensor(rng.normal(size=(5, 5)), requires_grad=True)
+        (w * 100.0).sum().backward()
+        total = nn.clip_grad_norm([w], max_norm=1.0)
+        assert total > 1.0
+        assert np.linalg.norm(w.grad) <= 1.0 + 1e-9
+
+    def test_clip_grad_norm_under_limit_untouched(self, rng):
+        w = nn.Tensor(rng.normal(size=(2,)), requires_grad=True)
+        (w * 0.01).sum().backward()
+        g = w.grad.copy()
+        nn.clip_grad_norm([w], max_norm=10.0)
+        np.testing.assert_allclose(w.grad, g)
+
+
+class TestDropout:
+    def test_dropout_identity_when_eval(self, rng):
+        x = nn.Tensor(rng.normal(size=(10, 4)))
+        out = nn.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_zero_rate(self, rng):
+        x = nn.Tensor(rng.normal(size=(10, 4)))
+        assert nn.dropout(x, 0.0, rng, training=True) is x
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(7)
+        x = nn.Tensor(np.ones((4000, 1)))
+        out = nn.dropout(x, 0.3, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.05

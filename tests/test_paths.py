@@ -1,0 +1,105 @@
+"""Path enumeration and SDF/SPEF serialization."""
+
+import numpy as np
+import pytest
+
+from repro.routing.spef import write_spef
+from repro.sta.paths import enumerate_worst_paths, path_summary
+from repro.sta.sdf import write_sdf
+
+
+class TestPathEnumeration:
+    def test_sorted_by_slack(self, sta_result):
+        paths = enumerate_worst_paths(sta_result, k=8)
+        slacks = [p.slack for p in paths]
+        assert slacks == sorted(slacks)
+
+    def test_worst_matches_wns(self, sta_result):
+        paths = enumerate_worst_paths(sta_result, k=1)
+        np.testing.assert_allclose(paths[0].slack, sta_result.wns("setup"))
+
+    def test_one_path_per_endpoint(self, sta_result):
+        paths = enumerate_worst_paths(sta_result, k=100)
+        endpoints = [p.endpoint for p in paths]
+        assert len(endpoints) == len(set(endpoints))
+        assert len(paths) <= int(sta_result.endpoint_mask.sum())
+
+    def test_paths_end_at_endpoints(self, sta_result):
+        for path in enumerate_worst_paths(sta_result, k=5):
+            assert sta_result.endpoint_mask[path.endpoint]
+            assert path.nodes[-1][0] == path.endpoint
+
+    def test_paths_start_at_sources(self, sta_result):
+        graph = sta_result.graph
+        for path in enumerate_worst_paths(sta_result, k=5):
+            assert graph.fanin_degree(path.startpoint) == 0
+
+    def test_path_nodes_follow_edges(self, sta_result):
+        graph = sta_result.graph
+        succ = set()
+        for e in graph.net_edges + graph.cell_edges:
+            succ.add((e.src, e.dst))
+        for path in enumerate_worst_paths(sta_result, k=3):
+            for (a, _ca), (b, _cb) in zip(path.nodes[:-1], path.nodes[1:]):
+                assert (a, b) in succ
+
+    def test_hold_mode(self, sta_result):
+        paths = enumerate_worst_paths(sta_result, k=3, mode="hold")
+        assert paths
+        np.testing.assert_allclose(paths[0].slack, sta_result.wns("hold"))
+
+    def test_k_truncates(self, sta_result):
+        assert len(enumerate_worst_paths(sta_result, k=2)) == 2
+
+    def test_summary_formats(self, sta_result):
+        paths = enumerate_worst_paths(sta_result, k=4)
+        text = path_summary(paths, sta_result.graph)
+        assert "slack" in text
+        assert len(text.splitlines()) == 5
+
+    def test_pin_names(self, sta_result):
+        paths = enumerate_worst_paths(sta_result, k=1)
+        names = paths[0].pin_names(sta_result.graph)
+        assert len(names) == paths[0].length
+
+
+class TestSDF:
+    def test_structure(self, sta_result, small_design):
+        text = write_sdf(sta_result, design_name=small_design.name)
+        assert text.startswith("(DELAYFILE")
+        assert '(DESIGN "unit_small")' in text
+        assert text.count("(IOPATH") == len(sta_result.graph.cell_edges)
+        assert text.count("(INTERCONNECT") == len(sta_result.graph.net_edges)
+
+    def test_triples_ordered(self, sta_result):
+        import re
+        text = write_sdf(sta_result)
+        for triple in re.findall(r"\(([\d.]+):([\d.]+):([\d.]+)\)", text):
+            lo, typ, hi = map(float, triple)
+            assert lo <= typ <= hi
+
+    def test_balanced_parens(self, sta_result):
+        text = write_sdf(sta_result)
+        assert text.count("(") == text.count(")")
+
+
+class TestSPEF:
+    def test_structure(self, small_design, routed):
+        text = write_spef(routed, corner="late",
+                          design_name=small_design.name)
+        assert '*SPEF "IEEE 1481"' in text
+        assert text.count("*D_NET") == len(small_design.nets)
+        assert text.count("*END") == len(small_design.nets)
+
+    def test_total_cap_matches_rc(self, small_design, routed):
+        import re
+        text = write_spef(routed, corner="late")
+        for match in re.finditer(r"\*D_NET (\S+) ([\d.]+)", text):
+            net_name, cap = match.group(1), float(match.group(2))
+            np.testing.assert_allclose(
+                cap, routed.nets[net_name].rc["late"].total_cap, atol=5e-4)
+
+    def test_corners_differ(self, routed):
+        early = write_spef(routed, corner="early")
+        late = write_spef(routed, corner="late")
+        assert early != late

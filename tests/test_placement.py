@@ -1,0 +1,151 @@
+"""Placement: die geometry, placer invariants, wirelength metrics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.placement import (Die, net_hpwl, place_design, total_hpwl,
+                             net_bounding_box)
+
+
+class TestDie:
+    def test_sizing_for_cell_count(self):
+        die = Die.for_cell_count(100, pitch=6.0, utilization=0.7)
+        assert die.width == die.height
+        assert die.width ** 2 >= 100 * 36   # at least the raw cell area
+
+    def test_clamp(self):
+        die = Die(100, 50)
+        xy = np.asarray([[-5.0, 25.0], [150.0, 60.0], [50.0, 25.0]])
+        out = die.clamp(xy)
+        assert out[0, 0] == 0.0
+        assert out[1].tolist() == [100.0, 50.0]
+        assert out[2].tolist() == [50.0, 25.0]
+
+    def test_boundary_distances(self):
+        die = Die(100, 50)
+        d = die.boundary_distances(np.asarray([[30.0, 10.0]]))
+        np.testing.assert_allclose(d[0], [30.0, 70.0, 10.0, 40.0])
+
+    def test_boundary_distances_sum(self):
+        die = Die(80, 60)
+        pts = np.random.default_rng(0).uniform([0, 0], [80, 60], (20, 2))
+        d = die.boundary_distances(pts)
+        np.testing.assert_allclose(d[:, 0] + d[:, 1], 80.0)
+        np.testing.assert_allclose(d[:, 2] + d[:, 3], 60.0)
+
+    def test_contains(self):
+        die = Die(10, 10)
+        assert die.contains(np.asarray([[5.0, 5.0]]))
+        assert not die.contains(np.asarray([[15.0, 5.0]]))
+
+
+class TestPlacer:
+    def test_all_pins_inside_die(self, small_design, placed):
+        assert placed.die.contains(placed.pin_xy)
+
+    def test_deterministic(self, small_design):
+        a = place_design(small_design, seed=5)
+        b = place_design(small_design, seed=5)
+        np.testing.assert_allclose(a.pin_xy, b.pin_xy)
+
+    def test_seed_changes_placement(self, small_design):
+        a = place_design(small_design, seed=5)
+        b = place_design(small_design, seed=6)
+        assert not np.allclose(a.pin_xy, b.pin_xy)
+
+    def test_ports_on_boundary(self, small_design, placed):
+        die = placed.die
+        for i, port in enumerate(small_design.ports):
+            x, y = placed.port_xy[i]
+            on_edge = (abs(x) < 1e-6 or abs(x - die.width) < 1e-6 or
+                       abs(y) < 1e-6 or abs(y - die.height) < 1e-6)
+            assert on_edge
+
+    def test_cells_spread_out(self, small_design, placed):
+        """Legalization must prevent pile-ups: cell sites are distinct."""
+        xy = placed.cell_xy
+        rounded = {tuple(np.round(p, 3)) for p in xy}
+        assert len(rounded) == len(xy)
+
+    def test_connected_cells_are_close(self, small_design, placed):
+        """Quadratic placement pulls connected cells together: average
+        connected-pair distance must beat the random-pair baseline."""
+        rng = np.random.default_rng(0)
+        xy = placed.pin_xy
+        connected = []
+        for net in small_design.nets:
+            for sink in net.sinks:
+                connected.append(np.abs(xy[net.driver.index] -
+                                        xy[sink.index]).sum())
+        n = len(small_design.pins)
+        random_pairs = [np.abs(xy[rng.integers(n)] -
+                               xy[rng.integers(n)]).sum()
+                        for _ in range(2000)]
+        assert np.mean(connected) < 0.8 * np.mean(random_pairs)
+
+    def test_pin_offsets_stay_small(self, small_design, placed):
+        cell = small_design.combinational_cells[0]
+        pins = list(cell.pins.values())
+        base = placed.pin_xy[pins[0].index]
+        for pin in pins[1:]:
+            assert np.abs(placed.pin_xy[pin.index] - base).max() <= 2.5
+
+
+class TestHPWL:
+    def test_single_net(self, small_design, placed):
+        net = max(small_design.nets, key=lambda n: n.degree)
+        x0, y0, x1, y1 = net_bounding_box(net, placed.pin_xy)
+        assert net_hpwl(net, placed.pin_xy) == (x1 - x0) + (y1 - y0)
+
+    def test_total_positive(self, small_design, placed):
+        assert total_hpwl(small_design, placed.pin_xy) > 0
+
+    def test_placer_beats_random_hpwl(self, small_design, placed):
+        rng = np.random.default_rng(1)
+        random_xy = rng.uniform([0, 0],
+                                [placed.die.width, placed.die.height],
+                                placed.pin_xy.shape)
+        placed_hpwl = total_hpwl(small_design, placed.pin_xy)
+        random_hpwl = total_hpwl(small_design, random_xy)
+        assert placed_hpwl < random_hpwl
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), k=st.integers(2, 8))
+    def test_hpwl_invariant_under_translation(self, seed, k):
+        class FakeNet:
+            def __init__(self, pins):
+                self.pins = pins
+                self.degree = len(pins)
+
+        class FakePin:
+            def __init__(self, index):
+                self.index = index
+
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform(0, 100, size=(k, 2))
+        net = FakeNet([FakePin(i) for i in range(k)])
+        base = net_hpwl(net, xy)
+        shifted = net_hpwl(net, xy + 13.7)
+        np.testing.assert_allclose(base, shifted, rtol=1e-12)
+
+
+class TestWeightedPlacement:
+    def test_weighted_deterministic(self, small_design):
+        weights = {net.name: 2.0 for net in small_design.nets[:5]}
+        from repro.placement import place_design as _place
+        a = _place(small_design, seed=4, net_weights=weights)
+        b = _place(small_design, seed=4, net_weights=weights)
+        np.testing.assert_allclose(a.pin_xy, b.pin_xy)
+
+    def test_unit_weights_match_unweighted(self, small_design):
+        from repro.placement import place_design as _place
+        base = _place(small_design, seed=4)
+        unit = _place(small_design, seed=4,
+                      net_weights={n.name: 1.0 for n in small_design.nets})
+        np.testing.assert_allclose(base.pin_xy, unit.pin_xy)
+
+    def test_unknown_net_names_ignored(self, small_design):
+        from repro.placement import place_design as _place
+        placed = _place(small_design, seed=4,
+                        net_weights={"no_such_net": 9.0})
+        assert placed.die.contains(placed.pin_xy)

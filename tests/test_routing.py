@@ -1,0 +1,179 @@
+"""Routing: Steiner tree invariants, RC extraction, Elmore analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.liberty import WireModel
+from repro.routing import (RCTree, build_steiner_tree, extract_rc_tree,
+                           route_design)
+
+
+class TestSteinerTree:
+    def test_single_pin(self):
+        tree = build_steiner_tree(np.asarray([[3.0, 4.0]]))
+        assert tree.num_nodes == 1
+        assert tree.total_wirelength == 0.0
+
+    def test_two_pins_manhattan(self):
+        tree = build_steiner_tree(np.asarray([[0.0, 0.0], [3.0, 4.0]]))
+        assert tree.validate()
+        np.testing.assert_allclose(tree.total_wirelength, 7.0)
+
+    def test_collinear_pins_no_corner(self):
+        tree = build_steiner_tree(np.asarray([[0.0, 0.0], [5.0, 0.0]]))
+        assert tree.num_nodes == 2       # no Steiner corner needed
+
+    def test_l_shape_gets_corner(self):
+        tree = build_steiner_tree(np.asarray([[0.0, 0.0], [3.0, 4.0]]))
+        assert tree.num_nodes == 3       # pin, pin, corner
+        corner = tree.xy[2]
+        assert (corner[0] in (0.0, 3.0)) and (corner[1] in (0.0, 4.0))
+
+    def test_pin_nodes_alignment(self):
+        pins = np.asarray([[0.0, 0.0], [10.0, 2.0], [4.0, 8.0]])
+        tree = build_steiner_tree(pins)
+        for i, node in enumerate(tree.pin_nodes):
+            np.testing.assert_allclose(tree.xy[node], pins[i])
+
+    def test_root_is_driver(self):
+        pins = np.asarray([[5.0, 5.0], [1.0, 1.0], [9.0, 9.0]])
+        tree = build_steiner_tree(pins)
+        assert tree.pin_nodes[0] == 0
+        assert tree.parent[0] == -1
+
+    def test_star_topology_wirelength(self):
+        # Driver at center, 4 sinks at compass points, distance 2 each.
+        pins = np.asarray([[0.0, 0.0], [2.0, 0.0], [-2.0, 0.0],
+                           [0.0, 2.0], [0.0, -2.0]])
+        tree = build_steiner_tree(pins)
+        np.testing.assert_allclose(tree.total_wirelength, 8.0)
+
+    def test_topological_order_parents_first(self):
+        pins = np.random.default_rng(3).uniform(0, 50, size=(9, 2))
+        tree = build_steiner_tree(pins)
+        seen = set()
+        for node in tree.topological_order():
+            parent = tree.parent[node]
+            if parent >= 0:
+                assert parent in seen
+            seen.add(node)
+
+    def test_path_to_root(self):
+        pins = np.random.default_rng(4).uniform(0, 50, size=(6, 2))
+        tree = build_steiner_tree(pins)
+        for node in range(tree.num_nodes):
+            path = tree.path_to_root(node)
+            assert path[0] == node
+            assert path[-1] == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(k=st.integers(2, 12), seed=st.integers(0, 10_000))
+    def test_random_nets_valid_and_bounded(self, k, seed):
+        """Any pin set yields a valid tree whose length is at least the
+        star lower bound's best single edge and at most the full star."""
+        rng = np.random.default_rng(seed)
+        pins = rng.uniform(0, 100, size=(k, 2))
+        tree = build_steiner_tree(pins)
+        assert tree.validate()
+        dists = np.abs(pins[1:] - pins[0]).sum(axis=1)
+        # Wirelength can't beat the farthest sink's manhattan distance
+        # and can't exceed routing every sink individually from the root.
+        assert tree.total_wirelength >= dists.max() - 1e-9
+        assert tree.total_wirelength <= dists.sum() + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(k=st.integers(3, 10), seed=st.integers(0, 10_000))
+    def test_tree_no_worse_than_mst_star_bound(self, k, seed):
+        """RSMT length is within the bbox half-perimeter lower bound and
+        the MST upper bound behaviour: >= HPWL of the net."""
+        rng = np.random.default_rng(seed)
+        pins = rng.uniform(0, 100, size=(k, 2))
+        tree = build_steiner_tree(pins)
+        hpwl = (pins[:, 0].max() - pins[:, 0].min() +
+                pins[:, 1].max() - pins[:, 1].min())
+        assert tree.total_wirelength >= hpwl - 1e-9
+
+
+class TestRCTree:
+    def _wire(self):
+        return WireModel(resistance_per_um=0.01, capacitance_per_um=0.2,
+                         early_derate=0.9)
+
+    def test_two_pin_elmore_hand_computed(self):
+        # Driver at origin, sink at (100, 0): R = 1 kOhm, Cw = 20 fF.
+        tree = build_steiner_tree(np.asarray([[0.0, 0.0], [100.0, 0.0]]))
+        rc = extract_rc_tree(tree, sink_pin_caps=[5.0], wire=self._wire(),
+                             corner="late")
+        # Elmore = R * (Cw/2 + Cpin) = 1.0 * (10 + 5) = 15 ps.
+        np.testing.assert_allclose(rc.sink_delays()[1], 15.0, rtol=1e-12)
+
+    def test_total_cap(self):
+        tree = build_steiner_tree(np.asarray([[0.0, 0.0], [100.0, 0.0]]))
+        rc = extract_rc_tree(tree, sink_pin_caps=[5.0], wire=self._wire(),
+                             corner="late")
+        np.testing.assert_allclose(rc.total_cap, 20.0 + 5.0)
+
+    def test_early_corner_faster(self):
+        tree = build_steiner_tree(np.asarray([[0.0, 0.0], [80.0, 40.0],
+                                              [20.0, 90.0]]))
+        late = extract_rc_tree(tree, [4.0, 6.0], self._wire(), "late")
+        early = extract_rc_tree(tree, [4.0, 6.0], self._wire(), "early")
+        assert np.all(early.sink_delays()[1:] < late.sink_delays()[1:])
+
+    def test_elmore_monotone_along_path(self):
+        rng = np.random.default_rng(5)
+        pins = rng.uniform(0, 200, size=(8, 2))
+        tree = build_steiner_tree(pins)
+        rc = extract_rc_tree(tree, np.full(7, 3.0), self._wire(), "late")
+        delays = rc.elmore_delays()
+        for node in range(tree.num_nodes):
+            parent = tree.parent[node]
+            if parent >= 0 and tree.edge_length[node] > 0:
+                assert delays[node] > delays[parent]
+
+    def test_downstream_cap_root_equals_total(self):
+        pins = np.random.default_rng(6).uniform(0, 100, size=(5, 2))
+        tree = build_steiner_tree(pins)
+        rc = extract_rc_tree(tree, np.full(4, 2.0), self._wire(), "late")
+        np.testing.assert_allclose(rc.downstream_cap()[0], rc.total_cap)
+
+    def test_farther_sink_has_larger_delay_on_line(self):
+        pins = np.asarray([[0.0, 0.0], [50.0, 0.0], [150.0, 0.0]])
+        tree = build_steiner_tree(pins)
+        rc = extract_rc_tree(tree, [3.0, 3.0], self._wire(), "late")
+        delays = rc.sink_delays()
+        assert delays[2] > delays[1] > 0
+
+
+class TestRouteDesign:
+    def test_every_net_routed(self, small_design, routed):
+        assert set(routed.nets) == {n.name for n in small_design.nets}
+
+    def test_wirelength_positive(self, routed):
+        assert routed.total_wirelength > 0
+
+    def test_sink_delays_aligned(self, small_design, routed):
+        for net in small_design.nets:
+            routed_net = routed.nets[net.name]
+            assert len(routed_net.sink_elmore("late")) == len(net.sinks)
+
+    def test_sink_delay_4_shape_and_order(self, small_design, routed):
+        net = max(small_design.nets, key=lambda n: n.degree)
+        d4 = routed.nets[net.name].sink_delay_4()
+        assert d4.shape == (len(net.sinks), 4)
+        # Early columns (0, 1) are faster than late columns (2, 3).
+        assert np.all(d4[:, 0] <= d4[:, 2] + 1e-12)
+
+    def test_load_cap_late_exceeds_early(self, small_design, routed):
+        for routed_net in routed.nets.values():
+            assert routed_net.load_cap("late") >= \
+                routed_net.load_cap("early")
+
+    def test_load_includes_sink_pin_caps(self, small_design, routed):
+        net = max(small_design.nets, key=lambda n: n.degree)
+        routed_net = routed.nets[net.name]
+        pin_cap_sum = sum(
+            small_design.pin_capacitance(s)[2:4].mean()
+            for s in net.sinks)
+        assert routed_net.load_cap("late") > pin_cap_sum

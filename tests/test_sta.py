@@ -1,0 +1,275 @@
+"""STA engine: levelization, propagation semantics, required times, slack.
+
+Includes a hand-constructed buffer chain whose arrival times are checked
+against manual LUT + Elmore arithmetic — the engine is the label
+generator for every experiment, so it gets the strictest tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.liberty import make_sky130_like_library
+from repro.netlist.design import Design
+from repro.placement import place_design
+from repro.routing import route_design
+from repro.sta import (CORNER_INDEX, EARLY_COLS, LATE_COLS, LN9,
+                       build_timing_graph, degrade_slew, run_sta,
+                       timing_summary, format_path_report)
+from repro.sta.engine import derive_clock_period
+
+
+def build_buffer_chain(library, n_buffers=3):
+    """in -> BUF -> BUF -> ... -> out, one net per stage."""
+    design = Design("chain", library)
+    pi = design.add_port("in0", "input")
+    prev = pi
+    for i in range(n_buffers):
+        buf = design.add_cell(f"b{i}", library["BUF_X1"])
+        design.add_net(f"n{i}", prev, [buf.pins["A"]])
+        prev = buf.pins["Y"]
+    po = design.add_port("out0", "output")
+    design.add_net("n_out", prev, [po])
+    return design
+
+
+@pytest.fixture(scope="module")
+def chain_setup():
+    library = make_sky130_like_library(seed=2022)
+    design = build_buffer_chain(library, 3)
+    placement = place_design(design, seed=0)
+    routing = route_design(design, placement)
+    graph = build_timing_graph(design)
+    result = run_sta(design, placement, routing, clock_period=3000.0,
+                     graph=graph)
+    return library, design, placement, routing, graph, result
+
+
+class TestGraphConstruction:
+    def test_nodes_exclude_clock_pins(self, small_design, timing_graph):
+        for pin in timing_graph.node_pins:
+            assert not pin.is_clock
+
+    def test_edge_counts_match_stats(self, small_design, timing_graph):
+        stats = small_design.stats()
+        assert len(timing_graph.net_edges) == stats["net_edges"]
+        assert len(timing_graph.cell_edges) == stats["cell_edges"]
+
+    def test_levels_strictly_increase_along_edges(self, timing_graph):
+        level = timing_graph.level
+        for edge in timing_graph.net_edges + timing_graph.cell_edges:
+            assert level[edge.dst] > level[edge.src]
+
+    def test_sources_at_level_zero(self, timing_graph):
+        for node in timing_graph.source_nodes():
+            assert timing_graph.level[node] == 0
+
+    def test_source_nodes_are_startpoints(self, small_design, timing_graph):
+        starts = {p.index for p in small_design.startpoints()}
+        for node in timing_graph.source_nodes():
+            pin = timing_graph.node_pins[node]
+            # Sources are startpoints (or degenerate dangling ports).
+            assert pin.index in starts or pin.net is None
+
+    def test_endpoints_match_design(self, small_design, timing_graph):
+        expected = {p.index for p in small_design.endpoints()}
+        got = {timing_graph.node_pins[n].index
+               for n in timing_graph.endpoint_nodes()}
+        assert got == expected
+
+    def test_nodes_by_level_partition(self, timing_graph):
+        buckets = timing_graph.nodes_by_level()
+        total = sum(len(b) for b in buckets)
+        assert total == timing_graph.num_nodes
+
+    def test_in_out_adjacency_symmetry(self, timing_graph):
+        out_total = sum(len(timing_graph.out_net_edges(n))
+                        for n in range(timing_graph.num_nodes))
+        assert out_total == len(timing_graph.net_edges)
+
+
+class TestBufferChain:
+    def test_arrival_strictly_increases_along_chain(self, chain_setup):
+        _lib, design, _pl, _rt, graph, result = chain_setup
+        pins = [p for p in design.pins if not p.is_clock]
+        ats = [result.arrival[graph.node(p), 2] for p in pins]
+        # The chain is a path in pin order; arrivals are non-decreasing.
+        assert all(b >= a for a, b in zip(ats, ats[1:]))
+
+    def test_first_stage_hand_computed(self, chain_setup):
+        library, design, _pl, routing, graph, result = chain_setup
+        buf = design.cells[0]
+        arc = buf.cell_type.arc("A", "Y")
+        in_node = graph.node(buf.pins["A"])
+        out_node = graph.node(buf.pins["Y"])
+        load = routing.nets[buf.pins["Y"].net.name].load_cap("late")
+        col = CORNER_INDEX[("late", "rise")]
+        in_slew = result.slew[in_node, col]
+        in_at = result.arrival[in_node, col]
+        expected = in_at + float(
+            arc.lut("delay", "late", "rise").lookup(in_slew, load))
+        np.testing.assert_allclose(result.arrival[out_node, col], expected,
+                                   rtol=1e-12)
+
+    def test_net_arc_adds_elmore(self, chain_setup):
+        _lib, design, _pl, routing, graph, result = chain_setup
+        net = design.nets[0]        # PI -> first buffer A
+        src = graph.node(net.driver)
+        dst = graph.node(net.sinks[0])
+        for corner, col_pair in (("early", EARLY_COLS), ("late", LATE_COLS)):
+            elmore = routing.nets[net.name].sink_elmore(corner)[0]
+            for col in col_pair:
+                np.testing.assert_allclose(
+                    result.arrival[dst, col],
+                    result.arrival[src, col] + elmore, rtol=1e-12)
+
+    def test_net_slew_degradation(self, chain_setup):
+        _lib, design, _pl, routing, graph, result = chain_setup
+        net = design.nets[0]
+        src = graph.node(net.driver)
+        dst = graph.node(net.sinks[0])
+        col = CORNER_INDEX[("late", "fall")]
+        elmore = routing.nets[net.name].sink_elmore("late")[0]
+        np.testing.assert_allclose(
+            result.slew[dst, col],
+            degrade_slew(result.slew[src, col], elmore), rtol=1e-12)
+
+    def test_primary_input_launch(self, chain_setup):
+        library, design, _pl, _rt, graph, result = chain_setup
+        node = graph.node(design.primary_inputs[0])
+        np.testing.assert_allclose(result.arrival[node], 0.0)
+        np.testing.assert_allclose(result.slew[node],
+                                   library.default_input_slew)
+
+    def test_po_slack_consistency(self, chain_setup):
+        _lib, design, _pl, _rt, graph, result = chain_setup
+        node = graph.node(design.primary_outputs[0])
+        slack = result.slack
+        for col in LATE_COLS:
+            np.testing.assert_allclose(
+                slack[node, col],
+                result.required[node, col] - result.arrival[node, col])
+        for col in EARLY_COLS:
+            np.testing.assert_allclose(
+                slack[node, col],
+                result.arrival[node, col] - result.required[node, col])
+
+
+class TestFullDesignSTA:
+    def test_arrival_finite_everywhere(self, sta_result):
+        assert np.all(np.isfinite(sta_result.arrival))
+        assert np.all(np.isfinite(sta_result.slew))
+
+    def test_early_arrival_not_after_late(self, sta_result):
+        at = sta_result.arrival
+        assert np.all(at[:, 0] <= at[:, 2] + 1e-9)   # rise
+        assert np.all(at[:, 1] <= at[:, 3] + 1e-9)   # fall
+
+    def test_arrivals_nonnegative(self, sta_result):
+        assert np.all(sta_result.arrival >= -1e-9)
+
+    def test_slews_positive(self, sta_result):
+        assert np.all(sta_result.slew > 0)
+
+    def test_endpoint_required_set(self, sta_result):
+        eps = np.nonzero(sta_result.endpoint_mask)[0]
+        assert len(eps) > 0
+        assert np.all(np.isfinite(sta_result.required[eps]))
+
+    def test_register_rat_from_setup_hold(self, small_design, sta_result):
+        graph = sta_result.graph
+        period = sta_result.clock_period
+        for node in np.nonzero(sta_result.endpoint_mask)[0]:
+            pin = graph.node_pins[node]
+            if pin.is_primary_output:
+                continue
+            setup = pin.cell.cell_type.setup
+            hold = pin.cell.cell_type.hold
+            for col in LATE_COLS:
+                np.testing.assert_allclose(sta_result.required[node, col],
+                                           period - setup[col])
+            for col in EARLY_COLS:
+                np.testing.assert_allclose(sta_result.required[node, col],
+                                           hold[col])
+
+    def test_required_propagates_backward(self, sta_result):
+        """Along the critical path, late slack is non-increasing toward
+        the endpoint (the endpoint is the binding constraint)."""
+        path = sta_result.critical_path("setup")
+        assert len(path) >= 2
+        slack = sta_result.slack
+        end_node, end_col = path[-1]
+        end_slack = slack[end_node, end_col]
+        for node, col in path:
+            if np.isfinite(slack[node, col]):
+                assert slack[node, col] <= end_slack + 1e-6
+
+    def test_critical_path_arrivals_increase(self, sta_result):
+        path = sta_result.critical_path("setup")
+        ats = [sta_result.arrival[n, c] for n, c in path]
+        assert all(b >= a - 1e-9 for a, b in zip(ats, ats[1:]))
+
+    def test_critical_path_starts_at_source(self, sta_result):
+        node, _col = sta_result.critical_path("setup")[0]
+        assert sta_result.graph.fanin_degree(node) == 0
+
+    def test_clock_period_straddles_slack(self, sta_result):
+        """Auto-derived clock period leaves some endpoints violating and
+        some meeting timing (the 0.85 quantile rule)."""
+        _eps, slack = sta_result.endpoint_slack()
+        setup = np.nanmin(slack[:, LATE_COLS], axis=1)
+        assert (setup < 0).any()
+        assert (setup > 0).any()
+
+    def test_wns_tns_signs(self, sta_result):
+        assert sta_result.wns("setup") <= 0
+        assert sta_result.tns("setup") <= sta_result.wns("setup")
+
+    def test_summary_keys(self, sta_result):
+        summary = timing_summary(sta_result)
+        assert summary["num_endpoints"] == int(
+            sta_result.endpoint_mask.sum())
+        assert summary["setup_wns"] <= 0
+        assert summary["setup_violations"] > 0
+
+    def test_path_report_formats(self, sta_result):
+        report = format_path_report(sta_result, "setup")
+        assert "Critical setup path" in report
+        assert "slack" in report
+
+    def test_net_delay_labels_at_sinks(self, small_design, sta_result):
+        graph = sta_result.graph
+        for edge in graph.net_edges[:25]:
+            assert np.all(sta_result.net_delay[edge.dst] >= 0)
+
+    def test_cell_arc_delays_positive(self, sta_result):
+        assert np.all(sta_result.cell_arc_delay > 0)
+
+    def test_cell_arc_early_below_late(self, sta_result):
+        d = sta_result.cell_arc_delay
+        assert np.all(d[:, 0] <= d[:, 2] + 1e-9)
+        assert np.all(d[:, 1] <= d[:, 3] + 1e-9)
+
+    def test_fixed_clock_period_respected(self, small_design, placed,
+                                          routed, timing_graph):
+        result = run_sta(small_design, placed, routed, clock_period=12345.0,
+                         graph=timing_graph)
+        assert result.clock_period == 12345.0
+
+    def test_deterministic(self, small_design, placed, routed):
+        a = run_sta(small_design, placed, routed, clock_period=2000.0)
+        b = run_sta(small_design, placed, routed, clock_period=2000.0)
+        np.testing.assert_allclose(a.arrival, b.arrival)
+        np.testing.assert_allclose(a.required, b.required,
+                                   equal_nan=True)
+
+
+class TestDegradeSlew:
+    def test_zero_elmore_identity(self):
+        np.testing.assert_allclose(degrade_slew(40.0, 0.0), 40.0)
+
+    def test_monotone_in_delay(self):
+        assert degrade_slew(40.0, 20.0) < degrade_slew(40.0, 50.0)
+
+    def test_formula(self):
+        np.testing.assert_allclose(degrade_slew(30.0, 10.0),
+                                   np.sqrt(900.0 + (LN9 * 10.0) ** 2))

@@ -1,0 +1,165 @@
+"""Physics/property tests of the STA substrate.
+
+These check *relationships* a real timing engine must respect —
+monotonicity in parasitics, clock period, drive strength, load —
+on freshly generated circuits, plus degenerate-topology edge cases.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.liberty import WireModel, make_sky130_like_library
+from repro.netlist import generate_circuit
+from repro.netlist.design import Design
+from repro.placement import place_design
+from repro.routing import route_design
+from repro.sta import LATE_COLS, build_timing_graph, run_sta
+
+
+def analyse(design, seed=0, clock_period=None, placement=None):
+    placement = placement or place_design(design, seed=seed)
+    routing = route_design(design, placement)
+    return run_sta(design, placement, routing, clock_period=clock_period)
+
+
+class TestMonotonicity:
+    def test_heavier_wires_slow_the_design(self, library):
+        design = generate_circuit("mono_w", 220, "datapath", library,
+                                  seed=5)
+        result_base = analyse(design, clock_period=3000.0)
+        heavy = dataclasses.replace(
+            library.wire,
+            resistance_per_um=library.wire.resistance_per_um * 3,
+            capacitance_per_um=library.wire.capacitance_per_um * 2)
+        original = design.library.wire
+        design.library.wire = heavy
+        try:
+            result_heavy = analyse(design, clock_period=3000.0)
+        finally:
+            design.library.wire = original
+        # Arrival can only get later with heavier parasitics.
+        assert np.nanmean(result_heavy.arrival[:, LATE_COLS]) > \
+            np.nanmean(result_base.arrival[:, LATE_COLS])
+        assert result_heavy.wns("setup") < result_base.wns("setup")
+
+    def test_longer_clock_period_more_slack(self, library):
+        design = generate_circuit("mono_t", 200, "control", library,
+                                  seed=6)
+        fast = analyse(design, clock_period=1000.0)
+        slow = analyse(design, clock_period=3000.0)
+        np.testing.assert_allclose(slow.wns("setup"),
+                                   fast.wns("setup") + 2000.0, atol=1e-6)
+        # Hold slack is independent of the clock period.
+        np.testing.assert_allclose(slow.wns("hold"), fast.wns("hold"),
+                                   atol=1e-6)
+
+    def test_spread_placement_slower_than_compact(self, library):
+        """The same netlist placed on a larger die (longer wires) is
+        slower — the geometric signal the models learn from."""
+        design = generate_circuit("mono_p", 220, "cipher", library, seed=7)
+        compact = place_design(design, seed=1, pitch=6.0)
+        spread = place_design(design, seed=1, pitch=18.0)
+        r_compact = analyse(design, clock_period=4000.0,
+                            placement=compact)
+        r_spread = analyse(design, clock_period=4000.0, placement=spread)
+        assert np.nanmean(r_spread.arrival[:, LATE_COLS]) > \
+            np.nanmean(r_compact.arrival[:, LATE_COLS])
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_arrival_monotone_along_every_net_edge(self, library, seed):
+        design = generate_circuit("hprop", 180, "control", library,
+                                  seed=seed)
+        placement = place_design(design, seed=seed)
+        routing = route_design(design, placement)
+        result = run_sta(design, placement, routing, clock_period=2500.0)
+        graph = result.graph
+        for edge in graph.net_edges:
+            # Wire only adds delay.
+            assert np.all(result.arrival[edge.dst, LATE_COLS] >=
+                          result.arrival[edge.src, LATE_COLS] - 1e-9)
+
+
+class TestDegenerateTopologies:
+    def test_purely_combinational_design(self, library):
+        design = Design("comb_only", library)
+        a = design.add_port("a", "input")
+        b = design.add_port("b", "input")
+        y = design.add_port("y", "output")
+        g = design.add_cell("g0", library["NAND2_X1"])
+        design.add_net("na", a, [g.pins["A"]])
+        design.add_net("nb", b, [g.pins["B"]])
+        design.add_net("ny", g.pins["Y"], [y])
+        result = analyse(design, clock_period=1000.0)
+        assert result.endpoint_mask.sum() == 1    # the output port
+        assert np.all(np.isfinite(result.arrival))
+
+    def test_single_wire_design(self, library):
+        design = Design("wire_only", library)
+        a = design.add_port("a", "input")
+        y = design.add_port("y", "output")
+        design.add_net("n", a, [y])
+        result = analyse(design, clock_period=1000.0)
+        graph = result.graph
+        assert result.arrival[graph.node(y), 2] >= 0
+
+    def test_register_to_register_only(self, library):
+        design = Design("reg2reg", library)
+        design.add_port("clk", "input", is_clock=True)
+        r1 = design.add_cell("r1", library["DFF_X1"])
+        r2 = design.add_cell("r2", library["DFF_X1"])
+        inv = design.add_cell("g", library["INV_X1"])
+        design.add_net("q1", r1.pins["Q"], [inv.pins["A"]])
+        design.add_net("d2", inv.pins["Y"], [r2.pins["D"]])
+        # r2.Q dangles; give it an observation port as the generator does.
+        po = design.add_port("obs", "output")
+        design.add_net("q2", r2.pins["Q"], [po])
+        # r1.D needs a driver: tie to an input port.
+        pi = design.add_port("din", "input")
+        design.add_net("d1", pi, [r1.pins["D"]])
+        result = analyse(design, clock_period=2000.0)
+        graph = result.graph
+        d2_node = graph.node(r2.pins["D"])
+        assert result.endpoint_mask[d2_node]
+        # Launch (CK->Q) + inv + wires must all be included.
+        assert result.arrival[d2_node, 2] > 0
+
+    def test_high_fanout_net(self, library):
+        design = Design("fanout", library)
+        a = design.add_port("a", "input")
+        sinks = []
+        for i in range(24):
+            inv = design.add_cell(f"g{i}", library["INV_X1"])
+            sinks.append(inv.pins["A"])
+            po = design.add_port(f"y{i}", "output")
+            design.add_net(f"n{i}", inv.pins["Y"], [po])
+        design.add_net("fan", a, sinks)
+        result = analyse(design, clock_period=2000.0)
+        assert np.all(np.isfinite(result.arrival))
+        # The shared net's sinks see nonzero interconnect delay.
+        graph = result.graph
+        delays = [result.net_delay[graph.node(s), 2] for s in sinks]
+        assert max(delays) > 0
+
+
+class TestCornerConsistency:
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_early_never_after_late_anywhere(self, library, seed):
+        design = generate_circuit("hcorner", 160, "cipher", library,
+                                  seed=seed)
+        result = analyse(design, seed=seed, clock_period=2500.0)
+        at = result.arrival
+        assert np.all(at[:, 0] <= at[:, 2] + 1e-9)
+        assert np.all(at[:, 1] <= at[:, 3] + 1e-9)
+
+    def test_derate_widens_corner_spread(self, library):
+        design = generate_circuit("spread", 200, "datapath", library,
+                                  seed=9)
+        result = analyse(design, clock_period=3000.0)
+        gap = result.arrival[:, 2] - result.arrival[:, 0]
+        assert np.all(gap >= -1e-9)
+        assert gap.mean() > 0
