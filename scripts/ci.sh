@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 suite, then a fast serving smoke test.
+#
+#   scripts/ci.sh         # full tier-1 + serving smoke
+#   scripts/ci.sh smoke   # smoke only (deselects @slow experiment tests)
+#
+# The smoke stage runs at a reduced design scale / epoch count and uses
+# a throwaway cache, so it exercises training, the serving stack and the
+# load generator in minutes, not hours.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [[ "${1:-}" != "smoke" ]]; then
+    echo "== tier-1 test suite =="
+    python -m pytest -x -q
+fi
+
+echo "== serving smoke (REPRO_SCALE=0.25 REPRO_EPOCHS=2) =="
+SMOKE_CACHE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_CACHE"' EXIT
+export REPRO_SCALE=0.25 REPRO_EPOCHS=2 REPRO_CACHE_DIR="$SMOKE_CACHE"
+
+python -m pytest -x -q -m "not slow" tests/test_serving.py
+
+python -m repro.cli bench-serve \
+    --clients 8 --requests-per-client 8 --num-designs 3 \
+    --scale 0.25 --epochs 2
+
+echo "== ci ok =="

@@ -6,6 +6,8 @@ Usage (also available as ``python -m repro``):
     repro dataset --scale 1.0            # build + cache the 21-design suite
     repro train --variant full           # train the timer-inspired GNN
     repro predict usbf_device            # model vs. ground-truth slack
+    repro serve --port 8080              # HTTP slack-prediction service
+    repro bench-serve --clients 8        # loadgen benchmark of the service
     repro write-verilog des -o des.v     # export a benchmark netlist
     repro write-liberty -c late -o s.lib # export one library corner
 """
@@ -92,6 +94,56 @@ def _cmd_predict(args):
     wns_true = float(np.nanmin(slack_true[:, 2:4])) * TIME_SCALE
     print(f"setup WNS: true {wns_true:.1f} ps, predicted {wns_pred:.1f} ps")
     return 0
+
+
+def _cmd_serve(args):
+    from .serving import ModelRegistry, PredictionService, ServingServer
+
+    registry = ModelRegistry(scale=args.scale, epochs=args.epochs)
+    service = PredictionService(
+        registry=registry, scale=args.scale,
+        batch_window_ms=args.batch_window_ms, max_batch=args.max_batch)
+    if args.warm:
+        print(f"warming model {args.model_variant!r} ...")
+        service.warm(models=[args.model_variant])
+    server = ServingServer(service, host=args.host, port=args.port,
+                           quiet=False)
+    host, port = server.address
+    print(f"serving on http://{host}:{port}  "
+          f"(POST /predict, GET /models /healthz /stats)")
+    try:
+        server.start()._thread.join()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.stop()
+    return 0
+
+
+def _cmd_bench_serve(args):
+    from .netlist import benchmark_names
+    from .serving import (ModelRegistry, PredictionService, ServingServer,
+                          format_loadgen_report, run_loadgen)
+
+    designs = args.designs or benchmark_names("test")[:args.num_designs]
+    registry = ModelRegistry(scale=args.scale, epochs=args.epochs)
+    service = PredictionService(
+        registry=registry, scale=args.scale,
+        batch_window_ms=args.batch_window_ms, max_batch=args.max_batch)
+    print(f"warming model {args.model_variant!r} and "
+          f"{len(designs)} design graphs ...")
+    service.warm(models=[args.model_variant], designs=designs)
+    with ServingServer(service) as server:
+        print(f"driving {server.url} with {args.clients} clients x "
+              f"{args.requests_per_client} requests over {designs}")
+        result = run_loadgen(
+            server.url, designs, clients=args.clients,
+            requests_per_client=args.requests_per_client,
+            model=args.model_variant, deadline_ms=args.deadline_ms)
+        print(format_loadgen_report(result))
+    bad = result.errors + result.incorrect
+    if bad:
+        print(f"FAILED: {bad} bad responses", file=sys.stderr)
+    return 1 if bad else 0
 
 
 def _cmd_write_verilog(args):
@@ -197,6 +249,40 @@ def build_parser():
     p.add_argument("--variant", default="full")
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("serve",
+                       help="run the HTTP slack-prediction service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--model-variant", default="timing-full",
+                   help="registry model to pre-warm (e.g. timing-full, "
+                        "net-embedding)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="design scale (default: REPRO_SCALE)")
+    p.add_argument("--epochs", type=int, default=None,
+                   help="training epochs if a checkpoint must be trained")
+    p.add_argument("--batch-window-ms", type=float, default=2.0)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--no-warm", dest="warm", action="store_false",
+                   help="skip eager model loading at startup")
+    p.set_defaults(func=_cmd_serve, warm=True)
+
+    p = sub.add_parser("bench-serve",
+                       help="benchmark the serving layer with concurrent "
+                            "clients")
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--requests-per-client", type=int, default=8)
+    p.add_argument("--model-variant", default="timing-full")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--epochs", type=int, default=None)
+    p.add_argument("--designs", nargs="*", default=None,
+                   help="benchmark names to request (default: first "
+                        "--num-designs test designs)")
+    p.add_argument("--num-designs", type=int, default=3)
+    p.add_argument("--deadline-ms", type=float, default=None)
+    p.add_argument("--batch-window-ms", type=float, default=2.0)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.set_defaults(func=_cmd_bench_serve)
 
     p = sub.add_parser("write-verilog", help="export a benchmark netlist")
     p.add_argument("benchmark")

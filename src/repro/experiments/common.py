@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import asdict
 
 import numpy as np
@@ -27,10 +28,41 @@ __all__ = [
     "experiment_scale", "experiment_epochs", "get_dataset",
     "train_test_graphs", "trained_timing_gnn", "trained_gcnii",
     "trained_net_embedding", "model_config", "train_config",
+    "model_cache_path",
 ]
 
 _DATASETS = {}
 _MODELS = {}
+
+# The memo dicts above are process-wide; a serving layer (or pytest-xdist
+# style parallelism) can hit them from many threads at once.  A global
+# lock guards dict membership; per-key locks serialize the expensive
+# build/train of any one entry without serializing *different* entries.
+_MEMO_LOCK = threading.Lock()
+_KEY_LOCKS = {}
+
+
+def _key_lock(key):
+    with _MEMO_LOCK:
+        lock = _KEY_LOCKS.get(key)
+        if lock is None:
+            lock = _KEY_LOCKS[key] = threading.Lock()
+        return lock
+
+
+def _memoized(memo, key, build):
+    """Thread-safe double-checked memoization of ``build()`` under ``key``."""
+    with _MEMO_LOCK:
+        if key in memo:
+            return memo[key]
+    with _key_lock(key):
+        with _MEMO_LOCK:
+            if key in memo:
+                return memo[key]
+        value = build()
+        with _MEMO_LOCK:
+            memo[key] = value
+        return value
 
 
 def experiment_scale():
@@ -52,11 +84,15 @@ def train_config(**overrides):
 
 
 def get_dataset(scale=None):
-    """The 21-design dataset at the experiment scale, memoized."""
+    """The 21-design dataset at the experiment scale, memoized.
+
+    Thread-safe, and keyed by the active cache directory as well as the
+    scale so flipping ``REPRO_CACHE_DIR`` mid-process never returns a
+    memo built from another cache.
+    """
     scale = experiment_scale() if scale is None else scale
-    if scale not in _DATASETS:
-        _DATASETS[scale] = load_dataset(scale=scale)
-    return _DATASETS[scale]
+    key = (scale, default_cache_dir())
+    return _memoized(_DATASETS, key, lambda: load_dataset(scale=scale))
 
 
 def train_test_graphs(scale=None):
@@ -85,20 +121,32 @@ def _save_state(path, model):
     np.savez_compressed(path, **model.state_dict())
 
 
+def model_cache_path(kind, cfg, tcfg, scale, extra=""):
+    """On-disk ``.npz`` path for one trained model's state.
+
+    Lives under :func:`default_cache_dir`, so it honors
+    ``REPRO_CACHE_DIR`` exactly like the dataset cache.
+    """
+    return os.path.join(default_cache_dir(),
+                        f"model_{kind}_{_cache_key(kind, cfg, tcfg, scale, extra)}.npz")
+
+
 def _get_or_train(kind, builder, trainer, cfg, tcfg, scale, extra=""):
-    key = (kind, _cache_key(kind, cfg, tcfg, scale, extra))
-    if key in _MODELS:
-        return _MODELS[key]
-    path = os.path.join(default_cache_dir(), f"model_{kind}_{key[1]}.npz")
-    model = builder()
-    if os.path.exists(path):
-        _load_state(path, model)
-    else:
-        model, _history = trainer()
-        _save_state(path, model)
-    model.eval()
-    _MODELS[key] = model
-    return model
+    cache_dir = default_cache_dir()
+    key = (kind, _cache_key(kind, cfg, tcfg, scale, extra), cache_dir)
+
+    def build():
+        path = model_cache_path(kind, cfg, tcfg, scale, extra)
+        model = builder()
+        if os.path.exists(path):
+            _load_state(path, model)
+        else:
+            model, _history = trainer()
+            _save_state(path, model)
+        model.eval()
+        return model
+
+    return _memoized(_MODELS, key, build)
 
 
 def trained_timing_gnn(variant="full", scale=None, epochs=None):

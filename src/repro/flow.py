@@ -19,6 +19,8 @@ Every stage accessor runs the missing prerequisites automatically, so
 
 from __future__ import annotations
 
+import hashlib
+
 from .graphdata import extract_graph
 from .liberty import make_sky130_like_library
 from .netlist import build_benchmark, parse_verilog, validate_design
@@ -127,6 +129,21 @@ class Flow:
             self._hetero = extract_graph(self.graph, self.placement,
                                          self.result, split=split)
         return self._hetero
+
+    def fingerprint(self):
+        """Content hash of the placed netlist (serving cache key).
+
+        Covers the structural netlist (via the Verilog writer, which is
+        round-trip exact) and the placement coordinates, so two flows
+        whose placed designs are identical hash identically — and any
+        netlist or placement change invalidates downstream caches.
+        """
+        from .netlist import write_verilog
+        h = hashlib.sha256()
+        h.update(write_verilog(self.design).encode())
+        pin_xy = self.placement.pin_xy
+        h.update(pin_xy.tobytes())
+        return h.hexdigest()[:16]
 
     # -- conveniences ---------------------------------------------------------------
     def timing_summary(self):

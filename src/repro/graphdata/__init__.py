@@ -7,6 +7,7 @@ from .extract import extract_graph
 from .features import BARBOZA_FEATURE_NAMES, barboza_features
 from .dataset import (DesignRecord, generate_design, load_dataset,
                       default_cache_dir)
+from .batch import GraphSlice, batch_graphs, split_rows
 
 __all__ = [
     "HeteroGraph", "LevelBlock",
@@ -15,4 +16,5 @@ __all__ = [
     "extract_graph",
     "BARBOZA_FEATURE_NAMES", "barboza_features",
     "DesignRecord", "generate_design", "load_dataset", "default_cache_dir",
+    "GraphSlice", "batch_graphs", "split_rows",
 ]

@@ -1,0 +1,108 @@
+"""Disjoint-union batching of :class:`HeteroGraph` instances.
+
+The serving layer coalesces concurrent prediction requests into one
+forward pass.  Because every model operation is either row-wise (MLPs,
+gather/scatter) or a segment reduction keyed by destination node, a
+block-diagonal union of several designs propagates *exactly* as the
+designs would individually: nodes keep their per-design topological
+level, so the levelized schedule interleaves all members of the batch
+level by level, and no message ever crosses a design boundary.
+
+``batch_graphs`` builds the union plus per-member slice records;
+``split_rows`` recovers per-member views of any node/edge-aligned array
+(e.g. a batched prediction's arrival matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hetero import HeteroGraph
+
+__all__ = ["GraphSlice", "batch_graphs", "split_rows"]
+
+
+@dataclass(frozen=True)
+class GraphSlice:
+    """Row ranges of one member design inside a batched union graph."""
+
+    name: str
+    index: int
+    node_lo: int
+    node_hi: int
+    net_lo: int
+    net_hi: int
+    cell_lo: int
+    cell_hi: int
+
+    @property
+    def num_nodes(self):
+        return self.node_hi - self.node_lo
+
+
+# Index-valued fields must be shifted by the member's node offset when
+# concatenated; everything else concatenates as-is.
+_NODE_INDEX_FIELDS = ("net_src", "net_dst", "cell_src", "cell_dst")
+
+
+def batch_graphs(graphs):
+    """Union ``graphs`` into one HeteroGraph.
+
+    Returns ``(union, slices)`` where ``slices[i]`` locates member ``i``'s
+    node/net-edge/cell-edge rows inside the union's arrays.  A
+    single-element batch is returned as-is (no copy).
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("batch_graphs() needs at least one graph")
+    if len(graphs) == 1:
+        g = graphs[0]
+        return g, [GraphSlice(g.name, 0, 0, g.num_nodes,
+                              0, g.num_net_edges, 0, g.num_cell_edges)]
+
+    slices = []
+    node_off = net_off = cell_off = 0
+    for i, g in enumerate(graphs):
+        slices.append(GraphSlice(
+            g.name, i, node_off, node_off + g.num_nodes,
+            net_off, net_off + g.num_net_edges,
+            cell_off, cell_off + g.num_cell_edges))
+        node_off += g.num_nodes
+        net_off += g.num_net_edges
+        cell_off += g.num_cell_edges
+
+    arrays = {}
+    for field in HeteroGraph._ARRAY_FIELDS:
+        parts = []
+        for g, sl in zip(graphs, slices):
+            part = getattr(g, field)
+            if field in _NODE_INDEX_FIELDS:
+                part = part + sl.node_lo
+            parts.append(part)
+        arrays[field] = np.concatenate(parts, axis=0)
+
+    union = HeteroGraph(
+        name="batch[" + "+".join(g.name for g in graphs) + "]",
+        split="mixed",
+        clock_period=max(g.clock_period for g in graphs),
+        **arrays)
+    union.build_levels()
+    return union, slices
+
+
+def split_rows(array, slices, kind="node"):
+    """Split a union-aligned array back into per-member arrays.
+
+    ``kind`` selects which row space ``array`` lives in: "node",
+    "net" (net edges) or "cell" (cell edges).
+    """
+    bounds = {"node": lambda s: (s.node_lo, s.node_hi),
+              "net": lambda s: (s.net_lo, s.net_hi),
+              "cell": lambda s: (s.cell_lo, s.cell_hi)}[kind]
+    out = []
+    for sl in slices:
+        lo, hi = bounds(sl)
+        out.append(array[lo:hi])
+    return out

@@ -101,3 +101,16 @@ class NetEmbedding(nn.Module):
         for layer in self.layers:
             h = layer(h, graph)
         return h, self.net_delay_head(h)
+
+    def predict_batch(self, graphs):
+        """One forward pass over a disjoint union of several designs.
+
+        Returns one ``{"net_delay"}`` dict (numpy, member node order)
+        per input graph; see :meth:`TimingGNN.predict_batch`.
+        """
+        from ..graphdata.batch import batch_graphs, split_rows
+        union, slices = batch_graphs(graphs)
+        with nn.no_grad():
+            _emb, net_delay = self.forward(union)
+        return [{"net_delay": nd}
+                for nd in split_rows(net_delay.data, slices)]

@@ -70,3 +70,19 @@ class TimingGNN(nn.Module):
         """Inference without gradient tracking."""
         with nn.no_grad():
             return self.forward(graph)
+
+    def predict_batch(self, graphs):
+        """One forward pass over a disjoint union of several designs.
+
+        Returns one per-design dict ``{"arrival", "slew"}`` (numpy, in
+        the member graph's node order) per input graph.  Because every
+        model operation is row-wise or a per-destination segment
+        reduction, the batched outputs match per-graph :meth:`predict`
+        to numerical tolerance — see ``tests/test_serving.py``.
+        """
+        from ..graphdata.batch import batch_graphs, split_rows
+        union, slices = batch_graphs(graphs)
+        pred = self.predict(union)
+        arrivals = split_rows(pred.numpy_arrival(), slices)
+        slews = split_rows(pred.numpy_slew(), slices)
+        return [{"arrival": a, "slew": s} for a, s in zip(arrivals, slews)]

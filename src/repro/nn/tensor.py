@@ -14,28 +14,43 @@ is property-tested against numerical differentiation in
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = [True]
+
+class _GradState(threading.local):
+    """Per-thread grad-enabled stack.
+
+    Thread-local so a serving thread running inference under
+    ``no_grad()`` cannot turn gradients off under a concurrently
+    training thread (and vice versa).
+    """
+
+    def __init__(self):
+        self.stack = [True]
+
+
+_GRAD_STATE = _GradState()
 
 
 class no_grad:
     """Context manager that disables gradient recording (for inference)."""
 
     def __enter__(self):
-        _GRAD_ENABLED.append(False)
+        _GRAD_STATE.stack.append(False)
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        _GRAD_ENABLED.pop()
+        _GRAD_STATE.stack.pop()
         return False
 
 
 def is_grad_enabled():
     """Return True when operations should be recorded on the tape."""
-    return _GRAD_ENABLED[-1]
+    return _GRAD_STATE.stack[-1]
 
 
 def _unbroadcast(grad, shape):

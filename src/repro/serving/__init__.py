@@ -1,0 +1,32 @@
+"""Serving layer: batched, concurrent slack prediction as a service.
+
+The reproduction's first traffic-facing subsystem (see DESIGN.md §3):
+
+* :mod:`.registry`  — named, versioned warm-model registry;
+* :mod:`.cache`     — thread-safe LRU caches (graphs, results);
+* :mod:`.batching`  — micro-batching executor (disjoint-union forwards);
+* :mod:`.service`   — the transport-agnostic core with deadlines and
+  graceful degradation to the ground-truth STA path;
+* :mod:`.http`      — stdlib JSON/HTTP front-end
+  (``/predict``, ``/models``, ``/healthz``, ``/stats``);
+* :mod:`.loadgen`   — concurrent load-generator benchmark harness.
+"""
+
+from .batching import BatchTimeout, MicroBatcher
+from .cache import LRUCache
+from .http import ServingServer, make_server
+from .loadgen import LoadgenResult, format_loadgen_report, run_loadgen
+from .registry import (DEFAULT_MODELS, ModelEntry, ModelLoadError,
+                       ModelRegistry)
+from .service import (PredictionService, PredictRequest, PredictResponse,
+                      RequestError)
+
+__all__ = [
+    "BatchTimeout", "MicroBatcher",
+    "LRUCache",
+    "ServingServer", "make_server",
+    "LoadgenResult", "format_loadgen_report", "run_loadgen",
+    "DEFAULT_MODELS", "ModelEntry", "ModelLoadError", "ModelRegistry",
+    "PredictionService", "PredictRequest", "PredictResponse",
+    "RequestError",
+]

@@ -1,0 +1,152 @@
+"""Micro-batching executor: coalesce concurrent requests into one pass.
+
+One :class:`MicroBatcher` serves one model.  Caller threads submit
+``(key, graph)`` work items and block; a single worker thread drains the
+queue, waits up to ``window_s`` for stragglers, dedupes items that refer
+to the same graph, runs the supplied ``runner`` once over the whole
+batch (a disjoint-union forward pass — see
+:func:`repro.graphdata.batch_graphs`), and hands each caller its own
+slice of the result.
+
+Submitting with a timeout gives deadline semantics: a caller that stops
+waiting simply abandons its ticket; the batch still completes and warms
+the result cache for the next request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["MicroBatcher", "BatchTimeout"]
+
+
+class BatchTimeout(Exception):
+    """The caller's deadline expired before its batch finished."""
+
+
+class _Ticket:
+    __slots__ = ("key", "graph", "event", "result", "error", "batch_size")
+
+    def __init__(self, key, graph):
+        self.key = key
+        self.graph = graph
+        self.event = threading.Event()
+        self.result = None
+        self.error = None
+        self.batch_size = 0
+
+
+class MicroBatcher:
+    """Coalesces concurrent submissions to one ``runner`` call.
+
+    ``runner(graphs) -> list`` must return one result per input graph,
+    in order.
+    """
+
+    def __init__(self, runner, window_s=0.002, max_batch=16, name=""):
+        self.runner = runner
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self.name = name
+        self._queue = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._batches = 0
+        self._items = 0
+        self._max_batch_seen = 0
+        self._worker = threading.Thread(
+            target=self._run, name=f"microbatch-{name or hex(id(self))}",
+            daemon=True)
+        self._worker.start()
+
+    # -- caller side ------------------------------------------------------------
+    def submit(self, key, graph, timeout=None):
+        """Block until the batch containing this item ran.
+
+        Returns ``(result, batch_size)``.  Raises :class:`BatchTimeout`
+        when ``timeout`` (seconds) elapses first, or re-raises the
+        runner's exception if the batch failed.
+        """
+        ticket = _Ticket(key, graph)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.append(ticket)
+            self._wakeup.notify()
+        if not ticket.event.wait(timeout):
+            raise BatchTimeout(
+                f"batch for {key!r} did not finish within {timeout}s")
+        if ticket.error is not None:
+            raise ticket.error
+        return ticket.result, ticket.batch_size
+
+    # -- worker side ------------------------------------------------------------
+    def _take_batch(self):
+        """Wait for work, then give stragglers ``window_s`` to pile on."""
+        with self._lock:
+            while not self._queue and not self._closed:
+                self._wakeup.wait()
+            if self._closed and not self._queue:
+                return None
+        deadline = time.perf_counter() + self.window_s
+        while True:
+            with self._lock:
+                if len(self._queue) >= self.max_batch or self._closed:
+                    break
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            time.sleep(min(remaining, self.window_s / 4 or 1e-4))
+        with self._lock:
+            batch, self._queue = (self._queue[:self.max_batch],
+                                  self._queue[self.max_batch:])
+        return batch
+
+    def _run(self):
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            # Dedupe identical graphs: N requests for one design cost
+            # one slot in the forward pass.
+            unique_keys, unique_graphs = [], []
+            position = {}
+            for ticket in batch:
+                if ticket.key not in position:
+                    position[ticket.key] = len(unique_keys)
+                    unique_keys.append(ticket.key)
+                    unique_graphs.append(ticket.graph)
+            try:
+                results = self.runner(unique_graphs)
+                if len(results) != len(unique_graphs):
+                    raise RuntimeError(
+                        f"runner returned {len(results)} results for "
+                        f"{len(unique_graphs)} graphs")
+                for ticket in batch:
+                    ticket.result = results[position[ticket.key]]
+            except Exception as exc:
+                for ticket in batch:
+                    ticket.error = exc
+            with self._lock:
+                self._batches += 1
+                self._items += len(batch)
+                self._max_batch_seen = max(self._max_batch_seen, len(batch))
+            for ticket in batch:
+                ticket.batch_size = len(batch)
+                ticket.event.set()
+
+    # -- lifecycle / stats ------------------------------------------------------
+    def close(self):
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()
+        self._worker.join(timeout=5.0)
+
+    def stats(self):
+        with self._lock:
+            return {"batches": self._batches, "items": self._items,
+                    "max_batch": self._max_batch_seen,
+                    "mean_batch": (self._items / self._batches
+                                   if self._batches else 0.0)}

@@ -1,0 +1,102 @@
+"""Thread-safe LRU cache with hit/miss accounting.
+
+Used by the prediction service for two warm caches: extracted
+``HeteroGraph`` artefacts (keyed by content hash of the placed netlist)
+and finished prediction payloads (keyed by model version + graph key).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    All operations take a single internal lock, so the cache itself is
+    safe under concurrent access.  :meth:`get_or_create` additionally
+    serializes *per-key* factory calls, so N concurrent first requests
+    for the same design extract its graph once, not N times — while
+    factories for different keys run concurrently.
+    """
+
+    def __init__(self, capacity=128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._data = OrderedDict()
+        self._lock = threading.Lock()
+        self._key_locks = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self):
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._data
+
+    def get(self, key, default=None):
+        """Look up ``key``; counts a hit or miss and refreshes recency."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key, value):
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def get_or_create(self, key, factory):
+        """Return the cached value, building it with ``factory()`` on miss.
+
+        Returns ``(value, hit)``.  Concurrent misses on the same key run
+        the factory exactly once.
+        """
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING:
+                self._data.move_to_end(key)
+                self._hits += 1
+                return value, True
+            key_lock = self._key_locks.get(key)
+            if key_lock is None:
+                key_lock = self._key_locks[key] = threading.Lock()
+        with key_lock:
+            with self._lock:
+                value = self._data.get(key, _MISSING)
+                if value is not _MISSING:
+                    self._data.move_to_end(key)
+                    self._hits += 1
+                    return value, True
+                self._misses += 1
+            value = factory()
+            self.put(key, value)
+            with self._lock:
+                self._key_locks.pop(key, None)
+            return value, False
+
+    def clear(self):
+        with self._lock:
+            self._data.clear()
+
+    def stats(self):
+        with self._lock:
+            total = self._hits + self._misses
+            return {"size": len(self._data), "capacity": self.capacity,
+                    "hits": self._hits, "misses": self._misses,
+                    "hit_rate": (self._hits / total) if total else 0.0}

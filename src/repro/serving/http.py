@@ -1,0 +1,138 @@
+"""Stdlib JSON/HTTP front-end for :class:`PredictionService`.
+
+Endpoints:
+
+* ``POST /predict`` — body is a :class:`PredictRequest` JSON object;
+* ``GET /models``   — the registry catalogue (loaded state, versions);
+* ``GET /healthz``  — liveness;
+* ``GET /stats``    — counts, cache hit rates, p50/p99 latency, batching.
+
+Built on ``http.server.ThreadingHTTPServer`` so each connection is
+handled on its own thread — concurrency and batching come from the
+service core, not the transport.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .service import PredictionService, RequestError
+
+__all__ = ["make_server", "ServingServer"]
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+def _make_handler(service, quiet=True):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt, *args):
+            if not quiet:
+                BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+        def _send_json(self, status, payload):
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):
+            routes = {"/healthz": service.healthz,
+                      "/stats": service.stats,
+                      "/models": service.models}
+            handler = routes.get(self.path.split("?", 1)[0])
+            if handler is None:
+                self._send_json(404, {"error": f"no route {self.path}"})
+                return
+            self._send_json(200, handler())
+
+        def do_POST(self):
+            if self.path.split("?", 1)[0] != "/predict":
+                self._send_json(404, {"error": f"no route {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                self._send_json(400, {"error": "bad Content-Length"})
+                return
+            if length <= 0 or length > _MAX_BODY_BYTES:
+                self._send_json(400, {"error": "missing or oversized body"})
+                return
+            try:
+                payload = json.loads(self.rfile.read(length))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                self._send_json(400, {"error": f"invalid JSON: {exc}"})
+                return
+            try:
+                response = service.predict(payload)
+            except RequestError as exc:
+                self._send_json(exc.status, {"error": str(exc)})
+                return
+            except Exception as exc:   # noqa: BLE001 — last-resort 500
+                self._send_json(500, {"error": f"internal error: {exc}"})
+                return
+            self._send_json(200, response.to_dict())
+
+    return Handler
+
+
+def make_server(service, host="127.0.0.1", port=8080, quiet=True):
+    """A ready-to-run ``ThreadingHTTPServer`` bound to ``host:port``.
+
+    ``port=0`` picks a free ephemeral port (see ``server_address``).
+    """
+    server = ThreadingHTTPServer((host, port),
+                                 _make_handler(service, quiet=quiet))
+    server.daemon_threads = True
+    return server
+
+
+class ServingServer:
+    """Owns a service + HTTP server pair; start/stop for embedding.
+
+    Used by ``repro bench-serve``, the load-generator tests, and any
+    caller that wants a warm server inside the current process.
+    """
+
+    def __init__(self, service=None, host="127.0.0.1", port=0, quiet=True):
+        self.service = service or PredictionService()
+        self._server = make_server(self.service, host=host, port=port,
+                                   quiet=quiet)
+        self._thread = None
+
+    @property
+    def address(self):
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    @property
+    def url(self):
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self):
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-serving-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.service.close()
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False

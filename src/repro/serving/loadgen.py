@@ -1,0 +1,182 @@
+"""Load generator: drive the HTTP serving layer with concurrent clients.
+
+``run_loadgen`` spins up N client threads, each issuing a stream of
+``/predict`` calls over localhost (round-robin across a design list),
+validates every response (HTTP 200, echoed design name, well-formed
+prediction payload), and reports throughput plus client-side latency
+percentiles and the server's own ``/stats`` snapshot.  This is the
+serving layer's benchmark — ``repro bench-serve`` wraps it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ClientRecord", "LoadgenResult", "run_loadgen",
+           "format_loadgen_report"]
+
+
+@dataclass
+class ClientRecord:
+    """One client thread's tally."""
+
+    sent: int = 0
+    ok: int = 0
+    errors: int = 0
+    incorrect: int = 0
+    degraded: int = 0
+    cache_hits: int = 0
+    latencies_ms: list = field(default_factory=list)
+
+
+@dataclass
+class LoadgenResult:
+    clients: int
+    requests: int
+    ok: int
+    errors: int
+    incorrect: int
+    degraded: int
+    cache_hits: int
+    duration_s: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    server_stats: dict
+
+
+def _http_json(url, payload=None, timeout=60.0):
+    if payload is None:
+        req = urllib.request.Request(url)
+    else:
+        body = json.dumps(payload).encode()
+        req = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _client_loop(url, designs, model, num_requests, deadline_ms, record,
+                 start_barrier, timeout):
+    start_barrier.wait()
+    for i in range(num_requests):
+        design = designs[i % len(designs)]
+        payload = {"design": design, "model": model}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        t0 = time.perf_counter()
+        record.sent += 1
+        try:
+            status, body = _http_json(url + "/predict", payload,
+                                      timeout=timeout)
+        except (urllib.error.URLError, OSError, ValueError):
+            record.errors += 1
+            continue
+        record.latencies_ms.append((time.perf_counter() - t0) * 1000.0)
+        if status != 200:
+            record.errors += 1
+            continue
+        # Correctness: the answer must be for the design we asked about
+        # and carry a structurally valid prediction payload.
+        prediction = body.get("prediction")
+        if (body.get("design") != design
+                or not isinstance(prediction, dict) or not prediction):
+            record.incorrect += 1
+            continue
+        record.ok += 1
+        if body.get("degraded"):
+            record.degraded += 1
+        if body.get("cache_hit"):
+            record.cache_hits += 1
+
+
+def run_loadgen(url, designs, clients=8, requests_per_client=8,
+                model="timing-full", deadline_ms=None, timeout=120.0):
+    """Drive ``url`` with ``clients`` concurrent request streams.
+
+    Returns a :class:`LoadgenResult`; raises if the server is not
+    reachable at all (``/healthz`` probe).
+    """
+    url = url.rstrip("/")
+    status, _ = _http_json(url + "/healthz", timeout=timeout)
+    if status != 200:
+        raise RuntimeError(f"server at {url} is not healthy")
+
+    records = [ClientRecord() for _ in range(clients)]
+    start_barrier = threading.Barrier(clients + 1)
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(url, list(designs), model, requests_per_client,
+                  deadline_ms, records[i], start_barrier, timeout),
+            name=f"loadgen-{i}", daemon=True)
+        for i in range(clients)]
+    for t in threads:
+        t.start()
+    start_barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    duration = time.perf_counter() - t0
+
+    latencies = np.asarray(
+        [l for r in records for l in r.latencies_ms], dtype=float)
+    total = sum(r.sent for r in records)
+    ok = sum(r.ok for r in records)
+    _, server_stats = _http_json(url + "/stats", timeout=timeout)
+    return LoadgenResult(
+        clients=clients, requests=total, ok=ok,
+        errors=sum(r.errors for r in records),
+        incorrect=sum(r.incorrect for r in records),
+        degraded=sum(r.degraded for r in records),
+        cache_hits=sum(r.cache_hits for r in records),
+        duration_s=duration,
+        throughput_rps=(total / duration) if duration > 0 else 0.0,
+        latency_p50_ms=float(np.percentile(latencies, 50))
+        if len(latencies) else 0.0,
+        latency_p99_ms=float(np.percentile(latencies, 99))
+        if len(latencies) else 0.0,
+        latency_mean_ms=float(latencies.mean()) if len(latencies) else 0.0,
+        server_stats=server_stats)
+
+
+def format_loadgen_report(result):
+    """Human-readable throughput/latency table for one loadgen run."""
+    stats = result.server_stats
+    lines = [
+        "serving benchmark",
+        f"  clients            {result.clients}",
+        f"  requests           {result.requests}"
+        f"  (ok {result.ok}, errors {result.errors},"
+        f" incorrect {result.incorrect})",
+        f"  degraded           {result.degraded}",
+        f"  client cache hits  {result.cache_hits}",
+        f"  duration           {result.duration_s:.2f} s",
+        f"  throughput         {result.throughput_rps:.1f} req/s",
+        f"  latency p50        {result.latency_p50_ms:.1f} ms",
+        f"  latency p99        {result.latency_p99_ms:.1f} ms",
+        f"  latency mean       {result.latency_mean_ms:.1f} ms",
+    ]
+    result_cache = stats.get("result_cache", {})
+    graph_cache = stats.get("graph_cache", {})
+    lines += [
+        "server-side",
+        f"  result cache       {result_cache.get('hits', 0)} hits /"
+        f" {result_cache.get('misses', 0)} misses"
+        f" (hit rate {result_cache.get('hit_rate', 0.0):.2f})",
+        f"  graph cache        {graph_cache.get('hits', 0)} hits /"
+        f" {graph_cache.get('misses', 0)} misses",
+    ]
+    for name, b in (stats.get("batching") or {}).items():
+        lines.append(
+            f"  batcher[{name}]    {b['batches']} batches,"
+            f" mean {b['mean_batch']:.2f}, max {b['max_batch']}")
+    return "\n".join(lines)

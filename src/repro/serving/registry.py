@@ -1,0 +1,169 @@
+"""Named, versioned registry of warm prediction models.
+
+The registry maps stable public names ("timing-full", "net-embedding",
+...) to loader functions that materialize a trained model exactly once
+(from the on-disk ``.npz`` state cache — which honors
+``REPRO_CACHE_DIR`` — training it first if no checkpoint exists) and
+then keep it warm in memory for the lifetime of the service.
+
+Loading is thread-safe and per-entry: two concurrent first requests for
+the same model block on one load; requests for different models load
+concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ModelEntry", "ModelRegistry", "ModelLoadError",
+           "DEFAULT_MODELS", "TIMING_VARIANTS"]
+
+TIMING_VARIANTS = ("full", "cell", "net", "none")
+
+# name -> (kind, variant); the registry's default catalogue.
+DEFAULT_MODELS = {
+    **{f"timing-{v}": ("timing", v) for v in TIMING_VARIANTS},
+    "net-embedding": ("netdelay", None),
+}
+
+
+class ModelLoadError(RuntimeError):
+    """A registry entry failed to load (bad checkpoint, training error)."""
+
+
+@dataclass
+class ModelEntry:
+    """One warm model plus its serving metadata."""
+
+    name: str
+    kind: str                       # "timing" (TimingGNN) | "netdelay"
+    version: str
+    model: object
+    loaded_at: float
+    load_seconds: float
+    extra: dict = field(default_factory=dict)
+
+    def describe(self):
+        return {"name": self.name, "kind": self.kind,
+                "version": self.version,
+                "loaded_at": self.loaded_at,
+                "load_seconds": round(self.load_seconds, 3),
+                **self.extra}
+
+
+def _version_tag(*parts):
+    payload = "|".join(str(p) for p in parts)
+    return "v" + hashlib.sha256(payload.encode()).hexdigest()[:10]
+
+
+class ModelRegistry:
+    """Lazy, thread-safe catalogue of named model loaders."""
+
+    def __init__(self, scale=None, epochs=None, names=None):
+        """``scale``/``epochs`` parameterize the default loaders
+        (defaulting to ``REPRO_SCALE``/``REPRO_EPOCHS``); ``names``
+        restricts the catalogue to a subset of :data:`DEFAULT_MODELS`.
+        """
+        self._scale = scale
+        self._epochs = epochs
+        self._loaders = {}
+        self._entries = {}
+        self._lock = threading.Lock()
+        self._entry_locks = {}
+        catalogue = DEFAULT_MODELS if names is None else {
+            n: DEFAULT_MODELS[n] for n in names}
+        for name, (kind, variant) in catalogue.items():
+            self._loaders[name] = self._default_loader(name, kind, variant)
+
+    # -- catalogue management ---------------------------------------------------
+    def register(self, name, loader):
+        """Add/replace a loader: ``loader() -> ModelEntry``.
+
+        Used by tests and by deployments that serve bespoke checkpoints.
+        """
+        with self._lock:
+            self._loaders[name] = loader
+            self._entries.pop(name, None)
+
+    def names(self):
+        with self._lock:
+            return sorted(self._loaders)
+
+    def loaded_names(self):
+        with self._lock:
+            return sorted(self._entries)
+
+    def _default_loader(self, name, kind, variant):
+        def load():
+            from ..experiments.common import (experiment_epochs,
+                                              experiment_scale,
+                                              trained_net_embedding,
+                                              trained_timing_gnn)
+            from ..graphdata.dataset import DATASET_VERSION
+            scale = (experiment_scale() if self._scale is None
+                     else self._scale)
+            epochs = (experiment_epochs() if self._epochs is None
+                      else self._epochs)
+            if kind == "timing":
+                model = trained_timing_gnn(variant, scale=scale,
+                                           epochs=self._epochs)
+                extra = {"variant": variant}
+            else:
+                model = trained_net_embedding(scale=scale,
+                                              epochs=self._epochs)
+                extra = {}
+            version = _version_tag(kind, variant, scale, epochs,
+                                   DATASET_VERSION)
+            return ModelEntry(name=name, kind=kind, version=version,
+                              model=model, loaded_at=time.time(),
+                              load_seconds=0.0, extra=extra)
+        return load
+
+    # -- lookup -----------------------------------------------------------------
+    def get(self, name):
+        """The warm :class:`ModelEntry` for ``name`` (loading on first use).
+
+        Raises ``KeyError`` for unknown names and :class:`ModelLoadError`
+        when the loader fails.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None:
+                return entry
+            if name not in self._loaders:
+                raise KeyError(name)
+            entry_lock = self._entry_locks.get(name)
+            if entry_lock is None:
+                entry_lock = self._entry_locks[name] = threading.Lock()
+            loader = self._loaders[name]
+        with entry_lock:
+            with self._lock:
+                entry = self._entries.get(name)
+                if entry is not None:
+                    return entry
+            t0 = time.perf_counter()
+            try:
+                entry = loader()
+            except Exception as exc:
+                raise ModelLoadError(
+                    f"loading model {name!r} failed: {exc}") from exc
+            entry.load_seconds = time.perf_counter() - t0
+            with self._lock:
+                self._entries[name] = entry
+            return entry
+
+    def describe(self):
+        """Metadata for every catalogue entry (loaded or not)."""
+        with self._lock:
+            names = sorted(self._loaders)
+            entries = dict(self._entries)
+        out = []
+        for name in names:
+            if name in entries:
+                out.append({**entries[name].describe(), "loaded": True})
+            else:
+                out.append({"name": name, "loaded": False})
+        return out

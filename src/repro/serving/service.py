@@ -1,0 +1,426 @@
+"""Transport-agnostic prediction service core.
+
+:class:`PredictionService` owns the three warm layers the serving story
+is built on:
+
+* a :class:`~repro.serving.registry.ModelRegistry` of named, versioned
+  checkpoints loaded once and kept in memory;
+* two LRU caches — extracted ``HeteroGraph`` artefacts keyed by content
+  hash of the placed netlist, and finished prediction payloads keyed by
+  (model version, graph key);
+* one :class:`~repro.serving.batching.MicroBatcher` per model that
+  coalesces concurrent requests into a single disjoint-union forward
+  pass.
+
+Failure policy ("graceful degradation"): if the model cannot answer —
+load failure, or the request's deadline expires before the batch runs —
+the service falls back to the ground-truth STA labels that were computed
+while extracting the graph, and marks the response ``degraded`` instead
+of erroring.  Only invalid requests (unknown design/model, malformed
+netlist) produce hard errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphdata import TIME_SCALE
+from ..training import slack_from_arrival
+from .batching import BatchTimeout, MicroBatcher
+from .cache import LRUCache
+from .registry import ModelLoadError, ModelRegistry
+
+__all__ = ["PredictRequest", "PredictResponse", "RequestError",
+           "PredictionService"]
+
+
+class RequestError(ValueError):
+    """The request itself is invalid (maps to HTTP 400/404)."""
+
+    def __init__(self, message, status=400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class PredictRequest:
+    """One slack-prediction request.
+
+    Exactly one of ``design`` (a named benchmark) or ``verilog`` (an
+    inline structural netlist) must be given.  ``deadline_ms`` bounds
+    the caller's wait: past it the service answers from the ground-truth
+    STA path with ``degraded=True``.
+    """
+
+    design: str = None
+    verilog: str = None
+    model: str = "timing-full"
+    seed: int = 1
+    scale: float = None
+    deadline_ms: float = None
+    include_slack: bool = False
+    request_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    created_at: float = field(default_factory=time.perf_counter)
+
+    @classmethod
+    def from_dict(cls, payload):
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        known = {"design", "verilog", "model", "seed", "scale",
+                 "deadline_ms", "include_slack", "request_id"}
+        unknown = set(payload) - known
+        if unknown:
+            raise RequestError(f"unknown request fields: {sorted(unknown)}")
+        kwargs = {k: payload[k] for k in known if k in payload}
+        if not kwargs.get("request_id"):
+            kwargs.pop("request_id", None)
+        return cls(**kwargs)
+
+    def validate(self):
+        if bool(self.design) == bool(self.verilog):
+            raise RequestError(
+                "exactly one of 'design' or 'verilog' is required")
+        if self.design is not None and not isinstance(self.design, str):
+            raise RequestError("'design' must be a string")
+        if self.verilog is not None and not isinstance(self.verilog, str):
+            raise RequestError("'verilog' must be a string")
+        if not isinstance(self.model, str) or not self.model:
+            raise RequestError("'model' must be a non-empty string")
+        try:
+            self.seed = int(self.seed)
+        except (TypeError, ValueError):
+            raise RequestError("'seed' must be an integer")
+        if self.scale is not None:
+            try:
+                self.scale = float(self.scale)
+            except (TypeError, ValueError):
+                raise RequestError("'scale' must be a number")
+            if self.scale <= 0:
+                raise RequestError("'scale' must be positive")
+        if self.deadline_ms is not None:
+            try:
+                self.deadline_ms = float(self.deadline_ms)
+            except (TypeError, ValueError):
+                raise RequestError("'deadline_ms' must be a number")
+            if self.deadline_ms < 0:
+                raise RequestError("'deadline_ms' must be >= 0")
+        return self
+
+    def remaining_s(self):
+        """Seconds left before the deadline; None when unbounded."""
+        if self.deadline_ms is None:
+            return None
+        elapsed = time.perf_counter() - self.created_at
+        return self.deadline_ms / 1000.0 - elapsed
+
+
+@dataclass
+class PredictResponse:
+    """One prediction answer (JSON-serializable via :meth:`to_dict`)."""
+
+    request_id: str
+    design: str
+    model: str
+    model_version: str
+    kind: str
+    degraded: bool
+    cache_hit: bool
+    batch_size: int
+    latency_ms: float
+    prediction: dict
+
+    def to_dict(self):
+        return {"request_id": self.request_id, "design": self.design,
+                "model": self.model, "model_version": self.model_version,
+                "kind": self.kind, "degraded": self.degraded,
+                "cache_hit": self.cache_hit, "batch_size": self.batch_size,
+                "latency_ms": round(self.latency_ms, 3),
+                "prediction": self.prediction}
+
+
+class _LatencyWindow:
+    """Rolling latency sample (thread-safe) for p50/p99 reporting."""
+
+    def __init__(self, capacity=8192):
+        self._samples = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, latency_ms):
+        with self._lock:
+            self._samples.append(latency_ms)
+
+    def summary(self):
+        with self._lock:
+            samples = np.asarray(self._samples, dtype=float)
+        if not len(samples):
+            return {"count": 0, "p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0}
+        return {"count": int(len(samples)),
+                "p50_ms": round(float(np.percentile(samples, 50)), 3),
+                "p99_ms": round(float(np.percentile(samples, 99)), 3),
+                "mean_ms": round(float(samples.mean()), 3)}
+
+
+def _timing_payload(graph, arrival, include_slack):
+    """Summary of endpoint slack derived from (predicted) arrivals."""
+    slack = slack_from_arrival(graph, arrival)   # (endpoints, 4) normalized
+    hold = slack[:, 0:2] * TIME_SCALE
+    setup = slack[:, 2:4] * TIME_SCALE
+    payload = {
+        "num_endpoints": int(len(slack)),
+        "clock_period_ps": round(float(graph.clock_period), 3),
+        "wns_setup_ps": round(float(np.nanmin(setup)), 3),
+        "tns_setup_ps": round(float(np.minimum(setup, 0.0)
+                                    .min(axis=1).sum()), 3),
+        "wns_hold_ps": round(float(np.nanmin(hold)), 3),
+        "tns_hold_ps": round(float(np.minimum(hold, 0.0)
+                                   .min(axis=1).sum()), 3),
+    }
+    if include_slack:
+        payload["endpoint_setup_slack_ps"] = [
+            round(float(v), 3) for v in setup.min(axis=1)]
+        payload["endpoint_hold_slack_ps"] = [
+            round(float(v), 3) for v in hold.min(axis=1)]
+    return payload
+
+
+def _netdelay_payload(graph, net_delay):
+    sinks = graph.is_net_sink.astype(bool)
+    delays = np.asarray(net_delay)[sinks] * TIME_SCALE
+    return {
+        "num_net_sinks": int(sinks.sum()),
+        "mean_net_delay_ps": round(float(delays.mean()), 3) if len(delays)
+        else 0.0,
+        "max_net_delay_ps": round(float(delays.max()), 3) if len(delays)
+        else 0.0,
+    }
+
+
+class PredictionService:
+    """The serving core; thread-safe, transport-agnostic."""
+
+    def __init__(self, registry=None, scale=None,
+                 graph_cache_size=64, result_cache_size=1024,
+                 batch_window_ms=2.0, max_batch=16):
+        self.registry = registry or ModelRegistry(scale=scale)
+        self._scale = scale
+        self.graph_cache = LRUCache(graph_cache_size)
+        self.result_cache = LRUCache(result_cache_size)
+        self._batch_window_ms = float(batch_window_ms)
+        self._max_batch = int(max_batch)
+        self._batchers = {}
+        self._lock = threading.Lock()
+        self._latency = _LatencyWindow()
+        self._counts = {"requests": 0, "degraded": 0, "errors": 0,
+                        "deadline_fallbacks": 0, "model_fallbacks": 0}
+        self._started_at = time.time()
+
+    # -- graph resolution -------------------------------------------------------
+    def _effective_scale(self, request):
+        if request.scale is not None:
+            return request.scale
+        if self._scale is not None:
+            return self._scale
+        from ..experiments.common import experiment_scale
+        return experiment_scale()
+
+    def _graph_key(self, request):
+        """Content key of the placed netlist this request refers to.
+
+        Benchmark requests hash the generator identity (name, scale,
+        seed) — cheap and exactly as collision-free as the generator is
+        deterministic.  Inline-netlist requests hash the Verilog source
+        plus the placement seed.
+        """
+        if request.design:
+            ident = (f"bench:{request.design}:s{self._effective_scale(request):g}"
+                     f":seed{request.seed}")
+        else:
+            digest = hashlib.sha256(request.verilog.encode()).hexdigest()
+            ident = f"verilog:{digest}:seed{request.seed}"
+        return hashlib.sha256(ident.encode()).hexdigest()[:16]
+
+    def _build_graph(self, request):
+        """Run the physical flow and extract the dataset graph.
+
+        The extraction necessarily runs ground-truth STA, so every
+        cached graph carries the labels the degraded path answers from.
+        """
+        from ..flow import Flow
+        if request.design:
+            from ..netlist import benchmark_names
+            if request.design not in benchmark_names():
+                raise RequestError(f"unknown design {request.design!r}",
+                                   status=404)
+            flow = Flow.from_benchmark(request.design,
+                                       scale=self._effective_scale(request))
+        else:
+            try:
+                flow = Flow.from_verilog(request.verilog)
+            except Exception as exc:
+                raise RequestError(f"invalid verilog netlist: {exc}")
+        flow.place(seed=request.seed)
+        return flow.extract()
+
+    def resolve_graph(self, request):
+        """(graph, key, cache_hit) for the request's design."""
+        key = self._graph_key(request)
+        graph, hit = self.graph_cache.get_or_create(
+            key, lambda: self._build_graph(request))
+        return graph, key, hit
+
+    # -- batched model execution ------------------------------------------------
+    def _batcher_for(self, entry):
+        batcher_key = (entry.name, entry.version)
+        with self._lock:
+            batcher = self._batchers.get(batcher_key)
+            if batcher is None:
+                batcher = MicroBatcher(
+                    runner=entry.model.predict_batch,
+                    window_s=self._batch_window_ms / 1000.0,
+                    max_batch=self._max_batch, name=entry.name)
+                self._batchers[batcher_key] = batcher
+            return batcher
+
+    # -- payload assembly -------------------------------------------------------
+    @staticmethod
+    def _model_payload(entry, graph, output, include_slack):
+        if entry.kind == "timing":
+            return _timing_payload(graph, output["arrival"], include_slack)
+        return _netdelay_payload(graph, output["net_delay"])
+
+    @staticmethod
+    def _truth_payload(kind, graph, include_slack):
+        if kind == "timing":
+            return _timing_payload(graph, graph.arrival, include_slack)
+        return _netdelay_payload(graph, graph.net_delay)
+
+    def _bump(self, counter):
+        with self._lock:
+            self._counts[counter] += 1
+
+    # -- the entry point --------------------------------------------------------
+    def predict(self, request):
+        """Answer one request; safe to call from many threads at once."""
+        self._bump("requests")
+        try:
+            if isinstance(request, dict):
+                request = PredictRequest.from_dict(request)
+            response = self._predict(request.validate())
+        except RequestError:
+            self._bump("errors")
+            raise
+        response.latency_ms = ((time.perf_counter() - request.created_at)
+                               * 1000.0)
+        self._latency.record(response.latency_ms)
+        if response.degraded:
+            self._bump("degraded")
+        return response
+
+    def _predict(self, request):
+        graph, key, _graph_hit = self.resolve_graph(request)
+        design_name = request.design or graph.name
+
+        # Model resolution; a broken checkpoint degrades rather than 500s.
+        kind = DEFAULT_KIND = "timing"
+        entry = None
+        try:
+            entry = self.registry.get(request.model)
+            kind = entry.kind
+        except KeyError:
+            raise RequestError(f"unknown model {request.model!r}",
+                               status=404)
+        except ModelLoadError:
+            self._bump("model_fallbacks")
+            return PredictResponse(
+                request_id=request.request_id, design=design_name,
+                model=request.model, model_version="unavailable",
+                kind=DEFAULT_KIND, degraded=True, cache_hit=False,
+                batch_size=0, latency_ms=0.0,
+                prediction=self._truth_payload(DEFAULT_KIND, graph,
+                                               request.include_slack))
+
+        result_key = (entry.name, entry.version, key,
+                      bool(request.include_slack))
+        cached = self.result_cache.get(result_key)
+        if cached is not None:
+            return PredictResponse(
+                request_id=request.request_id, design=design_name,
+                model=entry.name, model_version=entry.version, kind=kind,
+                degraded=False, cache_hit=True, batch_size=0,
+                latency_ms=0.0, prediction=cached)
+
+        remaining = request.remaining_s()
+        if remaining is not None and remaining <= 0:
+            self._bump("deadline_fallbacks")
+            return self._degraded_response(request, entry, graph,
+                                           design_name)
+
+        batcher = self._batcher_for(entry)
+        try:
+            output, batch_size = batcher.submit(key, graph,
+                                                timeout=remaining)
+        except BatchTimeout:
+            self._bump("deadline_fallbacks")
+            return self._degraded_response(request, entry, graph,
+                                           design_name)
+
+        payload = self._model_payload(entry, graph, output,
+                                      request.include_slack)
+        self.result_cache.put(result_key, payload)
+        return PredictResponse(
+            request_id=request.request_id, design=design_name,
+            model=entry.name, model_version=entry.version, kind=kind,
+            degraded=False, cache_hit=False, batch_size=batch_size,
+            latency_ms=0.0, prediction=payload)
+
+    def _degraded_response(self, request, entry, graph, design_name):
+        return PredictResponse(
+            request_id=request.request_id, design=design_name,
+            model=entry.name, model_version=entry.version,
+            kind=entry.kind, degraded=True, cache_hit=False,
+            batch_size=0, latency_ms=0.0,
+            prediction=self._truth_payload(entry.kind, graph,
+                                           request.include_slack))
+
+    # -- introspection ----------------------------------------------------------
+    def models(self):
+        return self.registry.describe()
+
+    def healthz(self):
+        return {"status": "ok", "uptime_s": round(
+            time.time() - self._started_at, 1)}
+
+    def stats(self):
+        with self._lock:
+            counts = dict(self._counts)
+            batchers = {name: b.stats()
+                        for (name, _v), b in self._batchers.items()}
+        return {
+            "counts": counts,
+            "latency": self._latency.summary(),
+            "graph_cache": self.graph_cache.stats(),
+            "result_cache": self.result_cache.stats(),
+            "batching": batchers,
+            "uptime_s": round(time.time() - self._started_at, 1),
+        }
+
+    def warm(self, models=(), designs=()):
+        """Eagerly load models and extract design graphs (pre-traffic)."""
+        for name in models:
+            self.registry.get(name)
+        for design in designs:
+            self.resolve_graph(PredictRequest(design=design).validate())
+
+    def close(self):
+        with self._lock:
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for batcher in batchers:
+            batcher.close()

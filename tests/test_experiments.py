@@ -18,6 +18,10 @@ from repro.experiments import (ascii_scatter, figure1_data, figure4_data,
                                table5_accuracy_rows, table5_runtime_rows)
 from repro.netlist import benchmark_names
 
+# The full experiment pipeline (dataset regeneration + training) is the
+# heaviest part of the suite; the CI smoke path deselects it.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module", autouse=True)
 def tiny_experiment_env(tmp_path_factory):
