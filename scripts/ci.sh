@@ -22,10 +22,31 @@ SMOKE_CACHE="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_CACHE"' EXIT
 export REPRO_SCALE=0.25 REPRO_EPOCHS=2 REPRO_CACHE_DIR="$SMOKE_CACHE"
 
-python -m pytest -x -q -m "not slow" tests/test_serving.py
+python -m pytest -x -q -m "not slow" tests/test_serving.py tests/test_obs.py
 
 python -m repro.cli bench-serve \
     --clients 8 --requests-per-client 8 --num-designs 3 \
-    --scale 0.25 --epochs 2
+    --scale 0.25 --epochs 2 \
+    --bench-json BENCH_serving.json
+
+echo "== BENCH_serving.json well-formed check =="
+python - <<'EOF'
+import json
+
+with open("BENCH_serving.json") as fh:
+    bench = json.load(fh)
+required = ["benchmark", "schema_version", "generated_at", "params",
+            "clients", "requests", "ok", "errors", "incorrect",
+            "throughput_rps", "latency_p50_ms", "latency_p99_ms",
+            "server_stats"]
+missing = [key for key in required if key not in bench]
+assert not missing, f"BENCH_serving.json missing keys: {missing}"
+assert bench["benchmark"] == "serving"
+assert bench["requests"] > 0 and bench["ok"] > 0
+assert bench["throughput_rps"] > 0
+print(f"BENCH_serving.json ok: {bench['requests']} requests, "
+      f"{bench['throughput_rps']:.1f} req/s, "
+      f"p50 {bench['latency_p50_ms']:.1f} ms")
+EOF
 
 echo "== ci ok =="

@@ -8,6 +8,8 @@ Usage (also available as ``python -m repro``):
     repro predict usbf_device            # model vs. ground-truth slack
     repro serve --port 8080              # HTTP slack-prediction service
     repro bench-serve --clients 8        # loadgen benchmark of the service
+    repro stats --url http://host:8080   # stats/metrics of a live server
+    repro trace picorv32a -o t.jsonl     # traced flow run -> JSONL spans
     repro write-verilog des -o des.v     # export a benchmark netlist
     repro write-liberty -c late -o s.lib # export one library corner
 """
@@ -15,6 +17,7 @@ Usage (also available as ``python -m repro``):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -110,7 +113,7 @@ def _cmd_serve(args):
                            quiet=False)
     host, port = server.address
     print(f"serving on http://{host}:{port}  "
-          f"(POST /predict, GET /models /healthz /stats)")
+          f"(POST /predict, GET /models /healthz /stats /metrics)")
     try:
         server.start()._thread.join()
     except KeyboardInterrupt:
@@ -140,10 +143,61 @@ def _cmd_bench_serve(args):
             requests_per_client=args.requests_per_client,
             model=args.model_variant, deadline_ms=args.deadline_ms)
         print(format_loadgen_report(result))
+    if args.bench_json:
+        from .serving import write_bench_json
+        path = write_bench_json(result, args.bench_json, params={
+            "clients": args.clients,
+            "requests_per_client": args.requests_per_client,
+            "model": args.model_variant, "designs": list(designs),
+            "scale": args.scale, "epochs": args.epochs,
+            "deadline_ms": args.deadline_ms,
+            "batch_window_ms": args.batch_window_ms,
+            "max_batch": args.max_batch})
+        print(f"wrote {path}")
     bad = result.errors + result.incorrect
     if bad:
         print(f"FAILED: {bad} bad responses", file=sys.stderr)
     return 1 if bad else 0
+
+
+def _cmd_stats(args):
+    import json
+    import urllib.request
+
+    url = args.url.rstrip("/")
+    path = "/metrics" if args.metrics else "/stats"
+    try:
+        with urllib.request.urlopen(url + path, timeout=args.timeout) \
+                as resp:
+            body = resp.read().decode()
+    except OSError as exc:
+        print(f"cannot reach {url}{path}: {exc}", file=sys.stderr)
+        return 1
+    if args.metrics:
+        print(body, end="")
+    else:
+        print(json.dumps(json.loads(body), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace(args):
+    from .flow import Flow
+    from .obs import format_span_tree, get_tracer
+
+    tracer = get_tracer()
+    tracer.reset()
+    output = args.output or f"trace_{args.benchmark}.jsonl"
+    tracer.set_sink(output, mode="w")
+    try:
+        flow = Flow.from_benchmark(args.benchmark, scale=args.scale)
+        flow.run(seed=args.seed)
+        flow.extract()
+    finally:
+        tracer.clear_sink()
+    spans = tracer.spans()
+    print(format_span_tree(spans))
+    print(f"\nwrote {len(spans)} spans to {output}")
+    return 0
 
 
 def _cmd_write_verilog(args):
@@ -282,7 +336,28 @@ def build_parser():
     p.add_argument("--deadline-ms", type=float, default=None)
     p.add_argument("--batch-window-ms", type=float, default=2.0)
     p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--bench-json", default="BENCH_serving.json",
+                   help="record the run to this JSON file "
+                        "('' disables)")
     p.set_defaults(func=_cmd_bench_serve)
+
+    p = sub.add_parser("stats",
+                       help="print /stats (or /metrics) of a running "
+                            "server")
+    p.add_argument("--url", default="http://127.0.0.1:8080")
+    p.add_argument("--metrics", action="store_true",
+                   help="fetch the Prometheus text endpoint instead")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("trace",
+                       help="run a traced flow, export spans as JSONL")
+    p.add_argument("benchmark")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("-o", "--output", default=None,
+                   help="JSONL path (default: trace_<benchmark>.jsonl)")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("write-verilog", help="export a benchmark netlist")
     p.add_argument("benchmark")
@@ -318,7 +393,13 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `repro stats | head`) closed early.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -20,10 +20,12 @@ Every stage accessor runs the missing prerequisites automatically, so
 from __future__ import annotations
 
 import hashlib
+import time
 
 from .graphdata import extract_graph
 from .liberty import make_sky130_like_library
 from .netlist import build_benchmark, parse_verilog, validate_design
+from .obs import get_registry, get_tracer
 from .placement import place_design, total_hpwl
 from .routing import route_design
 from .sta import (IncrementalTimer, build_timing_graph, run_sta,
@@ -31,6 +33,13 @@ from .sta import (IncrementalTimer, build_timing_graph, run_sta,
 from .routing import write_spef
 
 __all__ = ["Flow"]
+
+
+def _stage_timer(stage):
+    """Histogram of one flow stage's wall time (process-wide registry)."""
+    return get_registry().histogram(
+        "repro_flow_stage_ms",
+        "Wall time of one flow stage in milliseconds.", stage=stage)
 
 
 class Flow:
@@ -64,8 +73,13 @@ class Flow:
     # -- stages ------------------------------------------------------------------
     def place(self, seed=1, **kwargs):
         """(Re)place the design; invalidates routing and timing."""
-        self._place_kwargs = dict(seed=seed, **kwargs)
-        self._placement = place_design(self.design, **self._place_kwargs)
+        t0 = time.perf_counter()
+        with get_tracer().span("flow.place", design=self.design.name,
+                               seed=seed):
+            self._place_kwargs = dict(seed=seed, **kwargs)
+            self._placement = place_design(self.design,
+                                           **self._place_kwargs)
+        _stage_timer("place").observe((time.perf_counter() - t0) * 1000.0)
         self._routing = None
         self._result = None
         self._hetero = None
@@ -75,7 +89,10 @@ class Flow:
         """(Re)route; requires placement (runs it if missing)."""
         if self._placement is None:
             self.place()
-        self._routing = route_design(self.design, self._placement)
+        t0 = time.perf_counter()
+        with get_tracer().span("flow.route", design=self.design.name):
+            self._routing = route_design(self.design, self._placement)
+        _stage_timer("route").observe((time.perf_counter() - t0) * 1000.0)
         self._result = None
         self._hetero = None
         return self
@@ -84,19 +101,25 @@ class Flow:
         """Run timing analysis; requires routing (runs it if missing)."""
         if self._routing is None:
             self.route()
-        if self._graph is None:
-            self._graph = build_timing_graph(self.design)
-        self._clock_period = clock_period or self._clock_period
-        self._result = run_sta(self.design, self._placement, self._routing,
-                               clock_period=self._clock_period,
-                               graph=self._graph)
+        t0 = time.perf_counter()
+        with get_tracer().span("flow.sta", design=self.design.name):
+            if self._graph is None:
+                self._graph = build_timing_graph(self.design)
+            self._clock_period = clock_period or self._clock_period
+            self._result = run_sta(self.design, self._placement,
+                                   self._routing,
+                                   clock_period=self._clock_period,
+                                   graph=self._graph)
+        _stage_timer("sta").observe((time.perf_counter() - t0) * 1000.0)
         self._clock_period = self._result.clock_period
         self._hetero = None
         return self
 
     def run(self, seed=1, clock_period=None):
-        """place + route + sta in one call."""
-        return self.place(seed=seed).route().sta(clock_period=clock_period)
+        """place + route + sta in one call (one parent trace span)."""
+        with get_tracer().span("flow.run", design=self.design.name):
+            return self.place(seed=seed).route().sta(
+                clock_period=clock_period)
 
     # -- artefact accessors (auto-run prerequisites) ----------------------------
     @property
@@ -126,8 +149,13 @@ class Flow:
     def extract(self, split="train"):
         """Dataset view (HeteroGraph) of the analysed design."""
         if self._hetero is None:
-            self._hetero = extract_graph(self.graph, self.placement,
-                                         self.result, split=split)
+            t0 = time.perf_counter()
+            with get_tracer().span("flow.extract",
+                                   design=self.design.name):
+                self._hetero = extract_graph(self.graph, self.placement,
+                                             self.result, split=split)
+            _stage_timer("extract").observe(
+                (time.perf_counter() - t0) * 1000.0)
         return self._hetero
 
     def fingerprint(self):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import get_registry, get_tracer
 from .hetero import (CAP_SCALE, DIST_SCALE, TIME_SCALE, HeteroGraph)
 
 __all__ = ["extract_graph"]
@@ -85,6 +86,15 @@ def extract_graph(graph, placement, result, split="train"):
     ``graph`` is the STA :class:`~repro.sta.graph.TimingGraph`,
     ``result`` the :class:`~repro.sta.engine.TimingResult` labels.
     """
+    with get_tracer().span("graphdata.extract",
+                           design=graph.design.name,
+                           nodes=int(graph.num_nodes),
+                           net_edges=len(graph.net_edges),
+                           cell_edges=len(graph.cell_edges)):
+        return _extract_graph(graph, placement, result, split)
+
+
+def _extract_graph(graph, placement, result, split):
     node_features = _node_features(graph, placement)
     net_src, net_dst, net_features = _net_edge_arrays(graph, placement)
     cell_src, cell_dst, cell_valid, cell_indices, cell_values = \
@@ -116,4 +126,7 @@ def extract_graph(graph, placement, result, split="train"):
         cell_arc_delay=result.cell_arc_delay / TIME_SCALE,
     )
     hetero.build_levels()
+    get_registry().counter(
+        "repro_graphs_extracted_total",
+        "HeteroGraphs built from analysed designs.").inc()
     return hetero

@@ -1,0 +1,32 @@
+"""Observability: metrics, tracing and structured logging.
+
+The measurement substrate of the reproduction (DESIGN.md §3).  Three
+independent primitives, one import point:
+
+* :mod:`.metrics` — thread-safe :class:`MetricsRegistry` of counters,
+  gauges and histograms (streaming quantiles), rendered either as a
+  JSON snapshot (``/stats``) or in Prometheus text exposition format
+  (``/metrics``);
+* :mod:`.tracing` — nested spans (``with tracer.span("flow.place")``)
+  with per-thread parent tracking, bounded retention and JSONL export
+  (``REPRO_TRACE=<path>`` streams spans to a file);
+* :mod:`.logging` — structured key=value records with per-module
+  levels (``REPRO_LOG=repro.training=debug``).
+
+The flow, STA engine, extraction and training instrument the
+process-wide defaults (:func:`get_registry`, :func:`get_tracer`,
+:func:`get_logger`); the serving stack wires a per-service registry so
+co-hosted services stay separable.
+"""
+
+from .logging import (LEVELS, Logger, LogManager, configure, get_logger)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      get_registry, set_registry)
+from .tracing import Span, Tracer, format_span_tree, get_tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "get_registry", "set_registry",
+    "Span", "Tracer", "format_span_tree", "get_tracer",
+    "LEVELS", "Logger", "LogManager", "configure", "get_logger",
+]

@@ -1,0 +1,166 @@
+"""Structured key=value logging with per-module levels.
+
+Replaces bare ``print()`` diagnostics with one-line, machine-parseable
+records::
+
+    log = get_logger("repro.training")
+    log.info("epoch", model="timing-gnn", epoch=3, loss=0.1234)
+    # ts=2026-08-06T12:00:00.123Z lvl=info log=repro.training \
+    #   event=epoch model=timing-gnn epoch=3 loss=0.1234
+
+Levels are resolved per logger name by longest-prefix match, so
+``configure(**{"repro.training": "debug"})`` turns on debug records for
+the whole training package while everything else stays at the default.
+The ``REPRO_LOG`` environment variable seeds the same configuration:
+``REPRO_LOG=debug`` (global) or
+``REPRO_LOG=repro.training=debug,default=warning``.
+
+Records go to ``stderr`` by default; ``configure(stream=...)`` points
+them anywhere (tests use a ``StringIO``).  Writes are serialized by one
+lock, so interleaved multi-threaded records never shear.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+__all__ = ["Logger", "LogManager", "get_logger", "configure",
+           "LEVELS"]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+_DEFAULT_LEVEL = "info"
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (int, bool)) or value is None:
+        return str(value)
+    text = str(value)
+    if not text or any(c in text for c in ' "=\n\t'):
+        return json.dumps(text)
+    return text
+
+
+class LogManager:
+    """Owns the output stream and the per-module level table."""
+
+    def __init__(self, default_level=_DEFAULT_LEVEL, stream=None,
+                 env=None):
+        self._lock = threading.Lock()
+        self._stream = stream
+        self._levels = {}
+        self._default = LEVELS[default_level]
+        if env is None:
+            env = os.environ.get("REPRO_LOG", "")
+        if env:
+            self._apply_env(env)
+
+    def _apply_env(self, spec):
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" in part:
+                module, _, level = part.partition("=")
+                self.set_level(level.strip(), module.strip())
+            else:
+                self.set_level(part)
+
+    def set_level(self, level, module=None):
+        """Set the default level, or a specific module's level."""
+        value = LEVELS.get(str(level).lower())
+        if value is None:
+            raise ValueError(f"unknown log level {level!r}")
+        with self._lock:
+            if module is None or module == "default":
+                self._default = value
+            else:
+                self._levels[module] = value
+
+    def level_for(self, name):
+        """Effective numeric threshold for ``name`` (longest prefix)."""
+        with self._lock:
+            best, best_len = self._default, -1
+            for module, value in self._levels.items():
+                if (name == module or name.startswith(module + ".")) \
+                        and len(module) > best_len:
+                    best, best_len = value, len(module)
+            return best
+
+    def configure(self, default_level=None, stream=None, **module_levels):
+        """Adjust defaults at runtime; returns self for chaining."""
+        if default_level is not None:
+            self.set_level(default_level)
+        if stream is not None:
+            with self._lock:
+                self._stream = stream
+        for module, level in module_levels.items():
+            self.set_level(level, module)
+        return self
+
+    def emit(self, line):
+        with self._lock:
+            stream = self._stream if self._stream is not None \
+                else sys.stderr
+            stream.write(line + "\n")
+
+
+class Logger:
+    """Named logger bound to a manager, with optional sticky fields."""
+
+    __slots__ = ("name", "manager", "fields")
+
+    def __init__(self, name, manager=None, fields=None):
+        self.name = name
+        self.manager = manager or _default_manager
+        self.fields = dict(fields or {})
+
+    def bind(self, **fields):
+        """A child logger that stamps ``fields`` on every record."""
+        return Logger(self.name, self.manager,
+                      {**self.fields, **fields})
+
+    def enabled_for(self, level):
+        return LEVELS[level] >= self.manager.level_for(self.name)
+
+    def _log(self, level, event, fields):
+        if not self.enabled_for(level):
+            return
+        ts = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+        ts += f".{int((time.time() % 1) * 1000):03d}Z"
+        parts = [f"ts={ts}", f"lvl={level}", f"log={self.name}",
+                 f"event={_format_value(event)}"]
+        for key, value in {**self.fields, **fields}.items():
+            parts.append(f"{key}={_format_value(value)}")
+        self.manager.emit(" ".join(parts))
+
+    def debug(self, event, **fields):
+        self._log("debug", event, fields)
+
+    def info(self, event, **fields):
+        self._log("info", event, fields)
+
+    def warning(self, event, **fields):
+        self._log("warning", event, fields)
+
+    def error(self, event, **fields):
+        self._log("error", event, fields)
+
+
+_default_manager = LogManager()
+
+
+def get_logger(name, manager=None):
+    """A :class:`Logger` for ``name`` bound to the default manager."""
+    return Logger(name, manager)
+
+
+def configure(default_level=None, stream=None, **module_levels):
+    """Configure the process-wide default log manager."""
+    return _default_manager.configure(default_level=default_level,
+                                      stream=stream, **module_levels)

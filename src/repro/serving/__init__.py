@@ -7,15 +7,20 @@ The reproduction's first traffic-facing subsystem (see DESIGN.md §3):
 * :mod:`.batching`  — micro-batching executor (disjoint-union forwards);
 * :mod:`.service`   — the transport-agnostic core with deadlines and
   graceful degradation to the ground-truth STA path;
-* :mod:`.http`      — stdlib JSON/HTTP front-end
-  (``/predict``, ``/models``, ``/healthz``, ``/stats``);
-* :mod:`.loadgen`   — concurrent load-generator benchmark harness.
+* :mod:`.http`      — stdlib JSON/HTTP front-end (``/predict``,
+  ``/models``, ``/healthz``, ``/stats``, Prometheus ``/metrics``);
+* :mod:`.loadgen`   — concurrent load-generator benchmark harness
+  (results tracked across PRs in ``BENCH_serving.json``).
+
+All serving telemetry lives in one :class:`repro.obs.MetricsRegistry`
+per service — ``/stats`` and ``/metrics`` are two views of it.
 """
 
 from .batching import BatchTimeout, MicroBatcher
 from .cache import LRUCache
 from .http import ServingServer, make_server
-from .loadgen import LoadgenResult, format_loadgen_report, run_loadgen
+from .loadgen import (LoadgenResult, format_loadgen_report, run_loadgen,
+                      write_bench_json)
 from .registry import (DEFAULT_MODELS, ModelEntry, ModelLoadError,
                        ModelRegistry)
 from .service import (PredictionService, PredictRequest, PredictResponse,
@@ -26,6 +31,7 @@ __all__ = [
     "LRUCache",
     "ServingServer", "make_server",
     "LoadgenResult", "format_loadgen_report", "run_loadgen",
+    "write_bench_json",
     "DEFAULT_MODELS", "ModelEntry", "ModelLoadError", "ModelRegistry",
     "PredictionService", "PredictRequest", "PredictResponse",
     "RequestError",

@@ -18,6 +18,8 @@ from __future__ import annotations
 import threading
 import time
 
+from ..obs import MetricsRegistry
+
 __all__ = ["MicroBatcher", "BatchTimeout"]
 
 
@@ -44,7 +46,8 @@ class MicroBatcher:
     in order.
     """
 
-    def __init__(self, runner, window_s=0.002, max_batch=16, name=""):
+    def __init__(self, runner, window_s=0.002, max_batch=16, name="",
+                 registry=None):
         self.runner = runner
         self.window_s = float(window_s)
         self.max_batch = int(max_batch)
@@ -53,9 +56,14 @@ class MicroBatcher:
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
-        self._batches = 0
-        self._items = 0
-        self._max_batch_seen = 0
+        metrics = registry if registry is not None else MetricsRegistry()
+        labels = {"model": name} if name else {}
+        self._batch_hist = metrics.histogram(
+            "repro_batch_size",
+            "Requests coalesced per micro-batch forward pass.", **labels)
+        self._queue_depth = metrics.gauge(
+            "repro_batch_queue_depth",
+            "Requests waiting for the next micro-batch.", **labels)
         self._worker = threading.Thread(
             target=self._run, name=f"microbatch-{name or hex(id(self))}",
             daemon=True)
@@ -74,6 +82,7 @@ class MicroBatcher:
             if self._closed:
                 raise RuntimeError("batcher is closed")
             self._queue.append(ticket)
+            self._queue_depth.set(len(self._queue))
             self._wakeup.notify()
         if not ticket.event.wait(timeout):
             raise BatchTimeout(
@@ -102,6 +111,7 @@ class MicroBatcher:
         with self._lock:
             batch, self._queue = (self._queue[:self.max_batch],
                                   self._queue[self.max_batch:])
+            self._queue_depth.set(len(self._queue))
         return batch
 
     def _run(self):
@@ -129,10 +139,7 @@ class MicroBatcher:
             except Exception as exc:
                 for ticket in batch:
                     ticket.error = exc
-            with self._lock:
-                self._batches += 1
-                self._items += len(batch)
-                self._max_batch_seen = max(self._max_batch_seen, len(batch))
+            self._batch_hist.observe(len(batch))
             for ticket in batch:
                 ticket.batch_size = len(batch)
                 ticket.event.set()
@@ -145,8 +152,9 @@ class MicroBatcher:
         self._worker.join(timeout=5.0)
 
     def stats(self):
+        snap = self._batch_hist.snapshot()
         with self._lock:
-            return {"batches": self._batches, "items": self._items,
-                    "max_batch": self._max_batch_seen,
-                    "mean_batch": (self._items / self._batches
-                                   if self._batches else 0.0)}
+            depth = len(self._queue)
+        return {"batches": snap["count"], "items": int(snap["sum"]),
+                "max_batch": int(snap["max"]),
+                "mean_batch": snap["mean"], "queue_depth": depth}

@@ -1,14 +1,23 @@
-"""Thread-safe LRU cache with hit/miss accounting.
+"""Thread-safe LRU cache with hit/miss/eviction accounting.
 
 Used by the prediction service for two warm caches: extracted
 ``HeteroGraph`` artefacts (keyed by content hash of the placed netlist)
 and finished prediction payloads (keyed by model version + graph key).
+
+Accounting lives in :mod:`repro.obs` counters.  Pass a shared
+``MetricsRegistry`` (as :class:`~repro.serving.service.PredictionService`
+does) and the cache's hits/misses/evictions/size appear on the
+Prometheus ``/metrics`` endpoint, labelled ``{cache="<name>"}``;
+:meth:`stats` reads the very same instruments, so the JSON and
+Prometheus views cannot disagree.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+
+from ..obs import MetricsRegistry
 
 __all__ = ["LRUCache"]
 
@@ -25,15 +34,27 @@ class LRUCache:
     factories for different keys run concurrently.
     """
 
-    def __init__(self, capacity=128):
+    def __init__(self, capacity=128, registry=None, name=""):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
+        self.name = name
         self._data = OrderedDict()
         self._lock = threading.Lock()
         self._key_locks = {}
-        self._hits = 0
-        self._misses = 0
+        metrics = registry if registry is not None else MetricsRegistry()
+        labels = {"cache": name} if name else {}
+        self._hits = metrics.counter(
+            "repro_cache_hits_total", "Cache lookups served from memory.",
+            **labels)
+        self._misses = metrics.counter(
+            "repro_cache_misses_total", "Cache lookups that missed.",
+            **labels)
+        self._evictions = metrics.counter(
+            "repro_cache_evictions_total",
+            "Entries dropped by LRU eviction.", **labels)
+        self._size = metrics.gauge(
+            "repro_cache_size", "Entries currently cached.", **labels)
 
     def __len__(self):
         with self._lock:
@@ -48,10 +69,10 @@ class LRUCache:
         with self._lock:
             value = self._data.get(key, _MISSING)
             if value is _MISSING:
-                self._misses += 1
+                self._misses.inc()
                 return default
             self._data.move_to_end(key)
-            self._hits += 1
+            self._hits.inc()
             return value
 
     def put(self, key, value):
@@ -60,6 +81,8 @@ class LRUCache:
             self._data.move_to_end(key)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
+                self._evictions.inc()
+            self._size.set(len(self._data))
 
     def get_or_create(self, key, factory):
         """Return the cached value, building it with ``factory()`` on miss.
@@ -71,7 +94,7 @@ class LRUCache:
             value = self._data.get(key, _MISSING)
             if value is not _MISSING:
                 self._data.move_to_end(key)
-                self._hits += 1
+                self._hits.inc()
                 return value, True
             key_lock = self._key_locks.get(key)
             if key_lock is None:
@@ -81,9 +104,9 @@ class LRUCache:
                 value = self._data.get(key, _MISSING)
                 if value is not _MISSING:
                     self._data.move_to_end(key)
-                    self._hits += 1
+                    self._hits.inc()
                     return value, True
-                self._misses += 1
+                self._misses.inc()
             value = factory()
             self.put(key, value)
             with self._lock:
@@ -93,10 +116,13 @@ class LRUCache:
     def clear(self):
         with self._lock:
             self._data.clear()
+            self._size.set(0)
 
     def stats(self):
-        with self._lock:
-            total = self._hits + self._misses
-            return {"size": len(self._data), "capacity": self.capacity,
-                    "hits": self._hits, "misses": self._misses,
-                    "hit_rate": (self._hits / total) if total else 0.0}
+        hits = int(self._hits.value)
+        misses = int(self._misses.value)
+        total = hits + misses
+        return {"size": len(self), "capacity": self.capacity,
+                "hits": hits, "misses": misses,
+                "evictions": int(self._evictions.value),
+                "hit_rate": (hits / total) if total else 0.0}

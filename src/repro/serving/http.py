@@ -5,7 +5,9 @@ Endpoints:
 * ``POST /predict`` — body is a :class:`PredictRequest` JSON object;
 * ``GET /models``   — the registry catalogue (loaded state, versions);
 * ``GET /healthz``  — liveness;
-* ``GET /stats``    — counts, cache hit rates, p50/p99 latency, batching.
+* ``GET /stats``    — counts, cache hit rates, p50/p99 latency, batching;
+* ``GET /metrics``  — the same facts in Prometheus text exposition
+  format (scrape target), straight from the service's metrics registry.
 
 Built on ``http.server.ThreadingHTTPServer`` so each connection is
 handled on its own thread — concurrency and batching come from the
@@ -18,7 +20,10 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..obs import get_logger
 from .service import PredictionService, RequestError
+
+_log = get_logger("repro.serving.http")
 
 __all__ = ["make_server", "ServingServer"]
 
@@ -41,11 +46,25 @@ def _make_handler(service, quiet=True):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_text(self, status, text, content_type):
+            body = text.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def do_GET(self):
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                self._send_text(
+                    200, service.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8")
+                return
             routes = {"/healthz": service.healthz,
                       "/stats": service.stats,
                       "/models": service.models}
-            handler = routes.get(self.path.split("?", 1)[0])
+            handler = routes.get(path)
             if handler is None:
                 self._send_json(404, {"error": f"no route {self.path}"})
                 return
@@ -74,6 +93,8 @@ def _make_handler(service, quiet=True):
                 self._send_json(exc.status, {"error": str(exc)})
                 return
             except Exception as exc:   # noqa: BLE001 — last-resort 500
+                _log.error("internal_error", path=self.path,
+                           error=str(exc))
                 self._send_json(500, {"error": f"internal error: {exc}"})
                 return
             self._send_json(200, response.to_dict())

@@ -5,7 +5,9 @@
 validates every response (HTTP 200, echoed design name, well-formed
 prediction payload), and reports throughput plus client-side latency
 percentiles and the server's own ``/stats`` snapshot.  This is the
-serving layer's benchmark — ``repro bench-serve`` wraps it.
+serving layer's benchmark — ``repro bench-serve`` wraps it and records
+each run to ``BENCH_serving.json`` (see :func:`write_bench_json`) so
+the throughput/latency trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -15,12 +17,15 @@ import threading
 import time
 import urllib.error
 import urllib.request
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 __all__ = ["ClientRecord", "LoadgenResult", "run_loadgen",
-           "format_loadgen_report"]
+           "format_loadgen_report", "write_bench_json",
+           "BENCH_SCHEMA_VERSION"]
+
+BENCH_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -51,6 +56,13 @@ class LoadgenResult:
     latency_p99_ms: float
     latency_mean_ms: float
     server_stats: dict
+
+    def to_dict(self):
+        out = asdict(self)
+        for key, value in out.items():
+            if isinstance(value, float):
+                out[key] = round(value, 4)
+        return out
 
 
 def _http_json(url, payload=None, timeout=60.0):
@@ -146,6 +158,27 @@ def run_loadgen(url, designs, clients=8, requests_per_client=8,
         if len(latencies) else 0.0,
         latency_mean_ms=float(latencies.mean()) if len(latencies) else 0.0,
         server_stats=server_stats)
+
+
+def write_bench_json(result, path="BENCH_serving.json", params=None):
+    """Record one loadgen run as a small JSON benchmark artefact.
+
+    Written by ``repro bench-serve`` at the repo root so the serving
+    throughput/latency trajectory is tracked across PRs; ``scripts/
+    ci.sh`` asserts the file is produced and well-formed.
+    """
+    payload = {
+        "benchmark": "serving",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                      time.gmtime()),
+        "params": dict(params or {}),
+        **result.to_dict(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+    return path
 
 
 def format_loadgen_report(result):

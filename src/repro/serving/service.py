@@ -26,12 +26,12 @@ import hashlib
 import threading
 import time
 import uuid
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..graphdata import TIME_SCALE
+from ..obs import MetricsRegistry, get_registry, get_tracer
 from ..training import slack_from_arrival
 from .batching import BatchTimeout, MicroBatcher
 from .cache import LRUCache
@@ -145,28 +145,6 @@ class PredictResponse:
                 "prediction": self.prediction}
 
 
-class _LatencyWindow:
-    """Rolling latency sample (thread-safe) for p50/p99 reporting."""
-
-    def __init__(self, capacity=8192):
-        self._samples = deque(maxlen=capacity)
-        self._lock = threading.Lock()
-
-    def record(self, latency_ms):
-        with self._lock:
-            self._samples.append(latency_ms)
-
-    def summary(self):
-        with self._lock:
-            samples = np.asarray(self._samples, dtype=float)
-        if not len(samples):
-            return {"count": 0, "p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0}
-        return {"count": int(len(samples)),
-                "p50_ms": round(float(np.percentile(samples, 50)), 3),
-                "p99_ms": round(float(np.percentile(samples, 99)), 3),
-                "mean_ms": round(float(samples.mean()), 3)}
-
-
 def _timing_payload(graph, arrival, include_slack):
     """Summary of endpoint slack derived from (predicted) arrivals."""
     slack = slack_from_arrival(graph, arrival)   # (endpoints, 4) normalized
@@ -207,18 +185,39 @@ class PredictionService:
 
     def __init__(self, registry=None, scale=None,
                  graph_cache_size=64, result_cache_size=1024,
-                 batch_window_ms=2.0, max_batch=16):
+                 batch_window_ms=2.0, max_batch=16, metrics=None):
         self.registry = registry or ModelRegistry(scale=scale)
         self._scale = scale
-        self.graph_cache = LRUCache(graph_cache_size)
-        self.result_cache = LRUCache(result_cache_size)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.graph_cache = LRUCache(graph_cache_size,
+                                    registry=self.metrics, name="graph")
+        self.result_cache = LRUCache(result_cache_size,
+                                     registry=self.metrics, name="result")
         self._batch_window_ms = float(batch_window_ms)
         self._max_batch = int(max_batch)
         self._batchers = {}
         self._lock = threading.Lock()
-        self._latency = _LatencyWindow()
-        self._counts = {"requests": 0, "degraded": 0, "errors": 0,
-                        "deadline_fallbacks": 0, "model_fallbacks": 0}
+        self._tracer = get_tracer()
+        self._latency = self.metrics.histogram(
+            "repro_request_latency_ms",
+            "End-to-end /predict latency in milliseconds.",
+            quantiles=(0.5, 0.9, 0.99))
+        self._counters = {
+            "requests": self.metrics.counter(
+                "repro_requests_total", "Prediction requests received."),
+            "errors": self.metrics.counter(
+                "repro_request_errors_total",
+                "Requests rejected as invalid (4xx)."),
+            "degraded": self.metrics.counter(
+                "repro_requests_degraded_total",
+                "Responses answered from the ground-truth STA fallback."),
+            "deadline_fallbacks": self.metrics.counter(
+                "repro_deadline_fallbacks_total",
+                "Degradations caused by an expired request deadline."),
+            "model_fallbacks": self.metrics.counter(
+                "repro_model_fallbacks_total",
+                "Degradations caused by a model that failed to load."),
+        }
         self._started_at = time.time()
 
     # -- graph resolution -------------------------------------------------------
@@ -284,7 +283,8 @@ class PredictionService:
                 batcher = MicroBatcher(
                     runner=entry.model.predict_batch,
                     window_s=self._batch_window_ms / 1000.0,
-                    max_batch=self._max_batch, name=entry.name)
+                    max_batch=self._max_batch, name=entry.name,
+                    registry=self.metrics)
                 self._batchers[batcher_key] = batcher
             return batcher
 
@@ -302,25 +302,32 @@ class PredictionService:
         return _netdelay_payload(graph, graph.net_delay)
 
     def _bump(self, counter):
-        with self._lock:
-            self._counts[counter] += 1
+        self._counters[counter].inc()
 
     # -- the entry point --------------------------------------------------------
     def predict(self, request):
         """Answer one request; safe to call from many threads at once."""
         self._bump("requests")
-        try:
-            if isinstance(request, dict):
-                request = PredictRequest.from_dict(request)
-            response = self._predict(request.validate())
-        except RequestError:
-            self._bump("errors")
-            raise
-        response.latency_ms = ((time.perf_counter() - request.created_at)
-                               * 1000.0)
-        self._latency.record(response.latency_ms)
-        if response.degraded:
-            self._bump("degraded")
+        with self._tracer.span("serve.predict") as span:
+            try:
+                if isinstance(request, dict):
+                    request = PredictRequest.from_dict(request)
+                span.set(request_id=request.request_id,
+                         model=request.model,
+                         design=request.design or "<verilog>")
+                response = self._predict(request.validate())
+            except RequestError as exc:
+                self._bump("errors")
+                span.set(error=str(exc))
+                raise
+            response.latency_ms = ((time.perf_counter()
+                                    - request.created_at) * 1000.0)
+            self._latency.observe(response.latency_ms)
+            if response.degraded:
+                self._bump("degraded")
+            span.set(degraded=response.degraded,
+                     cache_hit=response.cache_hit,
+                     batch_size=response.batch_size)
         return response
 
     def _predict(self, request):
@@ -398,18 +405,33 @@ class PredictionService:
             time.time() - self._started_at, 1)}
 
     def stats(self):
+        """JSON stats view — a projection of :attr:`metrics`, so it can
+        never disagree with the Prometheus ``/metrics`` endpoint."""
         with self._lock:
-            counts = dict(self._counts)
             batchers = {name: b.stats()
                         for (name, _v), b in self._batchers.items()}
+        latency = self._latency.snapshot()
         return {
-            "counts": counts,
-            "latency": self._latency.summary(),
+            "counts": {key: int(counter.value)
+                       for key, counter in self._counters.items()},
+            "latency": {"count": latency["count"],
+                        "p50_ms": round(latency["p50"], 3),
+                        "p99_ms": round(latency["p99"], 3),
+                        "mean_ms": round(latency["mean"], 3)},
             "graph_cache": self.graph_cache.stats(),
             "result_cache": self.result_cache.stats(),
             "batching": batchers,
             "uptime_s": round(time.time() - self._started_at, 1),
         }
+
+    def metrics_text(self):
+        """Prometheus text exposition: this service's registry plus the
+        process-wide default (flow/STA/training instrumentation)."""
+        parts = [self.metrics.render_prometheus()]
+        default = get_registry()
+        if default is not self.metrics:
+            parts.append(default.render_prometheus())
+        return "".join(parts)
 
     def warm(self, models=(), designs=()):
         """Eagerly load models and extract design graphs (pre-traffic)."""

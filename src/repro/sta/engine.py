@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..liberty.cell import EL_RF
+from ..obs import get_registry, get_tracer
 from .graph import build_timing_graph
 
 __all__ = ["TimingResult", "run_sta", "CORNER_INDEX", "LN9"]
@@ -323,17 +324,32 @@ def run_sta(design, placement, routing, clock_period=None, graph=None,
     realistic fraction of endpoints is timing-critical (slack near or
     below zero), as in a constrained physical design flow.
     """
-    if graph is None:
-        graph = build_timing_graph(design)
-    result = TimingResult(graph, clock_period=0.0)
-    result.load_cap = _driver_loads(graph, routing)
-    _propagate_forward(graph, routing, result,
-                       design.library.default_input_slew)
-    if clock_period is None:
-        clock_period = derive_clock_period(graph, result, design.library,
-                                           po_margin_frac=po_margin_frac)
-    design.clock_period = clock_period
-    result.clock_period = clock_period
-    _set_required_at_endpoints(graph, result, clock_period, po_margin_frac)
-    _propagate_backward(graph, routing, result)
+    tracer = get_tracer()
+    with tracer.span("sta.run", design=design.name) as span:
+        if graph is None:
+            with tracer.span("sta.build_graph"):
+                graph = build_timing_graph(design)
+        span.set(nodes=int(graph.num_nodes),
+                 levels=int(graph.level.max()) + 1 if graph.num_nodes
+                 else 0)
+        result = TimingResult(graph, clock_period=0.0)
+        result.load_cap = _driver_loads(graph, routing)
+        with tracer.span("sta.propagate_forward",
+                         nodes=int(graph.num_nodes)):
+            _propagate_forward(graph, routing, result,
+                               design.library.default_input_slew)
+        if clock_period is None:
+            clock_period = derive_clock_period(
+                graph, result, design.library,
+                po_margin_frac=po_margin_frac)
+        design.clock_period = clock_period
+        result.clock_period = clock_period
+        _set_required_at_endpoints(graph, result, clock_period,
+                                   po_margin_frac)
+        with tracer.span("sta.propagate_backward"):
+            _propagate_backward(graph, routing, result)
+        get_registry().histogram(
+            "repro_sta_levels",
+            "Levelization depth of analysed designs.").observe(
+            int(graph.level.max()) + 1 if graph.num_nodes else 0)
     return result

@@ -15,10 +15,50 @@ import numpy as np
 
 from .. import nn
 from ..models import GCNII, ModelConfig, TimingGNN, normalized_adjacency
+from ..obs import get_logger, get_registry, get_tracer
 from .loss import combined_loss
 from .evaluate import evaluate_timing_gnn, evaluate_gcnii_output
 
 __all__ = ["TrainConfig", "TrainHistory", "train_timing_gnn", "train_gcnii"]
+
+_log = get_logger("repro.training")
+
+
+class _EpochMeter:
+    """Per-model epoch instrumentation: metrics + structured logging.
+
+    Preserves the old ``log_every`` semantics (0 = silent, else one
+    record every N epochs) while also feeding the process-wide metrics
+    registry, so ``repro stats`` sees training progress.
+    """
+
+    def __init__(self, model_name, train_cfg):
+        self._name = model_name
+        self._cfg = train_cfg
+        registry = get_registry()
+        self._epoch_ms = registry.histogram(
+            "repro_train_epoch_ms", "Wall time per training epoch.",
+            model=model_name)
+        self._loss = registry.gauge(
+            "repro_train_loss", "Most recent mean training loss.",
+            model=model_name)
+        self._epochs = registry.counter(
+            "repro_train_epochs_total", "Training epochs completed.",
+            model=model_name)
+        self._t0 = time.perf_counter()
+
+    def epoch_done(self, epoch, loss, **fields):
+        now = time.perf_counter()
+        epoch_ms = (now - self._t0) * 1000.0
+        self._t0 = now
+        self._epoch_ms.observe(epoch_ms)
+        self._loss.set(loss)
+        self._epochs.inc()
+        log_every = self._cfg.log_every
+        if log_every and (epoch + 1) % log_every == 0:
+            _log.info("epoch", model=self._name, epoch=epoch + 1,
+                      epochs=self._cfg.epochs, loss=loss,
+                      epoch_ms=epoch_ms, **fields)
 
 
 @dataclass(frozen=True)
@@ -51,31 +91,33 @@ def train_timing_gnn(train_graphs, cfg=None, train_cfg=None):
     optim = nn.Adam(model.parameters(), lr=train_cfg.lr)
     history = TrainHistory()
     start = time.perf_counter()
-    for epoch in range(train_cfg.epochs):
-        order = rng.permutation(len(train_graphs))
-        epoch_loss, epoch_parts = 0.0, {}
-        for gi in order:
-            graph = train_graphs[gi]
-            pred = model(graph)
-            loss, parts = combined_loss(
-                pred, graph, use_net_aux=train_cfg.use_net_aux,
-                use_cell_aux=train_cfg.use_cell_aux,
-                net_weight=train_cfg.net_weight,
-                cell_weight=train_cfg.cell_weight)
-            optim.zero_grad()
-            loss.backward()
-            nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
-            optim.step()
-            epoch_loss += float(loss.data)
-            for key, value in parts.items():
-                epoch_parts[key] = epoch_parts.get(key, 0.0) + value
-        optim.lr *= train_cfg.lr_decay
-        history.loss.append(epoch_loss / len(train_graphs))
-        history.parts.append({k: v / len(train_graphs)
-                              for k, v in epoch_parts.items()})
-        if train_cfg.log_every and (epoch + 1) % train_cfg.log_every == 0:
-            print(f"[timing-gnn] epoch {epoch + 1}/{train_cfg.epochs} "
-                  f"loss {history.loss[-1]:.4f}")
+    with get_tracer().span("train.timing_gnn", epochs=train_cfg.epochs,
+                           designs=len(train_graphs)) as span:
+        meter = _EpochMeter("timing-gnn", train_cfg)
+        for epoch in range(train_cfg.epochs):
+            order = rng.permutation(len(train_graphs))
+            epoch_loss, epoch_parts = 0.0, {}
+            for gi in order:
+                graph = train_graphs[gi]
+                pred = model(graph)
+                loss, parts = combined_loss(
+                    pred, graph, use_net_aux=train_cfg.use_net_aux,
+                    use_cell_aux=train_cfg.use_cell_aux,
+                    net_weight=train_cfg.net_weight,
+                    cell_weight=train_cfg.cell_weight)
+                optim.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
+                optim.step()
+                epoch_loss += float(loss.data)
+                for key, value in parts.items():
+                    epoch_parts[key] = epoch_parts.get(key, 0.0) + value
+            optim.lr *= train_cfg.lr_decay
+            history.loss.append(epoch_loss / len(train_graphs))
+            history.parts.append({k: v / len(train_graphs)
+                                  for k, v in epoch_parts.items()})
+            meter.epoch_done(epoch, history.loss[-1], lr=optim.lr)
+        span.set(final_loss=history.loss[-1] if history.loss else None)
     history.wall_time = time.perf_counter() - start
     return model, history
 
@@ -94,27 +136,32 @@ def train_gcnii(train_graphs, num_layers, cfg=None, train_cfg=None):
     history = TrainHistory()
     matrices = [normalized_adjacency(g) for g in train_graphs]
     start = time.perf_counter()
-    for epoch in range(train_cfg.epochs):
-        order = rng.permutation(len(train_graphs))
-        epoch_loss = 0.0
-        for gi in order:
-            graph = train_graphs[gi]
-            atslew = model(graph, p_matrix=matrices[gi])
-            target = np.concatenate([graph.arrival, graph.slew], axis=1)
-            mask = np.isfinite(target)
-            diff = (atslew - nn.Tensor(np.where(mask, target, 0.0))) * \
-                nn.Tensor(mask.astype(np.float64))
-            loss = (diff * diff).sum() * (1.0 / max(int(mask.sum()), 1))
-            optim.zero_grad()
-            loss.backward()
-            nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
-            optim.step()
-            epoch_loss += float(loss.data)
-        optim.lr *= train_cfg.lr_decay
-        history.loss.append(epoch_loss / len(train_graphs))
-        if train_cfg.log_every and (epoch + 1) % train_cfg.log_every == 0:
-            print(f"[gcnii-{num_layers}] epoch {epoch + 1}/{train_cfg.epochs}"
-                  f" loss {history.loss[-1]:.4f}")
+    model_name = f"gcnii-{num_layers}"
+    with get_tracer().span("train.gcnii", layers=num_layers,
+                           epochs=train_cfg.epochs,
+                           designs=len(train_graphs)) as span:
+        meter = _EpochMeter(model_name, train_cfg)
+        for epoch in range(train_cfg.epochs):
+            order = rng.permutation(len(train_graphs))
+            epoch_loss = 0.0
+            for gi in order:
+                graph = train_graphs[gi]
+                atslew = model(graph, p_matrix=matrices[gi])
+                target = np.concatenate([graph.arrival, graph.slew],
+                                        axis=1)
+                mask = np.isfinite(target)
+                diff = (atslew - nn.Tensor(np.where(mask, target, 0.0))) * \
+                    nn.Tensor(mask.astype(np.float64))
+                loss = (diff * diff).sum() * (1.0 / max(int(mask.sum()), 1))
+                optim.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
+                optim.step()
+                epoch_loss += float(loss.data)
+            optim.lr *= train_cfg.lr_decay
+            history.loss.append(epoch_loss / len(train_graphs))
+            meter.epoch_done(epoch, history.loss[-1])
+        span.set(final_loss=history.loss[-1] if history.loss else None)
     history.wall_time = time.perf_counter() - start
     return model, history
 
@@ -139,25 +186,28 @@ def train_net_embedding(train_graphs, cfg=None, train_cfg=None):
     class _Pred:
         __slots__ = ("net_delay",)
 
-    for epoch in range(train_cfg.epochs):
-        order = rng.permutation(len(train_graphs))
-        epoch_loss = 0.0
-        for gi in order:
-            graph = train_graphs[gi]
-            _emb, net_delay = model(graph)
-            pred = _Pred()
-            pred.net_delay = net_delay
-            loss = net_delay_loss(pred, graph)
-            optim.zero_grad()
-            loss.backward()
-            nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
-            optim.step()
-            epoch_loss += float(loss.data)
-        optim.lr *= train_cfg.lr_decay
-        history.loss.append(epoch_loss / len(train_graphs))
-        if train_cfg.log_every and (epoch + 1) % train_cfg.log_every == 0:
-            print(f"[net-emb] epoch {epoch + 1}/{train_cfg.epochs} "
-                  f"loss {history.loss[-1]:.5f}")
+    with get_tracer().span("train.net_embedding",
+                           epochs=train_cfg.epochs,
+                           designs=len(train_graphs)) as span:
+        meter = _EpochMeter("net-emb", train_cfg)
+        for epoch in range(train_cfg.epochs):
+            order = rng.permutation(len(train_graphs))
+            epoch_loss = 0.0
+            for gi in order:
+                graph = train_graphs[gi]
+                _emb, net_delay = model(graph)
+                pred = _Pred()
+                pred.net_delay = net_delay
+                loss = net_delay_loss(pred, graph)
+                optim.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
+                optim.step()
+                epoch_loss += float(loss.data)
+            optim.lr *= train_cfg.lr_decay
+            history.loss.append(epoch_loss / len(train_graphs))
+            meter.epoch_done(epoch, history.loss[-1])
+        span.set(final_loss=history.loss[-1] if history.loss else None)
     history.wall_time = time.perf_counter() - start
     return model, history
 
@@ -172,4 +222,7 @@ def evaluate_on(model, graphs, names=None, kind="timing"):
         else:
             atslew = model.predict(graph).data
             out[name] = evaluate_gcnii_output(graph, atslew)
+        _log.debug("evaluate", design=name, kind=kind,
+                   **{k: v for k, v in out[name].items()
+                      if isinstance(v, (int, float))})
     return out

@@ -1,0 +1,414 @@
+"""Observability semantics: metrics under concurrency, histogram
+quantile accuracy, span nesting/export, structured logging, the
+Prometheus ``/metrics`` endpoint and the loadgen benchmark artefact."""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs import (Counter, Gauge, Histogram, LogManager, Logger,
+                       MetricsRegistry, Tracer, format_span_tree,
+                       get_registry)
+
+
+# -- counters / gauges under concurrency ---------------------------------------
+class TestCounterGauge:
+    def test_concurrent_counter_increments_are_exact(self):
+        counter = Counter("test_total")
+        threads = [threading.Thread(
+            target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("test_total").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name!")
+        with pytest.raises(ValueError):
+            Counter("ok_total", **{"bad-label": "x"})
+
+
+# -- histogram -----------------------------------------------------------------
+class TestHistogram:
+    def test_quantile_accuracy_exact_within_reservoir(self):
+        hist = Histogram("lat_ms", reservoir=4096)
+        values = np.arange(1.0, 1001.0)
+        for v in values:
+            hist.observe(v)
+        assert hist.count == 1000
+        assert hist.sum == pytest.approx(values.sum())
+        for q in (0.5, 0.9, 0.99):
+            assert hist.quantile(q) == pytest.approx(
+                np.quantile(values, q))
+
+    def test_concurrent_observers_exact_count_sum(self):
+        hist = Histogram("lat_ms", reservoir=100000)
+        threads = [threading.Thread(
+            target=lambda: [hist.observe(1.0) for _ in range(1000)])
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 8000
+        assert hist.sum == pytest.approx(8000.0)
+
+    def test_rolling_reservoir_tracks_recent_window(self):
+        hist = Histogram("lat_ms", reservoir=100)
+        for v in range(1000):
+            hist.observe(float(v))
+        # count/sum/min/max are exact over the whole stream ...
+        assert hist.count == 1000
+        assert hist.snapshot()["max"] == 999.0
+        assert hist.snapshot()["min"] == 0.0
+        # ... while quantiles come from the last `reservoir` samples.
+        assert hist.quantile(0.5) == pytest.approx(949.5)
+
+    def test_empty_histogram(self):
+        hist = Histogram("lat_ms")
+        assert np.isnan(hist.quantile(0.5))
+        snap = hist.snapshot()
+        assert snap["count"] == 0 and snap["p50"] == 0.0
+
+
+# -- registry ------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", cache="graph")
+        b = registry.counter("x_total", cache="graph")
+        c = registry.counter("x_total", cache="result")
+        assert a is b and a is not c
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError):
+            registry.histogram("x_total", cache="other")
+
+    def test_concurrent_get_or_create_single_instrument(self):
+        registry = MetricsRegistry()
+        results = []
+        threads = [threading.Thread(
+            target=lambda: results.append(registry.counter("c_total")))
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is results[0] for c in results)
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        registry.histogram("h_ms").observe(5.0)
+        snap = registry.snapshot()
+        assert snap["a_total"][0]["value"] == 2
+        assert snap["h_ms"][0]["value"]["count"] == 1
+
+
+# -- Prometheus text format ----------------------------------------------------
+class TestPrometheusRender:
+    def test_counter_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests.").inc(3)
+        registry.gauge("depth", model="toy").set(2)
+        text = registry.render_prometheus()
+        assert "# HELP req_total Requests.\n" in text
+        assert "# TYPE req_total counter\n" in text
+        assert "\nreq_total 3\n" in text
+        assert "# TYPE depth gauge\n" in text
+        assert 'depth{model="toy"} 2\n' in text
+
+    def test_summary_lines_and_escaping(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_ms", quantiles=(0.5, 0.99),
+                                  path='a"b\n')
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        text = registry.render_prometheus()
+        assert "# TYPE lat_ms summary" in text
+        assert re.search(
+            r'lat_ms\{path="a\\"b\\n",quantile="0\.5"\} 2', text)
+        assert re.search(r'lat_ms_sum\{path="a\\"b\\n"\} 6', text)
+        assert re.search(r'lat_ms_count\{path="a\\"b\\n"\} 3', text)
+
+    def test_every_sample_line_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", x="1").inc()
+        registry.histogram("b_ms").observe(1.5)
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$")
+        for line in registry.render_prometheus().strip().splitlines():
+            if line.startswith("#"):
+                continue
+            assert sample.match(line), line
+
+
+# -- tracing -------------------------------------------------------------------
+class TestTracing:
+    def test_nesting_parent_child_and_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("root", design="spm") as root:
+            with tracer.span("child") as child:
+                assert child.parent_id == root.span_id
+                assert child.trace_id == root.trace_id
+            with tracer.span("sibling") as sib:
+                assert sib.parent_id == root.span_id
+        spans = tracer.spans()
+        assert [s["name"] for s in spans] == ["child", "sibling", "root"]
+        assert all(s["duration_ms"] >= 0 for s in spans)
+        root_rec = spans[-1]
+        assert root_rec["parent_id"] is None
+        assert root_rec["attrs"] == {"design": "spm"}
+
+    def test_threads_do_not_share_span_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(name):
+            with tracer.span(name) as sp:
+                time.sleep(0.01)
+                seen[name] = sp.parent_id
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(parent is None for parent in seen.values())
+
+    def test_exception_marks_span_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.spans()[0]["status"] == "error"
+
+    def test_jsonl_export_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        count = tracer.export_jsonl(path)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert count == len(records) == 2
+        assert {r["name"] for r in records} == {"a", "b"}
+
+    def test_streaming_sink(self, tmp_path):
+        tracer = Tracer()
+        path = tmp_path / "sink.jsonl"
+        tracer.set_sink(path)
+        with tracer.span("streamed"):
+            pass
+        tracer.clear_sink()
+        record = json.loads(path.read_text().strip())
+        assert record["name"] == "streamed"
+
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible") as sp:
+            sp.set(k=1)
+        assert tracer.spans() == []
+
+    def test_format_span_tree_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        tree = format_span_tree(tracer.spans())
+        lines = tree.splitlines()
+        assert "root" in lines[0] and "  child" in lines[1]
+
+
+# -- structured logging --------------------------------------------------------
+class TestStructuredLogging:
+    def _logger(self, name, **kwargs):
+        buf = io.StringIO()
+        manager = LogManager(stream=buf, env="", **kwargs)
+        return Logger(name, manager), buf
+
+    def test_key_value_format(self):
+        log, buf = self._logger("repro.test")
+        log.info("epoch", epoch=3, loss=0.5, msg="two words")
+        line = buf.getvalue().strip()
+        assert "lvl=info" in line and "log=repro.test" in line
+        assert "event=epoch" in line and "epoch=3" in line
+        assert 'msg="two words"' in line
+        assert re.search(r"ts=\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}", line)
+
+    def test_default_level_filters_debug(self):
+        log, buf = self._logger("repro.test")
+        log.debug("hidden")
+        log.info("shown")
+        assert "hidden" not in buf.getvalue()
+        assert "shown" in buf.getvalue()
+
+    def test_per_module_levels_longest_prefix(self):
+        log, buf = self._logger("repro.training.trainer")
+        log.manager.configure(**{"repro.training": "debug",
+                                 "repro": "warning"})
+        log.debug("visible")         # repro.training=debug wins over repro
+        other = Logger("repro.sta", log.manager)
+        other.info("suppressed")     # repro=warning applies
+        out = buf.getvalue()
+        assert "visible" in out and "suppressed" not in out
+
+    def test_env_configuration(self):
+        buf = io.StringIO()
+        manager = LogManager(stream=buf,
+                             env="repro.x=debug,default=error")
+        assert Logger("repro.x.y", manager).enabled_for("debug")
+        assert not Logger("repro.z", manager).enabled_for("warning")
+
+    def test_bind_sticky_fields(self):
+        log, buf = self._logger("repro.test")
+        log.bind(model="gnn").info("step", n=1)
+        assert "model=gnn" in buf.getvalue()
+
+    def test_concurrent_emits_do_not_shear(self):
+        log, buf = self._logger("repro.test")
+        threads = [threading.Thread(
+            target=lambda: [log.info("tick", i=j) for j in range(100)])
+            for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == 400
+        assert all(line.startswith("ts=") for line in lines)
+
+
+# -- serving integration: /metrics endpoint ------------------------------------
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def server():
+    from repro.models import ModelConfig, TimingGNN
+    from repro.serving import (ModelRegistry, PredictionService,
+                               ServingServer)
+    from repro.serving.registry import ModelEntry
+
+    registry = ModelRegistry(scale=SCALE, names=[])
+    registry.register("toy", lambda: ModelEntry(
+        name="toy", kind="timing", version="vtest",
+        model=TimingGNN(ModelConfig.benchmark()),
+        loaded_at=time.time(), load_seconds=0.0))
+    service = PredictionService(registry=registry, scale=SCALE,
+                                metrics=MetricsRegistry())
+    with ServingServer(service) as srv:
+        yield srv
+
+
+def _get_text(url):
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode()
+
+
+def _post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestMetricsEndpoint:
+    def test_metrics_exposes_required_families(self, server):
+        _post(server.url + "/predict", {"design": "spm", "model": "toy"})
+        _post(server.url + "/predict", {"design": "spm", "model": "toy"})
+        # include_slack forces a result-cache miss, so the expired
+        # deadline is actually consulted and the fallback path taken.
+        _post(server.url + "/predict", {"design": "spm", "model": "toy",
+                                        "deadline_ms": 0,
+                                        "include_slack": True})
+        status, content_type, text = _get_text(server.url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        # Batch-size histogram, cache hit/miss counters, latency
+        # quantiles, deadline-degradation counter (acceptance criteria).
+        assert re.search(
+            r'repro_batch_size\{model="toy",quantile="0\.5"\} \d', text)
+        assert re.search(
+            r'repro_cache_hits_total\{cache="result"\} \d', text)
+        assert re.search(
+            r'repro_cache_misses_total\{cache="graph"\} \d', text)
+        assert re.search(
+            r'repro_request_latency_ms\{quantile="0\.99"\} ', text)
+        assert re.search(r"repro_deadline_fallbacks_total 1", text)
+        assert re.search(r"repro_requests_total 3", text)
+
+    def test_metrics_agrees_with_stats(self, server):
+        _post(server.url + "/predict", {"design": "spm", "model": "toy"})
+        _status, _ct, text = _get_text(server.url + "/metrics")
+        with urllib.request.urlopen(server.url + "/stats",
+                                    timeout=30) as resp:
+            stats = json.loads(resp.read())
+        requests_metric = re.search(r"^repro_requests_total (\d+)$",
+                                    text, re.M)
+        assert int(requests_metric.group(1)) == stats["counts"]["requests"]
+        hits_metric = re.search(
+            r'^repro_cache_hits_total\{cache="result"\} (\d+)$', text,
+            re.M)
+        assert int(hits_metric.group(1)) == stats["result_cache"]["hits"]
+
+    def test_global_registry_families_included(self, server):
+        """Flow/STA instrumentation (default registry) rides along."""
+        _status, _ct, text = _get_text(server.url + "/metrics")
+        # The server extracted at least one graph, so the process-wide
+        # flow-stage histogram must be present.
+        assert get_registry().get("repro_flow_stage_ms",
+                                  stage="place") is not None
+        assert 'repro_flow_stage_ms_count{stage="place"}' in text
+
+
+# -- loadgen benchmark artefact ------------------------------------------------
+class TestBenchJson:
+    def test_write_bench_json_well_formed(self, tmp_path):
+        from repro.serving.loadgen import LoadgenResult, write_bench_json
+
+        result = LoadgenResult(
+            clients=2, requests=10, ok=10, errors=0, incorrect=0,
+            degraded=0, cache_hits=5, duration_s=1.5,
+            throughput_rps=6.6667, latency_p50_ms=3.2,
+            latency_p99_ms=9.9, latency_mean_ms=4.0,
+            server_stats={"counts": {"requests": 10}})
+        path = tmp_path / "BENCH_serving.json"
+        write_bench_json(result, path, params={"clients": 2})
+        payload = json.loads(path.read_text())
+        assert payload["benchmark"] == "serving"
+        assert payload["schema_version"] == 1
+        assert payload["requests"] == 10
+        assert payload["throughput_rps"] == pytest.approx(6.6667)
+        assert payload["params"]["clients"] == 2
+        assert payload["server_stats"]["counts"]["requests"] == 10
