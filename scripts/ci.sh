@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 suite, then a fast serving smoke test.
+# CI entry point: tier-1 suite (twice: serial + parallel workers), the
+# repro.parallel coverage floor, then a fast serving smoke test.
 #
-#   scripts/ci.sh         # full tier-1 + serving smoke
+#   scripts/ci.sh         # full tier-1 x2 + coverage floor + serving smoke
 #   scripts/ci.sh smoke   # smoke only (deselects @slow experiment tests)
 #
+# The suite runs twice so the golden STA comparator and the differential
+# parallel tests are proven under both execution modes: serial, and with
+# REPRO_WORKERS=2 sharding every dataset build across worker processes.
 # The smoke stage runs at a reduced design scale / epoch count and uses
 # a throwaway cache, so it exercises training, the serving stack and the
 # load generator in minutes, not hours.
@@ -13,8 +17,25 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 if [[ "${1:-}" != "smoke" ]]; then
-    echo "== tier-1 test suite =="
-    python -m pytest -x -q
+    echo "== tier-1 test suite (serial) =="
+    REPRO_WORKERS= python -m pytest -x -q
+
+    echo "== tier-1 test suite (REPRO_WORKERS=2) =="
+    REPRO_WORKERS=2 python -m pytest -x -q
+
+    echo "== golden comparator present in both passes =="
+    python - <<'EOF'
+import subprocess, sys
+out = subprocess.run(
+    [sys.executable, "-m", "pytest", "--collect-only", "-q",
+     "tests/test_golden.py"], capture_output=True, text=True)
+assert "test_rebuild_matches_fixture_bit_for_bit" in out.stdout, \
+    "golden comparator tests not collected"
+print("golden comparator collected ok")
+EOF
+
+    echo "== repro.parallel coverage floor =="
+    python scripts/coverage_floor.py --min 80
 fi
 
 echo "== serving smoke (REPRO_SCALE=0.25 REPRO_EPOCHS=2) =="

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Regenerate the golden STA fixtures under tests/golden/.
+
+The fixtures pin the *exact* arrival/slew/slack values (bit-for-bit)
+of two small benchmark designs, so any change that silently shifts STA
+numerics fails ``tests/test_golden.py``.  Run this script — and commit
+the result together with a DATASET_VERSION bump — only when a numeric
+change is intentional:
+
+    python scripts/regen_golden.py
+
+Each design gets two files:
+
+* ``<name>.npz``  — the exact arrays (arrival, slew, required,
+  endpoint slack, clock period);
+* ``<name>.json`` — a reviewable summary (shapes, sha256 digests,
+  WNS/TNS) that must stay consistent with the npz.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.graphdata import TIME_SCALE                    # noqa: E402
+from repro.graphdata.dataset import (DATASET_VERSION,     # noqa: E402
+                                     generate_design)
+
+# Two small designs, one per split, full scale: seconds to rebuild,
+# megabytes to store, and they exercise the whole flow.
+GOLDEN_DESIGNS = [("spm", "test"), ("cic_decimator", "train")]
+GOLDEN_SCALE = 1.0
+GOLDEN_SEED = 0
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "tests",
+                          "golden")
+
+
+def golden_arrays(graph):
+    """The pinned arrays of one design's dataset graph."""
+    return {
+        "arrival": graph.arrival,
+        "slew": graph.slew,
+        "required": graph.required,
+        "slack": graph.slack(),
+        "clock_period": np.array([graph.clock_period], dtype=np.float64),
+    }
+
+
+def summarize(name, split, graph, arrays):
+    slack = arrays["slack"]
+    return {
+        "design": name,
+        "split": split,
+        "scale": GOLDEN_SCALE,
+        "seed": GOLDEN_SEED,
+        "dataset_version": DATASET_VERSION,
+        "nodes": graph.num_nodes,
+        "endpoints": graph.num_endpoints,
+        "clock_period_ps": float(graph.clock_period),
+        "setup_wns_ps": float(np.nanmin(slack[:, 2:4]) * TIME_SCALE),
+        "hold_wns_ps": float(np.nanmin(slack[:, 0:2]) * TIME_SCALE),
+        "sha256": {key: hashlib.sha256(np.ascontiguousarray(val).tobytes())
+                   .hexdigest() for key, val in arrays.items()},
+    }
+
+
+def main():
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, split in GOLDEN_DESIGNS:
+        record = generate_design(name, split, scale=GOLDEN_SCALE,
+                                 seed=GOLDEN_SEED)
+        arrays = golden_arrays(record.graph)
+        npz_path = os.path.join(GOLDEN_DIR, f"{name}.npz")
+        json_path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        np.savez_compressed(npz_path, **arrays)
+        summary = summarize(name, split, record.graph, arrays)
+        with open(json_path, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {npz_path} + .json  "
+              f"({summary['nodes']} nodes, "
+              f"setup WNS {summary['setup_wns_ps']:.1f} ps)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

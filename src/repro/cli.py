@@ -4,6 +4,8 @@ Usage (also available as ``python -m repro``):
 
     repro flow picorv32a                 # place/route/STA + timing report
     repro dataset --scale 1.0            # build + cache the 21-design suite
+    repro build-dataset --workers 4      # parallel build of the design suite
+    repro cache ls                       # inspect the on-disk artifact store
     repro train --variant full           # train the timer-inspired GNN
     repro predict usbf_device            # model vs. ground-truth slack
     repro serve --port 8080              # HTTP slack-prediction service
@@ -57,6 +59,82 @@ def _cmd_dataset(args):
     get_dataset(args.scale)
     print(format_table1(scale=args.scale))
     return 0
+
+
+def _cmd_build_dataset(args):
+    import time
+
+    from .graphdata import load_dataset
+    from .netlist import BENCHMARKS
+    from .obs import get_registry
+
+    benchmarks = BENCHMARKS
+    if args.designs:
+        by_name = {b.name: b for b in BENCHMARKS}
+        unknown = [n for n in args.designs if n not in by_name]
+        if unknown:
+            print(f"unknown benchmarks: {unknown}", file=sys.stderr)
+            return 2
+        benchmarks = [by_name[n] for n in args.designs]
+    t0 = time.perf_counter()
+    records = load_dataset(scale=args.scale, cache=not args.no_cache,
+                           cache_dir=args.cache_dir, benchmarks=benchmarks,
+                           workers=args.workers)
+    elapsed = time.perf_counter() - t0
+    print(f"{'design':<16}{'split':<7}{'nodes':>7}{'net':>7}{'cell':>7}"
+          f"{'EP':>6}{'flow s':>8}")
+    for spec in benchmarks:
+        record = records[spec.name]
+        stats = record.graph.stats()
+        print(f"{spec.name:<16}{spec.split:<7}{stats['nodes']:>7}"
+              f"{stats['net_edges']:>7}{stats['cell_edges']:>7}"
+              f"{stats['endpoints']:>6}{record.flow_time:>8.2f}")
+    snapshot = get_registry().snapshot()
+    hits = sum(entry["value"]
+               for entry in snapshot.get("repro_dataset_designs_total", [])
+               if entry["labels"].get("result") == "hit")
+    print(f"\nbuilt {len(records)} designs in {elapsed:.2f}s "
+          f"(workers={args.workers or 'REPRO_WORKERS'}, "
+          f"cache hits {int(hits)})")
+    return 0
+
+
+def _cmd_cache(args):
+    from .parallel import ArtifactStore
+
+    root = os.path.join(args.cache_dir, "artifacts") \
+        if args.cache_dir else None
+    store = ArtifactStore(root)
+    if args.action == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"artifact store {store.root}: empty")
+            return 0
+        print(f"{'key':<26}{'kind':<15}{'ver':>4}{'KiB':>9}  meta")
+        for rec in entries:
+            meta = rec.get("meta") or {}
+            desc = " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+            print(f"{rec['key']:<26}{rec.get('kind', '?'):<15}"
+                  f"{rec.get('version', 0):>4}"
+                  f"{rec.get('size', 0) / 1024:>9.1f}  {desc}")
+        print(f"\n{len(entries)} entries, "
+              f"{store.total_bytes() / 1024 / 1024:.1f} MiB in {store.root}")
+        return 0
+    if args.action == "clear":
+        removed = store.clear(kind=args.kind)
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    if args.action == "verify":
+        problems = store.verify()
+        total = len(store.keys())
+        if not problems:
+            print(f"artifact store {store.root}: {total} entries ok")
+            return 0
+        for key, reason in problems:
+            print(f"CORRUPT {key}: {reason}", file=sys.stderr)
+        print(f"{len(problems)} of {total} entries corrupt", file=sys.stderr)
+        return 1
+    raise AssertionError(args.action)
 
 
 def _cmd_train(args):
@@ -290,6 +368,31 @@ def build_parser():
     p = sub.add_parser("dataset", help="build/cache the benchmark dataset")
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser("build-dataset",
+                       help="build the design suite on a worker pool, "
+                            "write-through the artifact store")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: REPRO_WORKERS, i.e. "
+                        "serial unless set)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--designs", nargs="*", default=None,
+                   help="benchmark subset (default: all 21)")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root (default: REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the artifact store entirely")
+    p.set_defaults(func=_cmd_build_dataset)
+
+    p = sub.add_parser("cache",
+                       help="inspect the on-disk artifact store")
+    p.add_argument("action", choices=["ls", "clear", "verify"])
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root; the store lives in its artifacts/ "
+                        "subdirectory (default: REPRO_CACHE_DIR)")
+    p.add_argument("--kind", default=None,
+                   help="restrict `clear` to one artifact kind")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("train", help="train (or load) the timing GNN")
     p.add_argument("--variant", default="full",

@@ -83,16 +83,23 @@ def train_config(**overrides):
     return TrainConfig(**base)
 
 
-def get_dataset(scale=None):
+def get_dataset(scale=None, workers=None):
     """The 21-design dataset at the experiment scale, memoized.
 
     Thread-safe, and keyed by the active cache directory as well as the
     scale so flipping ``REPRO_CACHE_DIR`` mid-process never returns a
-    memo built from another cache.
+    memo built from another cache.  The directory is resolved *once* and
+    passed down explicitly, so the cache the memo key names is exactly
+    the cache the build reads and writes — even if ``REPRO_CACHE_DIR``
+    changes while the build is in flight.  ``workers`` shards the design
+    flows across processes (default ``REPRO_WORKERS``).
     """
     scale = experiment_scale() if scale is None else scale
-    key = (scale, default_cache_dir())
-    return _memoized(_DATASETS, key, lambda: load_dataset(scale=scale))
+    cache_dir = default_cache_dir()
+    key = (scale, cache_dir)
+    return _memoized(_DATASETS, key,
+                     lambda: load_dataset(scale=scale, cache_dir=cache_dir,
+                                          workers=workers))
 
 
 def train_test_graphs(scale=None):
@@ -121,22 +128,29 @@ def _save_state(path, model):
     np.savez_compressed(path, **model.state_dict())
 
 
-def model_cache_path(kind, cfg, tcfg, scale, extra=""):
+def model_cache_path(kind, cfg, tcfg, scale, extra="", cache_dir=None):
     """On-disk ``.npz`` path for one trained model's state.
 
-    Lives under :func:`default_cache_dir`, so it honors
-    ``REPRO_CACHE_DIR`` exactly like the dataset cache.
+    Lives under :func:`default_cache_dir` (or an explicitly resolved
+    ``cache_dir``), so it honors ``REPRO_CACHE_DIR`` exactly like the
+    dataset cache.
     """
-    return os.path.join(default_cache_dir(),
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    return os.path.join(cache_dir,
                         f"model_{kind}_{_cache_key(kind, cfg, tcfg, scale, extra)}.npz")
 
 
 def _get_or_train(kind, builder, trainer, cfg, tcfg, scale, extra=""):
+    # Resolve the cache directory exactly once: the memo key and the
+    # checkpoint path below must name the same directory even if
+    # REPRO_CACHE_DIR flips mid-process between the two reads.
     cache_dir = default_cache_dir()
     key = (kind, _cache_key(kind, cfg, tcfg, scale, extra), cache_dir)
 
     def build():
-        path = model_cache_path(kind, cfg, tcfg, scale, extra)
+        path = model_cache_path(kind, cfg, tcfg, scale, extra,
+                                cache_dir=cache_dir)
         model = builder()
         if os.path.exists(path):
             _load_state(path, model)

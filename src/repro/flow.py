@@ -173,6 +173,74 @@ class Flow:
         h.update(pin_xy.tobytes())
         return h.hexdigest()[:16]
 
+    # -- artifact store hooks -----------------------------------------------------
+    def artifact_key(self, seed=1, clock_period=None):
+        """Flow fingerprint *before* running anything: netlist + params.
+
+        Unlike :meth:`fingerprint` this never triggers placement, so it
+        can be used to look up cached artifacts of a flow that has not
+        run yet.
+        """
+        from .graphdata.dataset import DATASET_VERSION
+        from .netlist import write_verilog
+        from .parallel import content_key
+        verilog_sha = hashlib.sha256(
+            write_verilog(self.design).encode()).hexdigest()
+        return content_key(kind="flow", design=self.design.name,
+                           verilog=verilog_sha, seed=seed,
+                           clock_period=clock_period,
+                           dataset_version=DATASET_VERSION)
+
+    def save_artifacts(self, store=None, key=None):
+        """Persist every computed stage artifact under one store entry."""
+        from .graphdata.dataset import DATASET_VERSION
+        from .parallel import ArtifactStore
+        store = store or ArtifactStore()
+        key = key or self.artifact_key(
+            seed=self._place_kwargs.get("seed", 1),
+            clock_period=self._clock_period)
+        store.put(key, {
+            "placement": self._placement, "routing": self._routing,
+            "graph": self._graph, "result": self._result,
+            "hetero": self._hetero,
+            "clock_period": self._clock_period,
+            "place_kwargs": self._place_kwargs,
+        }, kind="flow", version=DATASET_VERSION,
+            meta={"design": self.design.name})
+        return key
+
+    def load_artifacts(self, store=None, key=None, seed=1,
+                       clock_period=None):
+        """Restore stage artifacts from the store; True on a cache hit."""
+        from .graphdata.dataset import DATASET_VERSION
+        from .parallel import ArtifactStore
+        store = store or ArtifactStore()
+        key = key or self.artifact_key(seed=seed,
+                                       clock_period=clock_period)
+        bundle = store.get(key, kind="flow", version=DATASET_VERSION)
+        if bundle is None:
+            return False
+        self._placement = bundle["placement"]
+        self._routing = bundle["routing"]
+        self._graph = bundle["graph"]
+        self._result = bundle["result"]
+        self._hetero = bundle["hetero"]
+        self._clock_period = bundle["clock_period"]
+        self._place_kwargs = bundle["place_kwargs"]
+        return True
+
+    def run_cached(self, store=None, seed=1, clock_period=None):
+        """:meth:`run` + :meth:`extract`, short-circuited by the store."""
+        from .parallel import ArtifactStore
+        store = store or ArtifactStore()
+        key = self.artifact_key(seed=seed, clock_period=clock_period)
+        if self.load_artifacts(store=store, key=key):
+            return self
+        self.run(seed=seed, clock_period=clock_period)
+        self.extract()
+        self.save_artifacts(store=store, key=key)
+        return self
+
     # -- conveniences ---------------------------------------------------------------
     def timing_summary(self):
         return timing_summary(self.result)

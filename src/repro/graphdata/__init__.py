@@ -6,7 +6,7 @@ from .hetero import (HeteroGraph, LevelBlock, TIME_SCALE, CAP_SCALE,
 from .extract import extract_graph
 from .features import BARBOZA_FEATURE_NAMES, barboza_features
 from .dataset import (DesignRecord, generate_design, load_dataset,
-                      default_cache_dir)
+                      default_cache_dir, design_record_key)
 from .batch import GraphSlice, batch_graphs, split_rows
 
 __all__ = [
@@ -16,5 +16,6 @@ __all__ = [
     "extract_graph",
     "BARBOZA_FEATURE_NAMES", "barboza_features",
     "DesignRecord", "generate_design", "load_dataset", "default_cache_dir",
+    "design_record_key",
     "GraphSlice", "batch_graphs", "split_rows",
 ]

@@ -2,18 +2,28 @@
 
 Runs the full physical flow (generate, place, route, STA) per design,
 records flow runtimes (used by the paper's Table 5 runtime columns), and
-caches graphs on disk so experiments and benchmarks don't regenerate.
+caches the resulting records in a content-hash-keyed
+:class:`~repro.parallel.ArtifactStore` so experiments and benchmarks
+don't regenerate.
+
+Independent designs are sharded across worker processes by
+:class:`~repro.parallel.ParallelExecutor` (``workers=`` argument or the
+``REPRO_WORKERS`` env var); a parallel build is bit-identical to a
+serial one — every worker rebuilds the same deterministic library and
+the flow itself is seed-deterministic across processes.
 """
 
 from __future__ import annotations
 
-import json
+import hashlib
 import os
 import time
 from dataclasses import dataclass
 
 from ..liberty import make_sky130_like_library
-from ..netlist import TRAIN_BENCHMARKS, TEST_BENCHMARKS, build_benchmark
+from ..netlist import (TRAIN_BENCHMARKS, TEST_BENCHMARKS, build_benchmark,
+                       write_verilog)
+from ..obs import get_registry
 from ..placement import place_design
 from ..routing import route_design
 from ..sta import build_timing_graph, run_sta
@@ -21,11 +31,12 @@ from .extract import extract_graph
 from .hetero import HeteroGraph
 
 __all__ = ["DesignRecord", "generate_design", "load_dataset",
-           "default_cache_dir", "DATASET_VERSION"]
+           "default_cache_dir", "design_record_key", "DATASET_VERSION"]
 
 # Bump whenever generation/labeling semantics change, so stale caches
-# are never silently reused.
-DATASET_VERSION = 2
+# are never silently reused.  v3: process-stable pin offsets in the
+# placer (crc32 instead of randomized hash()).
+DATASET_VERSION = 3
 
 
 @dataclass
@@ -51,11 +62,43 @@ def default_cache_dir():
     return root
 
 
-def generate_design(name, split, library=None, scale=1.0, seed=0):
-    """Run the full flow for one benchmark; returns a DesignRecord."""
-    if library is None:
-        library = make_sky130_like_library()
-    design = build_benchmark(name, library, scale=scale)
+def _build_latency_histogram(design):
+    return get_registry().histogram(
+        "repro_design_build_ms",
+        "Wall time to produce one design's dataset record "
+        "(flow run or artifact-cache hit).", design=design)
+
+
+# Each worker process (and the serial path) shares one deterministic
+# library; keyed by nothing because make_sky130_like_library() is
+# seed-fixed, so every process reconstructs identical cell data.
+_PROCESS_LIBRARY = None
+
+
+def _process_library():
+    global _PROCESS_LIBRARY
+    if _PROCESS_LIBRARY is None:
+        _PROCESS_LIBRARY = make_sky130_like_library()
+    return _PROCESS_LIBRARY
+
+
+def design_record_key(design, split, scale, seed):
+    """Flow fingerprint of one design's dataset record.
+
+    Content-addressed: the exact netlist text (round-trip-exact Verilog
+    writer) plus every parameter that shapes the downstream artifacts.
+    Any netlist, seed, scale or pipeline-version change yields a new key.
+    """
+    from ..parallel import content_key
+    verilog_sha = hashlib.sha256(write_verilog(design).encode()).hexdigest()
+    return content_key(kind="design_record", design=design.name,
+                       split=split, scale=scale, seed=seed,
+                       verilog=verilog_sha,
+                       dataset_version=DATASET_VERSION)
+
+
+def _flow_record(design, split, seed):
+    """place/route/STA/extract one built design into a DesignRecord."""
     placement = place_design(design, seed=seed)
     t0 = time.perf_counter()
     routing = route_design(design, placement)
@@ -69,36 +112,104 @@ def generate_design(name, split, library=None, scale=1.0, seed=0):
                         sta_time=sta_time)
 
 
-def load_dataset(scale=1.0, cache=True, cache_dir=None, benchmarks=None):
+def generate_design(name, split, library=None, scale=1.0, seed=0,
+                    store=None):
+    """Run the full flow for one benchmark; returns a DesignRecord.
+
+    With ``store`` (an :class:`~repro.parallel.ArtifactStore`), the
+    flow fingerprint is looked up first and the whole
+    place/route/STA/extract pipeline is skipped on a hit; a miss runs
+    the flow and writes the record back.
+    """
+    record, _hit = _generate_design_info(name, split, library=library,
+                                         scale=scale, seed=seed,
+                                         store=store)
+    return record
+
+
+def _generate_design_info(name, split, library=None, scale=1.0, seed=0,
+                          store=None):
+    """(DesignRecord, came-from-cache flag) for one benchmark."""
+    if library is None:
+        library = _process_library()
+    design = build_benchmark(name, library, scale=scale)
+    key = None
+    if store is not None:
+        key = design_record_key(design, split, scale, seed)
+        record = store.get(key, kind="design_record",
+                           version=DATASET_VERSION)
+        if record is not None:
+            return record, True
+    record = _flow_record(design, split, seed)
+    if store is not None:
+        store.put(key, record, kind="design_record",
+                  version=DATASET_VERSION,
+                  meta={"design": name, "split": split, "scale": scale,
+                        "seed": seed})
+    return record, False
+
+
+def _design_task(args):
+    """One worker task: (name, split, scale, seed, store_root) -> record.
+
+    Module-level (picklable) so :class:`ParallelExecutor` can ship it to
+    worker processes; the serial path runs the very same function, which
+    is what makes serial and parallel builds trivially comparable.  The
+    hit flag travels back to the parent because worker-process metric
+    registries die with the pool.
+    """
+    name, split, scale, seed, store_root = args
+    store = None
+    if store_root is not None:
+        from ..parallel import ArtifactStore
+        store = ArtifactStore(store_root)
+    t0 = time.perf_counter()
+    record, hit = _generate_design_info(name, split, scale=scale,
+                                        seed=seed, store=store)
+    return name, record, (time.perf_counter() - t0) * 1000.0, hit
+
+
+def load_dataset(scale=1.0, cache=True, cache_dir=None, benchmarks=None,
+                 workers=None, seed=0):
     """Build (or load from cache) the full 21-design dataset.
 
     Returns {name: DesignRecord}.  ``scale`` shrinks every design (used
-    by the fast test configuration); caches are keyed by scale.
+    by the fast test configuration); cache keys cover scale, seed,
+    netlist content and pipeline version.  ``workers`` shards designs
+    across processes (default: ``REPRO_WORKERS``, i.e. serial unless
+    asked); results are identical either way, parallel builds are just
+    faster on multi-core hosts.
     """
+    from ..parallel import ArtifactStore, ParallelExecutor
     if benchmarks is None:
         benchmarks = TRAIN_BENCHMARKS + TEST_BENCHMARKS
-    if cache_dir is None:
-        cache_dir = default_cache_dir()
+    else:
+        # Accept plain design names alongside BenchmarkSpec objects.
+        by_name = {spec.name: spec
+                   for spec in TRAIN_BENCHMARKS + TEST_BENCHMARKS}
+        resolved = []
+        for spec in benchmarks:
+            if isinstance(spec, str):
+                if spec not in by_name:
+                    raise KeyError(f"unknown benchmark design: {spec!r}")
+                spec = by_name[spec]
+            resolved.append(spec)
+        benchmarks = resolved
+    store_root = None
+    if cache:
+        store_root = os.path.join(cache_dir or default_cache_dir(),
+                                  "artifacts")
+    tasks = [(spec.name, spec.split, scale, seed, store_root)
+             for spec in benchmarks]
+    executor = ParallelExecutor(workers=workers)
     records = {}
-    library = make_sky130_like_library()
-    for spec in benchmarks:
-        tag = f"{spec.name}_v{DATASET_VERSION}_s{scale:g}"
-        npz_path = os.path.join(cache_dir, tag + ".npz")
-        meta_path = os.path.join(cache_dir, tag + ".json")
-        if cache and os.path.exists(npz_path) and os.path.exists(meta_path):
-            with open(meta_path) as fh:
-                meta = json.load(fh)
-            records[spec.name] = DesignRecord(
-                graph=HeteroGraph.load_npz(npz_path),
-                routing_time=meta["routing_time"],
-                sta_time=meta["sta_time"])
-            continue
-        record = generate_design(spec.name, spec.split, library=library,
-                                 scale=scale)
-        if cache:
-            record.graph.save_npz(npz_path)
-            with open(meta_path, "w") as fh:
-                json.dump({"routing_time": record.routing_time,
-                           "sta_time": record.sta_time}, fh)
-        records[spec.name] = record
+    for name, record, build_ms, hit in executor.map(_design_task, tasks):
+        _build_latency_histogram(name).observe(build_ms)
+        # Parent-side counter: worker-process artifact counters are lost
+        # with the pool, so dataset-level hit/built tallies live here.
+        get_registry().counter(
+            "repro_dataset_designs_total",
+            "Dataset design records by origin (cache hit vs fresh build).",
+            result="hit" if hit else "built").inc()
+        records[name] = record
     return records

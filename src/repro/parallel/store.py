@@ -1,0 +1,222 @@
+"""Content-hash-keyed on-disk artifact cache with integrity checking.
+
+An :class:`ArtifactStore` maps a *flow fingerprint* (a content hash of
+everything that determines an artifact: netlist text, seeds, scale,
+pipeline versions) to a pickled payload on disk.  Every entry carries a
+header with a version stamp and a sha256 digest of the payload; both
+are checked on load, so a truncated, garbled or stale entry reads as a
+*miss* (and is evicted) rather than poisoning a build.
+
+One entry is one file — ``<key>.art``::
+
+    REPRO-ARTIFACT-1\\n
+    {"kind": ..., "version": ..., "digest": ..., "size": ..., ...}\\n
+    <pickled payload bytes>
+
+written via a same-directory temp file and a single ``os.replace``, so
+an entry is either entirely the old value or entirely the new one.
+Concurrent writers — e.g. parallel dataset workers racing on the same
+design — can never produce a header that disagrees with its payload.
+
+Hits, misses, stale reads and corruption evictions are counted on the
+process-wide metrics registry (``repro_artifact_total``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+
+from ..obs import get_registry
+
+__all__ = ["ArtifactStore", "content_key", "STORE_VERSION"]
+
+# Bump when the on-disk entry format changes; old entries become misses.
+STORE_VERSION = 1
+
+_MAGIC = b"REPRO-ARTIFACT-1\n"
+_SUFFIX = ".art"
+
+
+def content_key(**parts):
+    """Stable content hash of keyword parts (JSON-canonicalized)."""
+    payload = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def _artifact_counter(result, kind):
+    return get_registry().counter(
+        "repro_artifact_total",
+        "Artifact-store lookups by result (hit/miss/stale/corrupt) "
+        "and artifact kind.", result=result, kind=kind)
+
+
+class ArtifactStore:
+    """On-disk pickle cache keyed by content hash, integrity-checked."""
+
+    def __init__(self, root=None):
+        if root is None:
+            from ..graphdata.dataset import default_cache_dir
+            root = os.path.join(default_cache_dir(), "artifacts")
+        self.root = root
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- file format ---------------------------------------------------------
+    def _path(self, key):
+        return os.path.join(self.root, f"{key}{_SUFFIX}")
+
+    @staticmethod
+    def _parse(data):
+        """(header dict, payload bytes) of one entry, or (None, None)."""
+        if not data.startswith(_MAGIC):
+            return None, None
+        body = data[len(_MAGIC):]
+        sep = body.find(b"\n")
+        if sep < 0:
+            return None, None
+        try:
+            header = json.loads(body[:sep])
+        except ValueError:
+            return None, None
+        if not isinstance(header, dict):
+            return None, None
+        return header, body[sep + 1:]
+
+    def _read(self, key):
+        try:
+            with open(self._path(key), "rb") as fh:
+                return self._parse(fh.read())
+        except OSError:
+            return None, None
+
+    # -- core API ------------------------------------------------------------
+    def put(self, key, obj, kind="artifact", version=0, meta=None):
+        """Store ``obj`` under ``key``; overwrites any previous entry."""
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "key": key,
+            "kind": kind,
+            "store_version": STORE_VERSION,
+            "version": version,
+            "digest": hashlib.sha256(payload).hexdigest(),
+            "size": len(payload),
+            "meta": meta or {},
+        }
+        data = _MAGIC + json.dumps(header, sort_keys=True).encode() \
+            + b"\n" + payload
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return header
+
+    def get(self, key, default=None, kind="artifact", version=0):
+        """Load the entry at ``key``, or ``default`` on miss/stale/corrupt.
+
+        A corrupt entry (bad magic/header, truncated or garbled payload,
+        unpicklable bytes) is evicted so the next ``put`` starts clean.
+        """
+        if not os.path.exists(self._path(key)):
+            _artifact_counter("miss", kind).inc()
+            return default
+        header, payload = self._read(key)
+        if header is None:
+            _artifact_counter("corrupt", kind).inc()
+            self.delete(key)
+            return default
+        if (header.get("store_version") != STORE_VERSION
+                or header.get("version") != version
+                or header.get("kind") != kind):
+            _artifact_counter("stale", kind).inc()
+            return default
+        if (len(payload) != header.get("size")
+                or hashlib.sha256(payload).hexdigest()
+                != header.get("digest")):
+            _artifact_counter("corrupt", kind).inc()
+            self.delete(key)
+            return default
+        try:
+            obj = pickle.loads(payload)
+        except Exception:
+            _artifact_counter("corrupt", kind).inc()
+            self.delete(key)
+            return default
+        _artifact_counter("hit", kind).inc()
+        return obj
+
+    def contains(self, key, kind="artifact", version=0):
+        header, _payload = self._read(key)
+        return (header is not None
+                and header.get("store_version") == STORE_VERSION
+                and header.get("version") == version
+                and header.get("kind") == kind)
+
+    def delete(self, key):
+        try:
+            os.unlink(self._path(key))
+        except FileNotFoundError:
+            pass
+
+    def clear(self, kind=None):
+        """Remove all entries (or only those of one ``kind``); returns count."""
+        removed = 0
+        for key in self.keys():
+            if kind is not None:
+                header, _payload = self._read(key)
+                if header is not None and header.get("kind") != kind:
+                    continue
+            self.delete(key)
+            removed += 1
+        return removed
+
+    # -- introspection -------------------------------------------------------
+    def keys(self):
+        return sorted(name[:-len(_SUFFIX)]
+                      for name in os.listdir(self.root)
+                      if name.endswith(_SUFFIX))
+
+    def entries(self):
+        """Header records of every readable entry, sorted by key."""
+        out = []
+        for key in self.keys():
+            header, _payload = self._read(key)
+            if header is not None:
+                header.setdefault("key", key)
+                out.append(header)
+        return out
+
+    def verify(self):
+        """Integrity-check every entry; returns [(key, problem), ...].
+
+        Read-only: unlike :meth:`get`, broken entries are reported, not
+        evicted.
+        """
+        problems = []
+        for key in self.keys():
+            header, payload = self._read(key)
+            if header is None:
+                problems.append((key, "unreadable header"))
+            elif len(payload) != header.get("size"):
+                problems.append(
+                    (key, f"size mismatch ({len(payload)} != "
+                          f"{header.get('size')})"))
+            elif hashlib.sha256(payload).hexdigest() != header.get("digest"):
+                problems.append((key, "digest mismatch"))
+        return problems
+
+    def total_bytes(self):
+        total = 0
+        for name in os.listdir(self.root):
+            try:
+                total += os.path.getsize(os.path.join(self.root, name))
+            except OSError:
+                pass
+        return total

@@ -16,6 +16,8 @@ coordinates, which is exactly the structure the paper's models exploit.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from .die import Die
@@ -34,8 +36,15 @@ class Placement:
         self.pin_xy = self._pin_coordinates()
 
     def _pin_offset(self, pin):
-        """Deterministic small offset of a pin within its cell footprint."""
-        h = hash((pin.cell.cell_type.name, pin.lib_pin)) & 0xFFFF
+        """Deterministic small offset of a pin within its cell footprint.
+
+        Uses crc32, not ``hash()``: string hashing is randomized per
+        process (PYTHONHASHSEED), and pin offsets must be bit-identical
+        across processes for parallel dataset builds and artifact-cache
+        fingerprints to agree with serial ones.
+        """
+        tag = f"{pin.cell.cell_type.name}/{pin.lib_pin}".encode()
+        h = zlib.crc32(tag) & 0xFFFF
         dx = (h % 16) / 16.0 * 2.0 - 1.0
         dy = ((h // 16) % 16) / 16.0 * 2.0 - 1.0
         return np.asarray([dx, dy])

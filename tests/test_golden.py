@@ -1,0 +1,87 @@
+"""Golden regression layer: exact STA numerics pinned in tests/golden/.
+
+Rebuilds two small benchmark designs from scratch and compares every
+arrival/slew/required/slack value *bit-for-bit* against the committed
+fixtures.  Any code change that shifts STA numerics — placer tweaks,
+delay-model edits, extraction reorderings, accidental float reassociation
+— fails here instead of silently drifting the paper's tables.
+
+Intentional numeric changes: bump DATASET_VERSION, run
+``python scripts/regen_golden.py``, and commit the new fixtures with
+the change that caused them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.graphdata.dataset import DATASET_VERSION, generate_design
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+_REGEN = os.path.join(os.path.dirname(__file__), "..", "scripts",
+                      "regen_golden.py")
+
+
+def _regen_module():
+    """scripts/regen_golden.py, imported so the comparator and the
+    regenerator can never disagree about what is pinned."""
+    spec = importlib.util.spec_from_file_location("regen_golden", _REGEN)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+regen = _regen_module()
+
+
+@pytest.mark.parametrize("name,split", regen.GOLDEN_DESIGNS)
+class TestGoldenSTA:
+    def test_rebuild_matches_fixture_bit_for_bit(self, name, split):
+        record = generate_design(name, split, scale=regen.GOLDEN_SCALE,
+                                 seed=regen.GOLDEN_SEED)
+        arrays = regen.golden_arrays(record.graph)
+        with np.load(os.path.join(GOLDEN_DIR, f"{name}.npz")) as golden:
+            assert sorted(golden.files) == sorted(arrays)
+            for field in golden.files:
+                fresh = np.ascontiguousarray(arrays[field])
+                pinned = golden[field]
+                assert fresh.dtype == pinned.dtype, field
+                assert fresh.shape == pinned.shape, field
+                # Bytewise, therefore NaN-exact: required/slack are NaN
+                # off endpoints and must stay NaN in the same places.
+                assert fresh.tobytes() == pinned.tobytes(), (
+                    f"{name}.{field}: STA numerics drifted from the "
+                    f"golden fixture (max abs diff "
+                    f"{np.nanmax(np.abs(fresh - pinned))!r}); if this "
+                    f"change is intentional, bump DATASET_VERSION and "
+                    f"run scripts/regen_golden.py")
+
+    def test_summary_consistent_with_npz(self, name, split):
+        with open(os.path.join(GOLDEN_DIR, f"{name}.json")) as fh:
+            summary = json.load(fh)
+        assert summary["design"] == name
+        assert summary["split"] == split
+        assert summary["scale"] == regen.GOLDEN_SCALE
+        assert summary["seed"] == regen.GOLDEN_SEED
+        with np.load(os.path.join(GOLDEN_DIR, f"{name}.npz")) as golden:
+            assert sorted(summary["sha256"]) == sorted(golden.files)
+            for field in golden.files:
+                digest = hashlib.sha256(
+                    np.ascontiguousarray(golden[field]).tobytes()
+                ).hexdigest()
+                assert digest == summary["sha256"][field], (
+                    f"{name}.{field}: npz and json fixture disagree — "
+                    f"regenerate both with scripts/regen_golden.py")
+
+    def test_fixture_generated_at_current_version(self, name, split):
+        with open(os.path.join(GOLDEN_DIR, f"{name}.json")) as fh:
+            summary = json.load(fh)
+        assert summary["dataset_version"] == DATASET_VERSION, (
+            "golden fixtures were generated at a different "
+            "DATASET_VERSION; run scripts/regen_golden.py")
