@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 suite (twice: serial + parallel workers), the
-# repro.parallel coverage floor, then a fast serving smoke test.
+# CI entry point: tier-1 suite (twice: serial + parallel workers), a
+# naive-backend kernel differential pass, the coverage floors
+# (repro.parallel, repro.nn), then fast serving + compute smoke tests.
 #
-#   scripts/ci.sh         # full tier-1 x2 + coverage floor + serving smoke
+#   scripts/ci.sh         # full tier-1 x2 + differential + floors + smokes
 #   scripts/ci.sh smoke   # smoke only (deselects @slow experiment tests)
 #
 # The suite runs twice so the golden STA comparator and the differential
@@ -34,7 +35,17 @@ assert "test_rebuild_matches_fixture_bit_for_bit" in out.stdout, \
 print("golden comparator collected ok")
 EOF
 
-    echo "== repro.parallel coverage floor =="
+    echo "== fused/naive kernel differential (REPRO_KERNELS=naive) =="
+    # The suite above ran with the default fused backend; re-run the
+    # autograd/module/model subset with the naive composed-op backend as
+    # the process default, so both code paths are proven green and the
+    # fused==naive differential tests exercise backend switching in each
+    # direction.
+    REPRO_KERNELS=naive python -m pytest -x -q \
+        tests/test_nn_autograd.py tests/test_nn_modules.py \
+        tests/test_models.py
+
+    echo "== coverage floors (repro.parallel, repro.nn) =="
     python scripts/coverage_floor.py --min 80
 fi
 
@@ -58,16 +69,50 @@ with open("BENCH_serving.json") as fh:
     bench = json.load(fh)
 required = ["benchmark", "schema_version", "generated_at", "params",
             "clients", "requests", "ok", "errors", "incorrect",
-            "throughput_rps", "latency_p50_ms", "latency_p99_ms",
-            "server_stats"]
+            "warmup_requests", "throughput_rps", "latency_p50_ms",
+            "latency_p99_ms", "server_stats"]
 missing = [key for key in required if key not in bench]
 assert not missing, f"BENCH_serving.json missing keys: {missing}"
 assert bench["benchmark"] == "serving"
 assert bench["requests"] > 0 and bench["ok"] > 0
+assert bench["warmup_requests"] >= 0
 assert bench["throughput_rps"] > 0
-print(f"BENCH_serving.json ok: {bench['requests']} requests, "
+print(f"BENCH_serving.json ok: {bench['requests']} requests "
+      f"({bench['warmup_requests']} warmup, untimed), "
       f"{bench['throughput_rps']:.1f} req/s, "
       f"p50 {bench['latency_p50_ms']:.1f} ms")
 EOF
+
+echo "== compute benchmark smoke (fused vs. naive kernels) =="
+python -m repro.cli bench-compute \
+    --num-designs 1 --scale 0.25 --reps 1 \
+    --stages forward forward_backward \
+    --bench-json BENCH_compute_smoke.json
+
+echo "== BENCH_compute_smoke.json well-formed check =="
+python - <<'EOF'
+import json
+
+with open("BENCH_compute_smoke.json") as fh:
+    bench = json.load(fh)
+required = ["benchmark", "schema_version", "generated_at", "params",
+            "backends", "stages", "reps", "designs", "summary"]
+missing = [key for key in required if key not in bench]
+assert not missing, f"BENCH_compute_smoke.json missing keys: {missing}"
+assert bench["benchmark"] == "compute"
+assert set(bench["backends"]) == {"naive", "fused"}
+assert bench["designs"], "no designs benchmarked"
+for row in bench["designs"]:
+    for backend in ("naive", "fused"):
+        for stage in bench["stages"]:
+            assert row["times_ms"][backend][stage] > 0.0
+    assert all(v > 0.0 for v in row["speedup"].values())
+for stage in bench["stages"]:
+    assert f"speedup_{stage}_geomean" in bench["summary"]
+best = bench["summary"][f"speedup_{bench['stages'][-1]}_best"]
+print(f"BENCH_compute_smoke.json ok: {len(bench['designs'])} design(s), "
+      f"best {bench['stages'][-1]} speedup {best:.2f}x")
+EOF
+rm -f BENCH_compute_smoke.json
 
 echo "== ci ok =="

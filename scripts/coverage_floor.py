@@ -1,15 +1,23 @@
 #!/usr/bin/env python
-"""Line-coverage floor for src/repro/parallel, stdlib-only.
+"""Per-package line-coverage floors, stdlib-only.
 
 The container has no ``coverage``/``pytest-cov``, so this harness uses
 ``sys.settrace`` directly: it records executed lines of the target
-package while running its test file in-process, then compares against
-the executable lines reported by the compiled code objects
+packages while running their test files in-process, then compares
+against the executable lines reported by the compiled code objects
 (``co_lines``).  Worker *processes* spawned by the tests are not
-traced — the floor is calibrated for parent-process coverage.
+traced — the floors are calibrated for parent-process coverage.
+
+Covered packages (each with its own test files and an 80% floor):
+
+* ``src/repro/parallel`` — driven by tests/test_parallel.py;
+* ``src/repro/nn`` — the autograd engine and the fused kernel layer,
+  driven by the autograd/module suites plus the model differential
+  tests (which push the fused propagation path end to end).
 
     python scripts/coverage_floor.py            # default floor 80%
     python scripts/coverage_floor.py --min 85
+    python scripts/coverage_floor.py --package nn   # one package only
 """
 
 from __future__ import annotations
@@ -20,12 +28,28 @@ import sys
 import threading
 
 REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
-TARGET_DIR = os.path.join(REPO, "src", "repro", "parallel")
-TEST_FILES = [os.path.join(REPO, "tests", "test_parallel.py")]
+
+
+def _t(*names):
+    return [os.path.join(REPO, "tests", name) for name in names]
+
+
+TARGETS = {
+    "parallel": {
+        "dir": os.path.join(REPO, "src", "repro", "parallel"),
+        "tests": _t("test_parallel.py"),
+    },
+    "nn": {
+        "dir": os.path.join(REPO, "src", "repro", "nn"),
+        "tests": _t("test_nn_autograd.py", "test_nn_modules.py",
+                    "test_models.py", "test_training.py"),
+    },
+}
 
 sys.path.insert(0, os.path.join(REPO, "src"))
 
 _executed = set()
+_target_dirs = tuple(spec["dir"] for spec in TARGETS.values())
 
 
 def _local_trace(frame, event, arg):
@@ -35,8 +59,8 @@ def _local_trace(frame, event, arg):
 
 
 def _global_trace(frame, event, arg):
-    # Only pay per-line tracing cost inside the target package.
-    if frame.f_code.co_filename.startswith(TARGET_DIR):
+    # Only pay per-line tracing cost inside the target packages.
+    if frame.f_code.co_filename.startswith(_target_dirs):
         return _local_trace(frame, event, arg)
     return None
 
@@ -59,33 +83,15 @@ def executable_lines(path):
     return lines
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--min", type=float, default=80.0,
-                        help="minimum percent of executable lines "
-                             "(default 80)")
-    args = parser.parse_args()
-
-    import pytest
-
-    threading.settrace(_global_trace)
-    sys.settrace(_global_trace)
-    try:
-        rc = pytest.main(["-q", "-p", "no:cacheprovider", *TEST_FILES])
-    finally:
-        sys.settrace(None)
-        threading.settrace(None)
-    if rc != 0:
-        print(f"coverage_floor: test run failed (exit {rc})",
-              file=sys.stderr)
-        return int(rc)
-
+def report_package(name, spec, floor):
+    """Print the per-file table for one package; return False on miss."""
+    target_dir = spec["dir"]
     total_exec = total_hit = 0
-    print(f"\ncoverage of {os.path.relpath(TARGET_DIR, REPO)}:")
-    for name in sorted(os.listdir(TARGET_DIR)):
-        if not name.endswith(".py"):
+    print(f"\ncoverage of {os.path.relpath(target_dir, REPO)}:")
+    for fname in sorted(os.listdir(target_dir)):
+        if not fname.endswith(".py"):
             continue
-        path = os.path.join(TARGET_DIR, name)
+        path = os.path.join(target_dir, fname)
         executable = executable_lines(path)
         hit = {line for fn, line in _executed if fn == path}
         covered = executable & hit
@@ -95,17 +101,52 @@ def main():
         total_hit += len(covered)
         gaps = ",".join(str(line) for line in missed[:12])
         more = f" (+{len(missed) - 12} more)" if len(missed) > 12 else ""
-        print(f"  {name:<16}{pct:6.1f}%  "
+        print(f"  {fname:<16}{pct:6.1f}%  "
               f"({len(covered)}/{len(executable)})"
               + (f"  missed: {gaps}{more}" if missed else ""))
     pct = 100.0 * total_hit / max(total_exec, 1)
     print(f"  {'TOTAL':<16}{pct:6.1f}%  ({total_hit}/{total_exec}, "
-          f"floor {args.min:.0f}%)")
-    if pct < args.min:
-        print(f"coverage_floor: {pct:.1f}% is below the {args.min:.0f}% "
-              f"floor for src/repro/parallel", file=sys.stderr)
-        return 1
-    return 0
+          f"floor {floor:.0f}%)")
+    if pct < floor:
+        print(f"coverage_floor: {pct:.1f}% is below the {floor:.0f}% "
+              f"floor for src/repro/{name}", file=sys.stderr)
+        return False
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min", type=float, default=80.0,
+                        help="minimum percent of executable lines "
+                             "(default 80)")
+    parser.add_argument("--package", choices=sorted(TARGETS), default=None,
+                        help="check one package (default: all)")
+    args = parser.parse_args()
+    targets = ({args.package: TARGETS[args.package]} if args.package
+               else TARGETS)
+
+    import pytest
+
+    test_files = []
+    for spec in targets.values():
+        test_files += [t for t in spec["tests"] if t not in test_files]
+
+    threading.settrace(_global_trace)
+    sys.settrace(_global_trace)
+    try:
+        rc = pytest.main(["-q", "-p", "no:cacheprovider", *test_files])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if rc != 0:
+        print(f"coverage_floor: test run failed (exit {rc})",
+              file=sys.stderr)
+        return int(rc)
+
+    ok = True
+    for name, spec in targets.items():
+        ok = report_package(name, spec, args.min) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,20 @@
+"""Benchmark harnesses tracked as JSON artefacts across PRs.
+
+``repro bench-serve`` (in :mod:`repro.serving.loadgen`) covers the HTTP
+serving layer; this package holds the pure-compute benchmarks:
+
+* :mod:`repro.bench.compute` — fused vs. naive kernel backends on
+  full-model forward / forward+backward / train-step passes over dataset
+  designs, recorded to ``BENCH_compute.json``.
+"""
+
+from .compute import (COMPUTE_BENCH_SCHEMA_VERSION, STAGES,
+                      ComputeBenchResult, DesignBench,
+                      format_compute_report, run_compute_bench,
+                      write_compute_bench_json)
+
+__all__ = [
+    "COMPUTE_BENCH_SCHEMA_VERSION", "STAGES", "ComputeBenchResult",
+    "DesignBench", "run_compute_bench", "format_compute_report",
+    "write_compute_bench_json",
+]

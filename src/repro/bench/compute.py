@@ -1,0 +1,231 @@
+"""Compute benchmark: fused vs. naive kernel backends on the full model.
+
+``repro bench-compute`` times the :class:`~repro.models.TimingGNN` on
+dataset designs under both kernel backends (see
+:mod:`repro.nn.kernels`), in three stages:
+
+* ``forward`` — inference pass under ``nn.no_grad()``;
+* ``forward_backward`` — training-style pass: forward, combined loss,
+  ``backward(free=True)``;
+* ``train_step`` — the above plus gradient clipping and one Adam step.
+
+Each (design, backend, stage) cell is the mean wall time of ``reps``
+passes after ``warmup`` untimed ones (the first pass also builds the
+graph's cached :class:`~repro.graphdata.hetero.LevelSchedule`, which
+both backends share).  Speedups are naive/fused time ratios.  Results
+feed the process metrics registry (``repro_compute_*``) and are recorded
+to a schema-versioned ``BENCH_compute.json`` at the repo root so the
+kernel-speedup trajectory is tracked across PRs, like
+``BENCH_serving.json`` does for the serving layer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..models import ModelConfig, TimingGNN
+from ..obs import get_logger, get_registry, get_tracer
+from ..training.loss import combined_loss
+
+__all__ = ["COMPUTE_BENCH_SCHEMA_VERSION", "STAGES", "DesignBench",
+           "ComputeBenchResult", "run_compute_bench",
+           "format_compute_report", "write_compute_bench_json"]
+
+COMPUTE_BENCH_SCHEMA_VERSION = 1
+
+STAGES = ("forward", "forward_backward", "train_step")
+
+_log = get_logger("repro.bench")
+
+
+@dataclass
+class DesignBench:
+    """Per-design timings: ``times_ms[backend][stage]`` and speedups."""
+
+    name: str
+    nodes: int
+    net_edges: int
+    cell_edges: int
+    levels: int
+    times_ms: dict = field(default_factory=dict)
+    speedup: dict = field(default_factory=dict)
+
+
+@dataclass
+class ComputeBenchResult:
+    backends: tuple
+    stages: tuple
+    reps: int
+    warmup: int
+    designs: list                      # list[DesignBench]
+    summary: dict
+
+    def to_dict(self):
+        out = asdict(self)
+        out["backends"] = list(self.backends)
+        out["stages"] = list(self.stages)
+        return out
+
+
+def _fresh_model(cfg):
+    # Same seed per (design, backend, stage) cell: both backends time the
+    # exact same weights, so the comparison is apples to apples.
+    return TimingGNN(cfg, rng=np.random.default_rng(cfg.seed))
+
+
+def _run_stage(graph, cfg, stage, reps, warmup):
+    """Mean ms per pass of one stage on one design, current backend."""
+    model = _fresh_model(cfg)
+    if stage == "train_step":
+        optim = nn.Adam(model.parameters(), lr=1e-3)
+
+    def one_pass():
+        if stage == "forward":
+            with nn.no_grad():
+                model(graph)
+            return
+        pred = model(graph)
+        loss, _parts = combined_loss(pred, graph)
+        if stage == "forward_backward":
+            model.zero_grad()
+            loss.backward(free=True)
+        else:
+            optim.zero_grad()
+            loss.backward(free=True)
+            nn.clip_grad_norm(model.parameters(), 5.0)
+            optim.step()
+
+    for _ in range(warmup):
+        one_pass()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        one_pass()
+    return (time.perf_counter() - t0) * 1000.0 / max(reps, 1)
+
+
+def run_compute_bench(graphs, cfg=None, reps=3, warmup=1, stages=STAGES,
+                      backends=("naive", "fused")):
+    """Benchmark both kernel backends over ``graphs``.
+
+    ``graphs`` is a list of :class:`~repro.graphdata.HeteroGraph`;
+    returns a :class:`ComputeBenchResult`.  The active-backend context
+    is set per cell with :class:`repro.nn.use_kernels`, so the process
+    default (``REPRO_KERNELS``) is untouched.
+    """
+    cfg = cfg or ModelConfig.benchmark()
+    stages = tuple(stages)
+    backends = tuple(backends)
+    for stage in stages:
+        if stage not in STAGES:
+            raise ValueError(f"unknown bench stage {stage!r}")
+    registry = get_registry()
+    stage_ms = {
+        (b, s): registry.histogram(
+            "repro_compute_stage_ms",
+            "Wall time per full-model pass in the compute benchmark.",
+            backend=b, stage=s)
+        for b in backends for s in stages}
+    rows = []
+    with get_tracer().span("bench.compute", designs=len(graphs),
+                           reps=reps) as span:
+        for graph in graphs:
+            row = DesignBench(
+                name=graph.name, nodes=graph.num_nodes,
+                net_edges=graph.num_net_edges,
+                cell_edges=graph.num_cell_edges, levels=graph.num_levels)
+            for backend in backends:
+                with nn.use_kernels(backend):
+                    row.times_ms[backend] = {
+                        stage: _run_stage(graph, cfg, stage, reps, warmup)
+                        for stage in stages}
+                for stage in stages:
+                    stage_ms[backend, stage].observe(
+                        row.times_ms[backend][stage])
+            if "naive" in backends and "fused" in backends:
+                for stage in stages:
+                    ratio = (row.times_ms["naive"][stage]
+                             / max(row.times_ms["fused"][stage], 1e-9))
+                    row.speedup[stage] = ratio
+                    registry.gauge(
+                        "repro_compute_speedup",
+                        "Naive/fused wall-time ratio per design and stage.",
+                        design=row.name, stage=stage).set(ratio)
+            _log.info("bench.compute.design", design=row.name,
+                      nodes=row.nodes, **{
+                          f"speedup_{k}": round(v, 3)
+                          for k, v in row.speedup.items()})
+            rows.append(row)
+        summary = _summarize(rows, stages)
+        span.set(**{f"best_{k}": v for k, v in summary.items()
+                    if isinstance(v, (int, float))})
+    return ComputeBenchResult(backends=backends, stages=stages, reps=reps,
+                              warmup=warmup, designs=rows, summary=summary)
+
+
+def _summarize(rows, stages):
+    """Best and geometric-mean speedup per stage across designs."""
+    summary = {}
+    for stage in stages:
+        ratios = [r.speedup[stage] for r in rows if stage in r.speedup]
+        if not ratios:
+            continue
+        best = int(np.argmax(ratios))
+        summary[f"speedup_{stage}_best"] = float(max(ratios))
+        summary[f"speedup_{stage}_best_design"] = rows[best].name
+        summary[f"speedup_{stage}_geomean"] = float(
+            np.exp(np.mean(np.log(ratios))))
+    return summary
+
+
+def write_compute_bench_json(result, path="BENCH_compute.json", params=None):
+    """Record one compute-bench run as a JSON benchmark artefact.
+
+    Written by ``repro bench-compute`` at the repo root; ``scripts/
+    ci.sh`` asserts the file is produced and well-formed.
+    """
+    payload = {
+        "benchmark": "compute",
+        "schema_version": COMPUTE_BENCH_SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "params": dict(params or {}),
+        **result.to_dict(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def format_compute_report(result):
+    """Human-readable per-design table of one compute-bench run."""
+    stages = list(result.stages)
+    head = f"{'design':<16}{'nodes':>7}" + "".join(
+        f"{s + ' n/f ms':>24}{'x':>7}" for s in stages)
+    lines = ["compute benchmark (fused vs. naive kernels, "
+             f"mean of {result.reps} reps)", head]
+    for row in result.designs:
+        cells = ""
+        for stage in stages:
+            naive = row.times_ms.get("naive", {}).get(stage)
+            fused = row.times_ms.get("fused", {}).get(stage)
+            pair = (f"{naive:>11.1f}/{fused:<8.1f}"
+                    if naive is not None and fused is not None else
+                    f"{'-':>20}")
+            ratio = row.speedup.get(stage)
+            cells += f"{pair:>24}" + (
+                f"{ratio:>6.2f}x" if ratio is not None else f"{'-':>7}")
+        lines.append(f"{row.name:<16}{row.nodes:>7}{cells}")
+    for stage in stages:
+        best = result.summary.get(f"speedup_{stage}_best")
+        if best is None:
+            continue
+        lines.append(
+            f"  {stage:<17} best {best:5.2f}x "
+            f"({result.summary[f'speedup_{stage}_best_design']}), "
+            f"geomean {result.summary[f'speedup_{stage}_geomean']:5.2f}x")
+    return "\n".join(lines)

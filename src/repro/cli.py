@@ -10,6 +10,7 @@ Usage (also available as ``python -m repro``):
     repro predict usbf_device            # model vs. ground-truth slack
     repro serve --port 8080              # HTTP slack-prediction service
     repro bench-serve --clients 8        # loadgen benchmark of the service
+    repro bench-compute --reps 5         # fused vs. naive kernel benchmark
     repro stats --url http://host:8080   # stats/metrics of a live server
     repro trace picorv32a -o t.jsonl     # traced flow run -> JSONL spans
     repro write-verilog des -o des.v     # export a benchmark netlist
@@ -219,7 +220,8 @@ def _cmd_bench_serve(args):
         result = run_loadgen(
             server.url, designs, clients=args.clients,
             requests_per_client=args.requests_per_client,
-            model=args.model_variant, deadline_ms=args.deadline_ms)
+            model=args.model_variant, deadline_ms=args.deadline_ms,
+            warmup_requests=args.warmup_requests)
         print(format_loadgen_report(result))
     if args.bench_json:
         from .serving import write_bench_json
@@ -236,6 +238,44 @@ def _cmd_bench_serve(args):
     if bad:
         print(f"FAILED: {bad} bad responses", file=sys.stderr)
     return 1 if bad else 0
+
+
+def _cmd_bench_compute(args):
+    from .bench import (format_compute_report, run_compute_bench,
+                        write_compute_bench_json)
+    from .graphdata import load_dataset
+    from .netlist import BENCHMARKS
+
+    scale = args.scale
+    if scale is None:
+        scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    by_name = {b.name: b for b in BENCHMARKS}
+    if args.designs:
+        unknown = [n for n in args.designs if n not in by_name]
+        if unknown:
+            print(f"unknown benchmarks: {unknown}", file=sys.stderr)
+            return 2
+        benchmarks = [by_name[n] for n in args.designs]
+        records = load_dataset(scale=scale, benchmarks=benchmarks)
+        graphs = [records[b.name].graph for b in benchmarks]
+    else:
+        # Default: the --num-designs largest designs of the suite, where
+        # the kernel-level differences actually show.
+        records = load_dataset(scale=scale)
+        graphs = sorted((r.graph for r in records.values()),
+                        key=lambda g: g.num_nodes,
+                        reverse=True)[:args.num_designs]
+    print(f"benchmarking {len(graphs)} designs at scale {scale} "
+          f"({args.reps} reps, {args.warmup} warmup) ...")
+    result = run_compute_bench(graphs, reps=args.reps, warmup=args.warmup,
+                               stages=args.stages)
+    print(format_compute_report(result))
+    if args.bench_json:
+        path = write_compute_bench_json(result, args.bench_json, params={
+            "designs": [g.name for g in graphs], "scale": scale,
+            "reps": args.reps, "warmup": args.warmup})
+        print(f"wrote {path}")
+    return 0
 
 
 def _cmd_stats(args):
@@ -439,10 +479,33 @@ def build_parser():
     p.add_argument("--deadline-ms", type=float, default=None)
     p.add_argument("--batch-window-ms", type=float, default=2.0)
     p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--warmup-requests", type=int, default=None,
+                   help="untimed /predict calls before the timed phase "
+                        "(default: one per design; 0 disables)")
     p.add_argument("--bench-json", default="BENCH_serving.json",
                    help="record the run to this JSON file "
                         "('' disables)")
     p.set_defaults(func=_cmd_bench_serve)
+
+    p = sub.add_parser("bench-compute",
+                       help="benchmark fused vs. naive kernel backends "
+                            "on full-model passes")
+    p.add_argument("--designs", nargs="*", default=None,
+                   help="benchmark names (default: the --num-designs "
+                        "largest designs of the suite)")
+    p.add_argument("--num-designs", type=int, default=3)
+    p.add_argument("--scale", type=float, default=None,
+                   help="design scale (default: REPRO_SCALE)")
+    p.add_argument("--reps", type=int, default=3,
+                   help="timed passes per (design, backend, stage) cell")
+    p.add_argument("--warmup", type=int, default=1,
+                   help="untimed passes before timing each cell")
+    p.add_argument("--stages", nargs="*",
+                   default=["forward", "forward_backward", "train_step"],
+                   choices=["forward", "forward_backward", "train_step"])
+    p.add_argument("--bench-json", default="BENCH_compute.json",
+                   help="record the run to this JSON file ('' disables)")
+    p.set_defaults(func=_cmd_bench_compute)
 
     p = sub.add_parser("stats",
                        help="print /stats (or /metrics) of a running "

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["HeteroGraph", "LevelBlock",
+__all__ = ["HeteroGraph", "LevelBlock", "LevelSchedule", "LevelCompute",
            "TIME_SCALE", "CAP_SCALE", "DIST_SCALE",
            "NODE_FEATURE_DIM", "NET_EDGE_FEATURE_DIM", "CELL_EDGE_FEATURE_DIM"]
 
@@ -51,6 +51,94 @@ class LevelBlock:
     @property
     def dst_nodes(self):
         return np.concatenate([self.net_dst, self.cell_dst])
+
+
+class LevelCompute:
+    """Cached index structures for one :class:`LevelBlock`.
+
+    Full-batch training re-runs the propagation model over the same
+    graphs every epoch; everything here is a pure function of the graph
+    structure, so it is computed once per graph and reused by every
+    forward pass (both kernel backends — the cached arrays are
+    bit-identical to the per-forward recomputations they replace):
+
+    * per-level gathers of the edge-endpoint index vectors and edge
+      features (``graph.net_src[eids]`` and friends);
+    * the LUT-interpolation reshapes — the ``np.repeat(np.arange(e), 8)``
+      query expansion and the ``(e*8, 7/7/49)`` index/value matrices;
+    * :class:`~repro.nn.kernels.SegmentSchedule` sorted-CSR layouts for
+      every segment reduction and duplicate-index gradient scatter of
+      the level.
+    """
+
+    __slots__ = (
+        "net_eids", "net_src", "net_dst", "net_features",
+        "net_src_sched", "net_dst_sched",
+        "cell_eids", "cell_src", "cell_dst_edges", "cell_dst", "cell_seg",
+        "cell_valid", "cell_indices", "cell_values",
+        "cell_src_sched", "cell_dst_sched", "cell_seg_sched",
+        "lut_rep", "lut_rep_sched", "lut_idx_x", "lut_idx_y", "lut_values",
+    )
+
+    def __init__(self, graph, block):
+        from ..nn.kernels import SegmentSchedule
+
+        eids = block.net_eids
+        self.net_eids = eids
+        self.net_src = graph.net_src[eids]
+        self.net_dst = graph.net_dst[eids]
+        self.net_features = np.ascontiguousarray(
+            graph.net_features[eids], dtype=np.float64)
+        self.net_src_sched = SegmentSchedule(self.net_src)
+        self.net_dst_sched = SegmentSchedule(self.net_dst)
+
+        ceids = block.cell_eids
+        e = len(ceids)
+        self.cell_eids = ceids
+        self.cell_src = graph.cell_src[ceids]
+        self.cell_dst_edges = graph.cell_dst[ceids]
+        self.cell_dst = block.cell_dst
+        self.cell_seg = block.cell_seg
+        self.cell_src_sched = SegmentSchedule(self.cell_src)
+        self.cell_dst_sched = SegmentSchedule(self.cell_dst_edges)
+        self.cell_seg_sched = SegmentSchedule(block.cell_seg)
+        self.cell_valid = np.asarray(graph.cell_valid[ceids],
+                                     dtype=np.float64)
+        self.cell_indices = np.asarray(graph.cell_indices[ceids],
+                                       dtype=np.float64)
+        self.cell_values = np.asarray(graph.cell_values[ceids],
+                                      dtype=np.float64)
+        self.lut_rep = np.repeat(np.arange(e), 8)
+        self.lut_rep_sched = SegmentSchedule(self.lut_rep)
+        idx = self.cell_indices.reshape(e * 8, 14)
+        self.lut_idx_x = np.ascontiguousarray(idx[:, :7])
+        self.lut_idx_y = np.ascontiguousarray(idx[:, 7:])
+        self.lut_values = self.cell_values.reshape(e * 8, 49)
+
+
+class LevelSchedule:
+    """Per-graph cache of propagation/embedding index structures.
+
+    Built lazily by :meth:`HeteroGraph.compute_schedule` and cached on
+    the graph, so full-batch training stops recomputing identical index
+    structures every epoch x design.  Holds the graph-wide source list
+    and net-graph reduction schedules (used by the net embedding's
+    sink->driver reduction every conv layer) plus one
+    :class:`LevelCompute` per topological level.
+    """
+
+    __slots__ = ("num_nodes", "num_levels", "sources",
+                 "net_src_sched", "net_dst_sched", "levels")
+
+    def __init__(self, graph):
+        from ..nn.kernels import SegmentSchedule
+
+        self.num_nodes = graph.num_nodes
+        self.num_levels = len(graph.levels)
+        self.sources = np.nonzero(graph.is_source)[0]
+        self.net_src_sched = SegmentSchedule(graph.net_src)
+        self.net_dst_sched = SegmentSchedule(graph.net_dst)
+        self.levels = [LevelCompute(graph, block) for block in graph.levels]
 
 
 @dataclass
@@ -88,6 +176,11 @@ class HeteroGraph:
     cell_arc_delay: np.ndarray             # (E_cell, 4)
 
     levels: list = field(default_factory=list)   # list[LevelBlock]
+
+    # Lazily built LevelSchedule (compute_schedule); not part of the
+    # dataclass protocol so dataclasses.replace() resets it.
+    _schedule: object = field(default=None, init=False, repr=False,
+                              compare=False)
 
     # -- shape -----------------------------------------------------------------
     @property
@@ -152,7 +245,22 @@ class HeteroGraph:
                 level=lvl, net_eids=net_eids, net_dst=net_dst,
                 net_seg=net_seg, cell_eids=cell_eids, cell_dst=cell_dst,
                 cell_seg=cell_seg))
+        self._schedule = None      # level structure changed; rebuild lazily
         return self.levels
+
+    def compute_schedule(self):
+        """The cached :class:`LevelSchedule` for this graph (lazy-built).
+
+        Derived purely from the graph structure; callers that mutate the
+        structural arrays in place must call :meth:`build_levels` (which
+        invalidates the cache) before the next forward pass.
+        """
+        if not self.levels and self.num_nodes:
+            self.build_levels()
+        if self._schedule is None or \
+                self._schedule.num_levels != len(self.levels):
+            self._schedule = LevelSchedule(self)
+        return self._schedule
 
     # -- persistence --------------------------------------------------------------
     _ARRAY_FIELDS = [

@@ -26,17 +26,21 @@ from .config import ModelConfig
 __all__ = ["NetConvLayer", "NetEmbedding"]
 
 
-def reduction_channels(msg, segment_ids, num_segments, mode):
+def reduction_channels(msg, segment_ids, num_segments, mode, schedule=None):
     """Segment-reduce ``msg`` through the configured channel set.
 
     The paper uses two channels (sum and max); "sum"/"max" alone are the
     ablation variants benchmarked in benchmarks/test_ablations.py.
+    ``schedule`` is an optional pre-sorted CSR layout of ``segment_ids``
+    (see :class:`repro.nn.SegmentSchedule`) reused by the fused kernels.
     """
     parts = []
     if mode in ("sum", "both"):
-        parts.append(nn.segment_sum(msg, segment_ids, num_segments))
+        parts.append(nn.segment_sum(msg, segment_ids, num_segments,
+                                    schedule=schedule))
     if mode in ("max", "both"):
-        parts.append(nn.segment_max(msg, segment_ids, num_segments))
+        parts.append(nn.segment_max(msg, segment_ids, num_segments,
+                                    schedule=schedule))
     if not parts:
         raise ValueError(f"unknown reduction mode {mode!r}")
     return parts
@@ -62,19 +66,25 @@ class NetConvLayer(nn.Module):
     def forward(self, h, graph):
         """``h`` is (N, in_dim); returns (N, out_dim)."""
         n = graph.num_nodes
-        ef = nn.Tensor(graph.net_features)
-        h_src = nn.gather_rows(h, graph.net_src)
-        h_dst = nn.gather_rows(h, graph.net_dst)
+        sched = graph.compute_schedule()
         # Broadcast: driver -> sinks (each sink has exactly one net edge).
         # New node states are tanh-bounded: the embedding feeds a deep
         # recurrent composition downstream (one step per topological
         # level), and unbounded states diverge exponentially with depth.
-        sink_new = self.broadcast(nn.concat([h_src, h_dst, ef])).tanh()
+        joint = nn.gather_concat(
+            [h, h, graph.net_features],
+            [graph.net_src, graph.net_dst, None],
+            schedules=[sched.net_src_sched, sched.net_dst_sched, None])
+        sink_new = self.broadcast(joint, activation="tanh")
         # Reduction: sinks -> driver through the configured channels
         # (paper default: sum and max).
-        msg = self.reduce_msg(nn.concat([h_dst, ef])).tanh()
-        aggs = reduction_channels(msg, graph.net_src, n, self.reduction)
-        driver_new = self.reduce_combine(nn.concat([h] + aggs)).tanh()
+        msg = self.reduce_msg(nn.gather_concat(
+            [h, graph.net_features], [graph.net_dst, None],
+            schedules=[sched.net_dst_sched, None]), activation="tanh")
+        aggs = reduction_channels(msg, graph.net_src, n, self.reduction,
+                                  schedule=sched.net_src_sched)
+        driver_new = self.reduce_combine(nn.concat([h] + aggs),
+                                         activation="tanh")
         # Drivers take the reduction result; sinks take the broadcast one.
         return nn.scatter_rows(driver_new, graph.net_dst, sink_new)
 

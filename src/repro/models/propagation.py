@@ -41,6 +41,7 @@ import numpy as np
 
 from .. import nn
 from .config import ModelConfig
+from .net_embedding import num_reduction_channels, reduction_channels
 
 __all__ = ["LUTInterpolation", "LUTFlattenMLP", "DelayPropagation"]
 
@@ -57,29 +58,39 @@ class LUTInterpolation(nn.Module):
         self.coeff_x = nn.MLP(q + 7, 7, rng, **mlp)
         self.coeff_y = nn.MLP(q + 7, 7, rng, **mlp)
 
-    def forward(self, h_src_prop, h_dst_emb, valid, indices, values):
+    def forward(self, h_src_prop, h_dst_emb, valid, indices, values,
+                cache=None):
         """Per-edge LUT outputs.
 
         ``valid`` (E, 8), ``indices`` (E, 112), ``values`` (E, 392);
         returns (E, 8) — one interpolated value per LUT.  The query sees
         the source context (which carries the input-slew information a
         real NLDM lookup is indexed by) and the destination embedding
-        (which carries the load statistics).
+        (which carries the load statistics).  ``cache`` is an optional
+        :class:`repro.graphdata.hetero.LevelCompute` holding the
+        per-level query expansion and index/value reshapes precomputed,
+        so full-batch training does not rebuild them every forward.
         """
         e = len(valid)
-        q = self.query(nn.concat([h_src_prop, h_dst_emb])).tanh()
-        # Expand the query to one row per (edge, table).
-        rep = np.repeat(np.arange(e), 8)
-        q8 = nn.gather_rows(q, rep)
-        idx = np.asarray(indices).reshape(e * 8, 14)
-        ax = self.coeff_x(nn.concat([q8, nn.Tensor(idx[:, :7])]))
-        ay = self.coeff_y(nn.concat([q8, nn.Tensor(idx[:, 7:])]))
+        q = self.query(nn.concat([h_src_prop, h_dst_emb]),
+                       activation="tanh")
+        if cache is None:
+            # Expand the query to one row per (edge, table).
+            rep = np.repeat(np.arange(e), 8)
+            rep_sched = None
+            idx = np.asarray(indices).reshape(e * 8, 14)
+            idx_x, idx_y = idx[:, :7], idx[:, 7:]
+            vals = np.asarray(values).reshape(e * 8, 49)
+        else:
+            rep, rep_sched = cache.lut_rep, cache.lut_rep_sched
+            idx_x, idx_y = cache.lut_idx_x, cache.lut_idx_y
+            vals = cache.lut_values
+        q8 = nn.gather_rows(q, rep, schedule=rep_sched)
+        ax = self.coeff_x(nn.concat([q8, nn.Tensor(idx_x)]))
+        ay = self.coeff_y(nn.concat([q8, nn.Tensor(idx_y)]))
         # Kronecker combination of the two axis-coefficient vectors,
         # dotted with the LUT value matrix.
-        coeff = nn.batched_outer(ax, ay)                      # (E*8, 49)
-        vals = nn.Tensor(np.asarray(values).reshape(e * 8, 49))
-        out = (coeff * vals).sum(axis=1).reshape(e, 8)
-        return out * nn.Tensor(np.asarray(valid))
+        return nn.lut_kron_combine(ax, ay, vals, np.asarray(valid))
 
 
 class LUTFlattenMLP(nn.Module):
@@ -94,7 +105,8 @@ class LUTFlattenMLP(nn.Module):
         self.net = nn.MLP(in_dim, 8, rng, hidden=cfg.lut_mlp_hidden,
                           num_hidden_layers=cfg.lut_mlp_layers)
 
-    def forward(self, h_src_prop, h_dst_emb, valid, indices, values):
+    def forward(self, h_src_prop, h_dst_emb, valid, indices, values,
+                cache=None):
         out = self.net(nn.concat([
             h_src_prop, h_dst_emb, nn.Tensor(np.asarray(valid)),
             nn.Tensor(np.asarray(indices)), nn.Tensor(np.asarray(values))]))
@@ -123,7 +135,6 @@ class DelayPropagation(nn.Module):
                               4, rng, **mlp)
         # Cell propagation: learned LUT lookup + message + two reduction
         # channels (sum, max), like the cell-arc max in an STA engine.
-        from .net_embedding import num_reduction_channels
         self.reduction = cfg.reduction
         n_ch = num_reduction_channels(cfg.reduction)
         if cfg.lut_mode == "kron":
@@ -147,59 +158,88 @@ class DelayPropagation(nn.Module):
 
         Returns (atslew (N, 8), cell_delay (E_cell, 4) aligned with
         ``edge_order``, edge_order).
+
+        Under the fused kernel backend the level loop runs through
+        :func:`_fused_propagate` — the whole loop as one hand-written
+        multi-output tape node over shared state buffers; the composed
+        per-op path below is the reference (and the fallback for the
+        ``mlp`` LUT ablation).
         """
+        if nn.kernels.is_fused() and self.cfg.lut_mode == "kron":
+            h_prop, at, cell_delay, edge_order = _fused_propagate(
+                self, graph, h_emb)
+        else:
+            h_prop, at, cell_delay, edge_order = self._propagate(
+                graph, h_emb)
+        state = nn.concat([h_emb, h_prop])
+        arrival = at + self.refine_at(state)
+        slew = self.slew_head(state, activation="softplus")
+        atslew = nn.concat([arrival, slew])
+        return atslew, cell_delay, edge_order
+
+    def _propagate(self, graph, h_emb):
+        """Composed per-op level loop; returns (h_prop, at, cell_delay,
+        edge_order)."""
         n = graph.num_nodes
+        sched = graph.compute_schedule()
         h_prop = nn.Tensor(np.zeros((n, self.cfg.prop_dim)))
         at = nn.Tensor(np.zeros((n, 4)))
-        sources = np.nonzero(graph.is_source)[0]
+        sources = sched.sources
         if len(sources):
             h_emb_src = nn.gather_rows(h_emb, sources)
-            h_prop = nn.scatter_rows(h_prop, sources,
-                                     self.source_init(h_emb_src).tanh())
-            at = nn.scatter_rows(at, sources,
-                                 self.source_at(h_emb_src).softplus())
+            h_prop = nn.scatter_rows(
+                h_prop, sources,
+                self.source_init(h_emb_src, activation="tanh"))
+            at = nn.scatter_rows(
+                at, sources,
+                self.source_at(h_emb_src, activation="softplus"))
 
         delay_chunks, delay_orders = [], []
-        for block in graph.levels:
+        for lv in sched.levels:
             idx_parts, ctx_parts, at_parts = [], [], []
-            if len(block.net_eids):
-                eids = block.net_eids
-                h_s = nn.gather_rows(h_prop, graph.net_src[eids])
-                at_s = nn.gather_rows(at, graph.net_src[eids])
-                h_d = nn.gather_rows(h_emb, graph.net_dst[eids])
-                ef = nn.Tensor(graph.net_features[eids])
-                joint = nn.concat([h_s, h_d, ef])
+            if len(lv.net_eids):
+                joint = nn.gather_concat(
+                    [h_prop, h_emb, lv.net_features],
+                    [lv.net_src, lv.net_dst, None],
+                    schedules=[lv.net_src_sched, lv.net_dst_sched, None])
                 # Every net sink has exactly one driver, so the edge list
                 # itself indexes the destination nodes uniquely.
-                idx_parts.append(graph.net_dst[eids])
-                ctx_parts.append(self.net_prop(joint).tanh())
-                at_parts.append(at_s + self.net_inc(joint).softplus())
-            if len(block.cell_eids):
-                eids = block.cell_eids
-                h_s = nn.gather_rows(h_prop, graph.cell_src[eids])
-                at_s = nn.gather_rows(at, graph.cell_src[eids])
-                h_d = nn.gather_rows(h_emb, graph.cell_dst[eids])
-                lut_out = self.lut(h_s, h_d, graph.cell_valid[eids],
-                                   graph.cell_indices[eids],
-                                   graph.cell_values[eids])
-                msg = self.cell_msg(nn.concat([h_s, h_d, lut_out])).tanh()
-                inc = self.cell_inc(nn.concat([msg, lut_out])).softplus()
+                idx_parts.append(lv.net_dst)
+                ctx_parts.append(self.net_prop(joint, activation="tanh"))
+                at_parts.append(nn.gather_add(
+                    at, lv.net_src,
+                    self.net_inc(joint, activation="softplus"),
+                    schedule=lv.net_src_sched))
+            if len(lv.cell_eids):
+                h_s = nn.gather_rows(h_prop, lv.cell_src,
+                                     schedule=lv.cell_src_sched)
+                h_d = nn.gather_rows(h_emb, lv.cell_dst_edges,
+                                     schedule=lv.cell_dst_sched)
+                lut_out = self.lut(h_s, h_d, lv.cell_valid,
+                                   lv.cell_indices, lv.cell_values,
+                                   cache=lv)
+                msg = self.cell_msg(nn.concat([h_s, h_d, lut_out]),
+                                    activation="tanh")
+                inc = self.cell_inc(nn.concat([msg, lut_out]),
+                                    activation="softplus")
                 # The arrival increment is the cell delay itself (Eq. 5).
                 delay_chunks.append(inc)
-                delay_orders.append(eids)
-                cand = at_s + inc
-                n_dst = len(block.cell_dst)
-                agg_max = nn.segment_max(cand, block.cell_seg, n_dst)
-                agg_min = nn.segment_max(cand * -1.0, block.cell_seg,
-                                         n_dst) * -1.0
-                gate = self.agg_gate.sigmoid().reshape(1, 4)
-                at_new = agg_max * gate + agg_min * (1.0 - gate)
-                from .net_embedding import reduction_channels
-                aggs = reduction_channels(msg, block.cell_seg, n_dst,
-                                          self.reduction)
-                h_d_u = nn.gather_rows(h_emb, block.cell_dst)
-                ctx = self.cell_combine(nn.concat([h_d_u] + aggs)).tanh()
-                idx_parts.append(block.cell_dst)
+                delay_orders.append(lv.cell_eids)
+                cand = nn.gather_add(at, lv.cell_src, inc,
+                                     schedule=lv.cell_src_sched)
+                n_dst = len(lv.cell_dst)
+                # One-pass fanin reduction: late corners max-reduced,
+                # early corners min-reduced, mixed by the learned gate.
+                at_new = nn.segment_minmax_gate(
+                    cand, lv.cell_seg, n_dst, self.agg_gate,
+                    schedule=lv.cell_seg_sched)
+                aggs = reduction_channels(msg, lv.cell_seg, n_dst,
+                                          self.reduction,
+                                          schedule=lv.cell_seg_sched)
+                h_d_u = nn.gather_rows(h_emb, lv.cell_dst)
+                ctx = self.cell_combine(nn.concat([h_d_u] + aggs),
+                                        activation="tanh")
+                idx_parts.append(lv.cell_dst)
                 ctx_parts.append(ctx)
                 at_parts.append(at_new)
             if idx_parts:
@@ -211,10 +251,6 @@ class DelayPropagation(nn.Module):
                 h_prop = nn.scatter_rows(h_prop, index, ctx_vals)
                 at = nn.scatter_rows(at, index, at_vals)
 
-        state = nn.concat([h_emb, h_prop])
-        arrival = at + self.refine_at(state)
-        slew = self.slew_head(state).softplus()
-        atslew = nn.concat([arrival, slew])
         if delay_chunks:
             cell_delay = (delay_chunks[0] if len(delay_chunks) == 1
                           else nn.concat(delay_chunks, axis=0))
@@ -222,4 +258,296 @@ class DelayPropagation(nn.Module):
         else:
             cell_delay = nn.Tensor(np.zeros((0, 4)))
             edge_order = np.zeros(0, dtype=np.int64)
-        return atslew, cell_delay, edge_order
+        return h_prop, at, cell_delay, edge_order
+
+
+def _fused_propagate(model, graph, h_emb):
+    """Level-fused propagation: the whole loop as ONE fused tape node.
+
+    The composed path creates tens of tape nodes per topological level
+    (gathers, concats, MLP chains, segment reductions, functional
+    scatters), and deep designs have hundreds of levels — the tape
+    bookkeeping (node allocation, gradient buffer copies, full-width
+    scatter masks) ends up rivalling the arithmetic.  This kernel
+    hand-writes the forward and backward sweeps over two shared state
+    buffers (``h_prop`` and the arrival accumulator), exploiting the
+    schedule's write-once invariant — every node is written at exactly
+    one level and read only at later levels — so the forward updates
+    one ``(N, d)`` buffer in place instead of copying it per level, and
+    the backward keeps ONE gradient buffer per state, extracting each
+    level's written rows (then zeroing them) and scatter-adding gather
+    gradients while sweeping levels in reverse.
+
+    Numerically equivalent to the composed graph within the
+    fused==naive contract (only floating-point summation order
+    differs); the full-model differential test pins the backends
+    together.  Used for the paper's ``kron`` LUT mode; other
+    configurations fall back to the composed path.
+
+    Returns ``(h_prop, at, cell_delay, edge_order)`` where the first
+    three are tensors produced by glue nodes around one shared backward
+    closure (the closure fires once all output gradients are in).
+    """
+    kernels = nn.kernels
+    cfg = model.cfg
+    sched = graph.compute_schedule()
+    n = graph.num_nodes
+    d_prop, d_emb, q_dim = cfg.prop_dim, cfg.embedding_dim, cfg.lut_query_dim
+    he = h_emb.data
+    reduction = model.reduction
+    save = nn.is_grad_enabled()
+
+    st_init = model.source_init.fused_steps()
+    st_at0 = model.source_at.fused_steps()
+    st_net_prop = model.net_prop.fused_steps()
+    st_net_inc = model.net_inc.fused_steps()
+    st_query = model.lut.query.fused_steps()
+    st_cx = model.lut.coeff_x.fused_steps()
+    st_cy = model.lut.coeff_y.fused_steps()
+    st_msg = model.cell_msg.fused_steps()
+    st_cinc = model.cell_inc.fused_steps()
+    st_comb = model.cell_combine.fused_steps()
+
+    mlp_fwd = kernels.mlp_chain_forward_raw
+    mlp_bwd = kernels.mlp_chain_backward_raw
+    gcat = kernels.gather_concat_raw
+    extrema = kernels.segment_extrema_raw
+    scatter_add = kernels.scatter_add_rows
+
+    gate = 1.0 / (1.0 + np.exp(-np.clip(model.agg_gate.data, -60, 60)))
+
+    hp = np.zeros((n, d_prop))
+    atb = np.zeros((n, 4))
+    sources = sched.sources
+    s_init = s_at0 = None
+    if len(sources):
+        he_src = he[sources]
+        init_out, s_init = mlp_fwd(he_src, st_init, out_act="tanh",
+                                   save=save)
+        at0_out, s_at0 = mlp_fwd(he_src, st_at0, out_act="softplus",
+                                 save=save)
+        hp[sources] = init_out
+        atb[sources] = at0_out
+
+    recs = []
+    delay_chunks, delay_orders = [], []
+    chunk_off = 0
+    for lv in sched.levels:
+        rec = {}
+        net_ctx = net_at = cell_ctx = cell_at = None
+        if len(lv.net_eids):
+            joint = gcat([hp, he, lv.net_features],
+                         [lv.net_src, lv.net_dst, None])
+            net_ctx, rec["s_nctx"] = mlp_fwd(joint, st_net_prop,
+                                             out_act="tanh", save=save)
+            inc_net, rec["s_ninc"] = mlp_fwd(joint, st_net_inc,
+                                             out_act="softplus", save=save)
+            net_at = atb[lv.net_src] + inc_net
+        if len(lv.cell_eids):
+            e = len(lv.cell_eids)
+            q_in = gcat([hp, he], [lv.cell_src, lv.cell_dst_edges])
+            q, rec["s_q"] = mlp_fwd(q_in, st_query, out_act="tanh",
+                                    save=save)
+            # lut_rep is np.repeat(arange(e), 8), so the query expansion
+            # is a plain row repeat (and its gradient a reshape-sum).
+            q8 = np.repeat(q, 8, axis=0)
+            ax, rec["s_ax"] = mlp_fwd(gcat([q8, lv.lut_idx_x], [None, None]),
+                                      st_cx, save=save)
+            ay, rec["s_ay"] = mlp_fwd(gcat([q8, lv.lut_idx_y], [None, None]),
+                                      st_cy, save=save)
+            v3 = lv.lut_values.reshape(-1, 7, 7)
+            vy = np.matmul(v3, ay[:, :, None])[:, :, 0]
+            lut_out = (np.einsum("ij,ij->i", ax, vy).reshape(e, 8)
+                       * lv.cell_valid)
+            msg_in = np.concatenate([q_in, lut_out], axis=1)
+            msg, rec["s_msg"] = mlp_fwd(msg_in, st_msg, out_act="tanh",
+                                        save=save)
+            inc, rec["s_cinc"] = mlp_fwd(
+                np.concatenate([msg, lut_out], axis=1), st_cinc,
+                out_act="softplus", save=save)
+            delay_chunks.append(inc)
+            delay_orders.append(lv.cell_eids)
+            rec["chunk"] = (chunk_off, chunk_off + e)
+            chunk_off += e
+            cand = atb[lv.cell_src] + inc
+            seg = lv.cell_seg_sched
+            n_dst = len(lv.cell_dst)
+            out_max = extrema(cand, seg, n_dst, np.maximum)
+            out_min = extrema(cand, seg, n_dst, np.minimum)
+            cell_at = out_max * gate + out_min * (1.0 - gate)
+            aggs = []
+            if reduction in ("sum", "both"):
+                agg = np.zeros((n_dst, d_prop))
+                scatter_add(agg, lv.cell_seg, msg, schedule=seg)
+                aggs.append(agg)
+            if reduction in ("max", "both"):
+                agg_max = extrema(msg, seg, n_dst, np.maximum)
+                aggs.append(agg_max)
+                if save:
+                    rec["agg_max"] = agg_max
+            comb_in = gcat([he] + aggs, [lv.cell_dst] + [None] * len(aggs))
+            cell_ctx, rec["s_comb"] = mlp_fwd(comb_in, st_comb,
+                                              out_act="tanh", save=save)
+            if save:
+                rec["vy"] = vy
+                rec["cand"] = cand
+                rec["out_max"] = out_max
+                rec["out_min"] = out_min
+        # Writes after both branches' reads: level-L gathers always see
+        # the pre-level state, exactly like the composed scatter_rows.
+        if net_ctx is not None:
+            hp[lv.net_dst] = net_ctx
+            atb[lv.net_dst] = net_at
+        if cell_ctx is not None:
+            hp[lv.cell_dst] = cell_ctx
+            atb[lv.cell_dst] = cell_at
+        recs.append(rec)
+
+    if delay_chunks:
+        cell_delay = (delay_chunks[0] if len(delay_chunks) == 1
+                      else np.concatenate(delay_chunks, axis=0))
+        edge_order = np.concatenate(delay_orders)
+    else:
+        cell_delay = np.zeros((0, 4))
+        edge_order = np.zeros(0, dtype=np.int64)
+
+    # -- backward: one closure consuming all three output gradients ----------
+    holder = {}
+
+    def mega_backward(_g):
+        g_cd = holder.pop("cd", None)
+        g_hp_seed = holder.pop("hp", None)
+        g_at_seed = holder.pop("at", None)
+        ghp = (g_hp_seed.copy() if g_hp_seed is not None
+               else np.zeros((n, d_prop)))
+        gat = (g_at_seed.copy() if g_at_seed is not None
+               else np.zeros((n, 4)))
+        ghe = np.zeros_like(he)
+        g_gate = np.zeros_like(model.agg_gate.data)
+        for lv, rec in zip(reversed(sched.levels), reversed(recs)):
+            has_net = "s_nctx" in rec
+            has_cell = "s_q" in rec
+            # Extract the gradients of this level's written rows, then
+            # clear them: the rows' pre-write values are the initial
+            # zeros, whose gradient is discarded (scatter_rows' mask).
+            if has_net:
+                g_nctx = ghp[lv.net_dst]
+                g_nat = gat[lv.net_dst]
+                ghp[lv.net_dst] = 0.0
+                gat[lv.net_dst] = 0.0
+            if has_cell:
+                g_cctx = ghp[lv.cell_dst]
+                g_cat = gat[lv.cell_dst]
+                ghp[lv.cell_dst] = 0.0
+                gat[lv.cell_dst] = 0.0
+            if has_cell:
+                seg = lv.cell_seg_sched
+                e = len(lv.cell_eids)
+                msg = rec["s_msg"][2]
+                # combine MLP <- [h_emb(dst) | reduction channels].
+                g_comb = mlp_bwd(g_cctx, st_comb, rec["s_comb"],
+                                 out_act="tanh")
+                ghe[lv.cell_dst] += g_comb[:, :d_emb]
+                col = d_emb
+                g_msg = None
+                if reduction in ("sum", "both"):
+                    g_msg = g_comb[:, col:col + d_prop][lv.cell_seg]
+                    col += d_prop
+                if reduction in ("max", "both"):
+                    agg_max = rec["agg_max"]
+                    mask = (msg == agg_max[seg.ids]).astype(np.float64)
+                    counts = np.zeros_like(agg_max)
+                    scatter_add(counts, seg.ids, mask, schedule=seg)
+                    part = mask * (g_comb[:, col:col + d_prop]
+                                   / np.maximum(counts, 1.0))[seg.ids]
+                    g_msg = part if g_msg is None else g_msg + part
+                    col += d_prop
+                # Late/early min-max gate (tie-splitting, as naive).
+                cand, out_max, out_min = (rec["cand"], rec["out_max"],
+                                          rec["out_min"])
+                g_gate += (g_cat * (out_max - out_min)).sum(axis=0)
+                mask_max = (cand == out_max[seg.ids]).astype(np.float64)
+                counts_max = np.zeros_like(out_max)
+                scatter_add(counts_max, seg.ids, mask_max, schedule=seg)
+                mask_min = (cand == out_min[seg.ids]).astype(np.float64)
+                counts_min = np.zeros_like(out_min)
+                scatter_add(counts_min, seg.ids, mask_min, schedule=seg)
+                g_cand = mask_max * ((g_cat * gate)
+                                     / np.maximum(counts_max, 1.0))[seg.ids]
+                g_cand += mask_min * ((g_cat * (1.0 - gate))
+                                      / np.maximum(counts_min, 1.0))[seg.ids]
+                scatter_add(gat, lv.cell_src, g_cand,
+                            schedule=lv.cell_src_sched)
+                g_inc = g_cand
+                if g_cd is not None:
+                    lo, hi = rec["chunk"]
+                    g_inc = g_inc + g_cd[lo:hi]
+                # cell_inc MLP <- [msg | lut_out].
+                g_ci = mlp_bwd(g_inc, st_cinc, rec["s_cinc"],
+                               out_act="softplus")
+                g_msg = g_msg + g_ci[:, :d_prop]
+                g_lut = g_ci[:, d_prop:]
+                # cell_msg MLP <- [h_s | h_d | lut_out].
+                g_mi = mlp_bwd(g_msg, st_msg, rec["s_msg"], out_act="tanh")
+                g_lut = g_lut + g_mi[:, d_prop + d_emb:]
+                # LUT interpolation: out = ax . (V @ ay) per row.
+                gv = (g_lut * lv.cell_valid).reshape(-1, 1)
+                ax = rec["s_ax"][2]
+                v3 = lv.lut_values.reshape(-1, 7, 7)
+                g_ax = rec["vy"] * gv
+                g_ay = np.matmul(ax[:, None, :], v3)[:, 0, :] * gv
+                g_axi = mlp_bwd(g_ax, st_cx, rec["s_ax"])
+                g_ayi = mlp_bwd(g_ay, st_cy, rec["s_ay"])
+                g_q8 = g_axi[:, :q_dim] + g_ayi[:, :q_dim]
+                g_q = g_q8.reshape(e, 8, q_dim).sum(axis=1)
+                g_qi = mlp_bwd(g_q, st_query, rec["s_q"], out_act="tanh")
+                # q_in and msg_in share the [h_s | h_d] prefix.
+                g_hs = g_qi[:, :d_prop] + g_mi[:, :d_prop]
+                g_hd = g_qi[:, d_prop:] + g_mi[:, d_prop:d_prop + d_emb]
+                scatter_add(ghp, lv.cell_src, g_hs,
+                            schedule=lv.cell_src_sched)
+                scatter_add(ghe, lv.cell_dst_edges, g_hd,
+                            schedule=lv.cell_dst_sched)
+            if has_net:
+                scatter_add(gat, lv.net_src, g_nat,
+                            schedule=lv.net_src_sched)
+                g_joint = mlp_bwd(g_nctx, st_net_prop, rec["s_nctx"],
+                                  out_act="tanh")
+                g_joint += mlp_bwd(g_nat, st_net_inc, rec["s_ninc"],
+                                   out_act="softplus")
+                scatter_add(ghp, lv.net_src, g_joint[:, :d_prop],
+                            schedule=lv.net_src_sched)
+                # Each net sink has exactly one driver: unique rows.
+                ghe[lv.net_dst] += g_joint[:, d_prop:d_prop + d_emb]
+        if len(sources):
+            g_src = mlp_bwd(ghp[sources], st_init, s_init, out_act="tanh")
+            g_src += mlp_bwd(gat[sources], st_at0, s_at0,
+                             out_act="softplus")
+            ghe[sources] += g_src
+        if model.agg_gate.requires_grad:
+            model.agg_gate._accumulate(g_gate * gate * (1.0 - gate),
+                                       own=True)
+        if h_emb.requires_grad:
+            h_emb._accumulate(ghe, own=True)
+
+    params = [h_emb, model.agg_gate]
+    for st in (st_init, st_at0, st_net_prop, st_net_inc, st_query, st_cx,
+               st_cy, st_msg, st_cinc, st_comb):
+        for w, b, _act in st:
+            params.append(w)
+            if b is not None:
+                params.append(b)
+    root = nn.Tensor._make(np.zeros(()), tuple(params), mega_backward)
+
+    def _output(data, key):
+        # Glue node: stashes its gradient and pokes the root so the
+        # shared closure fires exactly once, after every used output's
+        # gradient has been accumulated (reverse-topological order).
+        def backward(g):
+            holder[key] = g
+            root._accumulate(np.zeros(()))
+
+        return nn.Tensor._make(data, (root,), backward)
+
+    return (_output(hp, "hp"), _output(atb, "at"),
+            _output(cell_delay, "cd"), edge_order)

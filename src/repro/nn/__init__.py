@@ -6,15 +6,23 @@ MLP modules, and Adam/SGD optimizers.
 """
 
 from .tensor import Tensor, no_grad, is_grad_enabled
+from . import kernels
+from .kernels import (SegmentSchedule, affine_act, kernel_backend,
+                      mlp_chain, use_kernels)
 from .ops import (
     concat,
     stack,
     gather_rows,
+    gather_concat,
+    gather_add,
     scatter_rows,
     segment_sum,
     segment_max,
+    segment_minmax,
+    segment_minmax_gate,
     segment_mean,
     batched_outer,
+    lut_kron_combine,
     spmm,
     maximum,
     dropout,
@@ -26,9 +34,12 @@ from .optim import SGD, Adam, clip_grad_norm
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled",
-    "concat", "stack", "gather_rows", "scatter_rows",
-    "segment_sum", "segment_max", "segment_mean",
-    "batched_outer", "spmm", "maximum", "dropout", "mse_loss", "l2_loss",
+    "kernels", "SegmentSchedule", "affine_act", "kernel_backend",
+    "mlp_chain", "use_kernels",
+    "concat", "stack", "gather_rows", "gather_concat", "gather_add",
+    "scatter_rows", "segment_sum", "segment_max", "segment_minmax",
+    "segment_minmax_gate", "segment_mean", "batched_outer",
+    "lut_kron_combine", "spmm", "maximum", "dropout", "mse_loss", "l2_loss",
     "Module", "Linear", "MLP", "Sequential", "ReLU", "Sigmoid", "Tanh",
     "SGD", "Adam", "clip_grad_norm",
 ]

@@ -1,0 +1,562 @@
+"""Fused autograd kernels and the ``REPRO_KERNELS`` backend switch.
+
+The tape in :mod:`repro.nn.tensor` records one closure per primitive op,
+which is correct but leaves easy performance on the table for the
+patterns the timing models execute millions of times per training run:
+
+* ``affine_act`` — matmul + bias + tanh/relu in **one** tape node (the
+  body of every :class:`repro.nn.MLP` layer);
+* ``mlp_chain`` — a whole run of Linear(+activation) layers as one tape
+  node (what :class:`repro.nn.Sequential` executes for an entire MLP);
+* ``gather_concat`` — the ubiquitous ``gather_rows`` x k -> ``concat``
+  edge-input assembly, done with a single output allocation and a single
+  backward closure;
+* ``segment_sum`` / ``segment_max`` over a **sorted CSR layout**
+  (:class:`SegmentSchedule`): ``np.add.reduceat`` / ``np.maximum.reduceat``
+  replace the order-of-magnitude-slower ``np.add.at`` /
+  ``np.maximum.at`` ufunc inner loops;
+* ``segment_minmax`` — one sort, both reductions (the propagation model
+  needs the max *and* min of every fanin group for its late/early
+  aggregation gate; the naive path runs ``segment_max`` twice with a
+  negation).
+
+Backend selection: the environment variable ``REPRO_KERNELS`` picks the
+process default (``fused``, the default, or ``naive``); the
+:class:`use_kernels` context manager overrides it per thread so the two
+implementations can be differentially tested in one process
+(``tests/test_nn_autograd.py``).  The numerical contract is *fused ==
+naive* to tight tolerance on forward values and gradients — the only
+differences are floating-point summation order inside segment/scatter
+reductions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["BACKENDS", "backend", "kernel_backend", "is_fused",
+           "use_kernels", "set_default_backend", "SegmentSchedule",
+           "affine_act", "mlp_chain", "mlp_chain_forward_raw",
+           "mlp_chain_backward_raw", "gather_concat", "gather_concat_raw",
+           "gather_rows_csr",
+           "segment_sum_csr", "segment_max_csr", "segment_minmax_csr",
+           "gather_add_csr", "lut_kron_combine_csr",
+           "segment_minmax_gate_csr", "scatter_add_rows"]
+
+BACKENDS = ("fused", "naive")
+
+_DEFAULT = os.environ.get("REPRO_KERNELS", "fused").strip().lower() or "fused"
+
+
+class _BackendState(threading.local):
+    """Per-thread backend override stack (see :class:`use_kernels`)."""
+
+    def __init__(self):
+        self.stack = []
+
+
+_STATE = _BackendState()
+
+
+def backend():
+    """The active kernel backend name: ``"fused"`` or ``"naive"``."""
+    name = _STATE.stack[-1] if _STATE.stack else _DEFAULT
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r} (REPRO_KERNELS must be one "
+            f"of {BACKENDS})")
+    return name
+
+
+#: Public alias — ``nn.kernel_backend()`` reads better at call sites.
+kernel_backend = backend
+
+
+def is_fused():
+    return backend() == "fused"
+
+
+def set_default_backend(name):
+    """Set the process-wide default backend (overrides REPRO_KERNELS)."""
+    if name not in BACKENDS:
+        raise ValueError(f"unknown kernel backend {name!r}")
+    global _DEFAULT
+    _DEFAULT = name
+
+
+class use_kernels:
+    """Context manager selecting the kernel backend for this thread."""
+
+    def __init__(self, name):
+        if name not in BACKENDS:
+            raise ValueError(f"unknown kernel backend {name!r}")
+        self.name = name
+
+    def __enter__(self):
+        _STATE.stack.append(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _STATE.stack.pop()
+        return False
+
+
+class SegmentSchedule:
+    """Sorted-CSR layout of an integer index vector, built once, reused.
+
+    ``order`` sorts the rows by segment id; ``starts`` are the reduceat
+    boundaries of each *present* segment in the sorted order; ``present``
+    are the distinct segment ids in ascending order.  One schedule serves
+    both directions of the fused kernels: forward segment reductions
+    (``ufunc.reduceat`` over ``data[order]``) and backward scatter-add of
+    gathered gradients (:func:`scatter_add_rows`).
+    """
+
+    __slots__ = ("ids", "order", "starts", "present")
+
+    def __init__(self, segment_ids):
+        ids = np.asarray(segment_ids, dtype=np.int64)
+        self.ids = ids
+        order = np.argsort(ids, kind="stable")
+        self.order = order
+        sorted_ids = ids[order]
+        if len(sorted_ids):
+            starts = np.concatenate(
+                [[0], np.flatnonzero(np.diff(sorted_ids)) + 1])
+        else:
+            starts = np.zeros(0, dtype=np.int64)
+        self.starts = starts
+        self.present = sorted_ids[starts] if len(starts) else starts
+
+    def __len__(self):
+        return len(self.ids)
+
+
+def _schedule_for(segment_ids, schedule):
+    if schedule is None:
+        return SegmentSchedule(segment_ids)
+    return schedule
+
+
+def scatter_add_rows(out, index, values, schedule=None):
+    """``out[index] += values`` with duplicate indices, CSR-accelerated.
+
+    With a :class:`SegmentSchedule` for ``index``, duplicate groups are
+    pre-reduced by ``np.add.reduceat`` and written with one unique-index
+    fancy assignment; without one, falls back to ``np.add.at``.
+    """
+    if schedule is not None and len(schedule.starts):
+        reduced = np.add.reduceat(values[schedule.order], schedule.starts,
+                                  axis=0)
+        out[schedule.present] += reduced
+    elif schedule is None:
+        np.add.at(out, index, values)
+    return out
+
+
+# -- fused tape nodes ---------------------------------------------------------
+
+_ACTIVATIONS = (None, "relu", "tanh")
+
+
+def affine_act(x, weight, bias=None, activation=None):
+    """Fused ``act(x @ W + b)`` in one tape node.
+
+    ``activation`` is ``None``, ``"relu"`` or ``"tanh"``.  Numerically
+    identical to the unfused ``x.affine(W, b).relu()/.tanh()`` chain.
+    """
+    if activation not in _ACTIVATIONS:
+        raise ValueError(f"unknown activation {activation!r}")
+    a, w = x, weight
+    z = a.data @ w.data
+    if bias is not None:
+        z += bias.data
+    if activation == "relu":
+        out = np.maximum(z, 0.0)
+    elif activation == "tanh":
+        out = np.tanh(z)
+    else:
+        out = z
+
+    def backward(g):
+        if activation == "relu":
+            gz = np.where(z > 0, g, 0.0)
+        elif activation == "tanh":
+            gz = g * (1.0 - out ** 2)
+        else:
+            gz = g
+        if a.requires_grad:
+            a._accumulate(gz @ w.data.T, own=True)
+        if w.requires_grad:
+            w._accumulate(a.data.T @ gz, own=True)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(gz.sum(axis=0), own=True)
+
+    parents = (a, w) if bias is None else (a, w, bias)
+    return Tensor._make(out, parents, backward)
+
+
+def _apply_act(z, act):
+    """Forward of one activation; ``z`` may be adopted, not aliased."""
+    if act == "relu":
+        return np.maximum(z, 0.0)
+    if act == "tanh":
+        return np.tanh(z)
+    if act == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+    if act == "softplus":
+        x = np.clip(z, -60, 60)
+        return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0)
+    return z
+
+
+def _act_grad(g, out, act):
+    """Gradient through one activation given its output (fresh array)."""
+    if act == "relu":
+        return np.where(out > 0, g, 0.0)
+    if act == "tanh":
+        # One temporary: t = 1 - out^2, then t *= g in place.
+        t = out * out
+        np.subtract(1.0, t, out=t)
+        t *= g
+        return t
+    if act == "sigmoid":
+        t = 1.0 - out
+        t *= out
+        t *= g
+        return t
+    if act == "softplus":
+        # d softplus(z) = sigmoid(z); recover it from out = softplus(z):
+        # sigmoid(z) = 1 - exp(-out) (exact for out >= 0, which softplus
+        # guarantees).
+        t = np.exp(-out)
+        np.subtract(1.0, t, out=t)
+        t *= g
+        return t
+    return g
+
+
+_CHAIN_ACTS = (None, "relu", "tanh", "sigmoid", "softplus")
+
+
+def mlp_chain_forward_raw(h, steps, out_act=None, save=True):
+    """Array-level MLP-chain forward.
+
+    ``h`` is a plain array; returns ``(out, saved)`` where ``saved``
+    feeds :func:`mlp_chain_backward_raw` (``None`` when ``save`` is
+    false, e.g. under ``no_grad``).  This is the computational core of
+    :func:`mlp_chain`, exposed so larger fused ops (the level-fused
+    propagation kernel) can run MLPs without creating tape nodes.
+    """
+    inputs, outputs = [], []
+    for w, b, act in steps:
+        if act not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {act!r}")
+        if save:
+            inputs.append(h)
+        z = h @ w.data
+        if b is not None:
+            z += b.data
+        h = _apply_act(z, act)
+        if save:
+            outputs.append(h)
+    out = _apply_act(h, out_act) if out_act is not None else h
+    return out, ((inputs, outputs, out) if save else None)
+
+
+def mlp_chain_backward_raw(g, steps, saved, out_act=None):
+    """Array-level MLP-chain backward: accumulates parameter gradients
+    in place and returns the gradient w.r.t. the chain's input."""
+    inputs, outputs, out = saved
+    if out_act is not None:
+        g = _act_grad(g, out, out_act)
+    for inp, layer_out, (w, b, act) in zip(reversed(inputs),
+                                           reversed(outputs),
+                                           reversed(steps)):
+        gz = _act_grad(g, layer_out, act)
+        if w.requires_grad:
+            w._accumulate(inp.T @ gz, own=True)
+        if b is not None and b.requires_grad:
+            b._accumulate(gz.sum(axis=0), own=True)
+        g = gz @ w.data.T
+    return g
+
+
+def mlp_chain(x, steps, out_act=None):
+    """A whole MLP — ``act(x @ W1 + b1) ... @ Wk + bk`` — as ONE tape node.
+
+    ``steps`` is a list of ``(weight, bias, activation)`` triples with
+    ``bias`` an optional Tensor and ``activation`` in ``(None, "relu",
+    "tanh")``; ``out_act`` optionally applies one more activation
+    (``tanh``/``softplus``/``sigmoid``/``relu``) to the final layer's
+    output, folding the ubiquitous ``mlp(x).tanh()`` pattern into the
+    same node.  Numerically identical to chaining :func:`affine_act`
+    per step plus a ``Tensor`` activation, but the intermediates never
+    become tape nodes: one closure backpropagates the full chain, which
+    removes the per-layer Tensor/closure/gradient-copy overhead that
+    dominates the many small per-level MLP calls of the propagation
+    model.
+    """
+    if out_act not in _CHAIN_ACTS:
+        raise ValueError(f"unknown activation {out_act!r}")
+    out, saved = mlp_chain_forward_raw(x.data, steps, out_act=out_act)
+
+    def backward(g):
+        gx = mlp_chain_backward_raw(g, steps, saved, out_act=out_act)
+        if x.requires_grad:
+            x._accumulate(gx, own=len(steps) > 0 or out_act is not None)
+
+    parents = [x]
+    for w, b, _act in steps:
+        parents.append(w)
+        if b is not None:
+            parents.append(b)
+    return Tensor._make(out, tuple(parents), backward)
+
+
+def gather_concat(tensors, indices, schedules=None):
+    """Fused ``concat([t[i] for t, i in zip(tensors, indices)], axis=1)``.
+
+    ``indices[k]`` may be ``None`` when ``tensors[k]`` is already row
+    aligned (e.g. per-edge features).  One output allocation, one
+    backward closure; optional per-part :class:`SegmentSchedule`\\ s
+    accelerate the duplicate-index gradient scatter.
+    """
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    if len(indices) != len(tensors):
+        raise ValueError("gather_concat: len(indices) != len(tensors)")
+    if schedules is None:
+        schedules = [None] * len(tensors)
+    idxs = [None if i is None else np.asarray(i, dtype=np.int64)
+            for i in indices]
+    rows = None
+    for t, i in zip(tensors, idxs):
+        r = len(t.data) if i is None else len(i)
+        if rows is None:
+            rows = r
+        elif r != rows:
+            raise ValueError("gather_concat: inconsistent row counts")
+    widths = [t.data.shape[1] for t in tensors]
+    offsets = np.cumsum([0] + widths)
+    out = np.empty((rows, int(offsets[-1])), dtype=np.float64)
+    for t, i, lo, hi in zip(tensors, idxs, offsets[:-1], offsets[1:]):
+        if i is None:
+            out[:, lo:hi] = t.data
+        else:
+            np.take(t.data, i, axis=0, out=out[:, lo:hi])
+
+    def backward(g):
+        for t, i, sched, lo, hi in zip(tensors, idxs, schedules,
+                                       offsets[:-1], offsets[1:]):
+            if not t.requires_grad:
+                continue
+            gs = g[:, lo:hi]
+            if i is None:
+                t._accumulate(gs)
+            else:
+                full = np.zeros_like(t.data)
+                scatter_add_rows(full, i, gs, schedule=sched)
+                t._accumulate(full, own=True)
+
+    return Tensor._make(out, tuple(tensors), backward)
+
+
+def gather_concat_raw(arrays, indices):
+    """Array-level gather-then-concat along axis 1 (single allocation).
+
+    ``indices[k]`` indexes rows of ``arrays[k]`` (``None`` = already
+    row-aligned).  The assembly core of :func:`gather_concat`, shared
+    with the level-fused propagation kernel.
+    """
+    rows = None
+    for arr, idx in zip(arrays, indices):
+        r = len(arr) if idx is None else len(idx)
+        if rows is None:
+            rows = r
+        elif r != rows:
+            raise ValueError("gather_concat_raw: inconsistent row counts")
+    widths = [arr.shape[1] for arr in arrays]
+    offsets = np.cumsum([0] + widths)
+    out = np.empty((rows, int(offsets[-1])), dtype=np.float64)
+    for arr, idx, lo, hi in zip(arrays, indices, offsets[:-1], offsets[1:]):
+        if idx is None:
+            out[:, lo:hi] = arr
+        else:
+            np.take(arr, idx, axis=0, out=out[:, lo:hi])
+    return out
+
+
+def gather_rows_csr(t, index, schedule=None):
+    """``t[index]`` whose gradient scatter uses the CSR schedule."""
+    index = np.asarray(index, dtype=np.int64)
+    a = t
+
+    def backward(g):
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            scatter_add_rows(full, index, g, schedule=schedule)
+            a._accumulate(full, own=True)
+
+    return Tensor._make(a.data[index], (a,), backward)
+
+
+# -- CSR segment reductions ---------------------------------------------------
+
+def segment_sum_csr(t, segment_ids, num_segments, schedule=None):
+    """Sorted-``reduceat`` segment sum (fused counterpart of
+    :func:`repro.nn.ops.segment_sum`)."""
+    sched = _schedule_for(segment_ids, schedule)
+    a = t
+    out = np.zeros((num_segments,) + a.data.shape[1:], dtype=a.data.dtype)
+    if len(sched.starts):
+        out[sched.present] = np.add.reduceat(a.data[sched.order],
+                                             sched.starts, axis=0)
+
+    def backward(g):
+        if a.requires_grad:
+            a._accumulate(g[sched.ids], own=True)
+
+    return Tensor._make(out, (a,), backward)
+
+
+def segment_extrema_raw(data, sched, num_segments, ufunc):
+    """One ``ufunc.reduceat`` pass; empty segments yield 0 (as naive)."""
+    out = np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
+    if len(sched.starts):
+        out[sched.present] = ufunc.reduceat(data[sched.order], sched.starts,
+                                            axis=0)
+    return out
+
+
+def _extrema_backward(a, sched, out):
+    """Tie-splitting gradient for a segment max/min, CSR-accelerated."""
+    mask = (a.data == out[sched.ids]).astype(a.data.dtype)
+    counts = np.zeros_like(out)
+    scatter_add_rows(counts, sched.ids, mask, schedule=sched)
+
+    def backward(g):
+        if a.requires_grad:
+            denom = np.maximum(counts, 1.0)
+            a._accumulate(mask * (g / denom)[sched.ids], own=True)
+
+    return backward
+
+
+def segment_max_csr(t, segment_ids, num_segments, schedule=None):
+    """Sorted-``reduceat`` segment max (empty segments yield zeros)."""
+    sched = _schedule_for(segment_ids, schedule)
+    a = t
+    out = segment_extrema_raw(a.data, sched, num_segments, np.maximum)
+    return Tensor._make(out, (a,), _extrema_backward(a, sched, out))
+
+
+def segment_minmax_csr(t, segment_ids, num_segments, schedule=None):
+    """One-pass segment (max, min): one sort, two ``reduceat`` sweeps.
+
+    Returns ``(max_tensor, min_tensor)``.  Matches the naive
+    ``segment_max(t)`` / ``-segment_max(-t)`` pair, including the
+    empty-segment-yields-zero convention and tie-splitting gradients.
+    """
+    sched = _schedule_for(segment_ids, schedule)
+    a = t
+    out_max = segment_extrema_raw(a.data, sched, num_segments, np.maximum)
+    out_min = segment_extrema_raw(a.data, sched, num_segments, np.minimum)
+    t_max = Tensor._make(out_max, (a,), _extrema_backward(a, sched, out_max))
+    t_min = Tensor._make(out_min, (a,), _extrema_backward(a, sched, out_min))
+    return t_max, t_min
+
+
+def gather_add_csr(t, index, addend, schedule=None):
+    """Fused ``t[index] + addend`` (one tape node, CSR gradient scatter).
+
+    The arrival-update pattern of the propagation model: gather the
+    source arrivals along the level's edges and add the per-edge
+    increment.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    a, b = t, addend
+
+    def backward(g):
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            scatter_add_rows(full, index, g, schedule=schedule)
+            a._accumulate(full, own=True)
+        if b.requires_grad:
+            b._accumulate(g)
+
+    return Tensor._make(a.data[index] + b.data, (a, b), backward)
+
+
+def lut_kron_combine_csr(ax, ay, values, valid):
+    """Fused Kronecker LUT combination, one tape node.
+
+    Computes ``((ax (x) ay) . values).sum`` per (edge, table) row and
+    masks invalid tables — i.e. the naive
+    ``(batched_outer(ax, ay) * values).sum(axis=1).reshape(e, 8) * valid``
+    — without ever materialising the (E*8, 49) coefficient matrix:
+    per row, ``out = ax . (V @ ay)`` where ``V`` is the (7, 7) table.
+    ``values`` (E*8, 49) and ``valid`` (E, 8) are plain arrays (graph
+    data, no gradient).  Summation order differs from the naive path
+    (rows then columns instead of the flattened 49-term sum), which is
+    within the fused==naive floating-point tolerance.
+    """
+    e = len(valid)
+    v3 = values.reshape(-1, 7, 7)
+    # (E*8, 7): one V @ ay per row, batched.
+    vy = np.matmul(v3, ay.data[:, :, None])[:, :, 0]
+    flat = np.einsum("ij,ij->i", ax.data, vy)
+    out = flat.reshape(e, 8) * valid
+
+    def backward(g):
+        gv = (g * valid).reshape(-1, 1)
+        if ax.requires_grad:
+            ax._accumulate(vy * gv, own=True)
+        if ay.requires_grad:
+            # (E*8, 7): one V.T @ ax per row.
+            vx = np.matmul(ax.data[:, None, :], v3)[:, 0, :]
+            ay._accumulate(vx * gv, own=True)
+
+    return Tensor._make(out, (ax, ay), backward)
+
+
+def segment_minmax_gate_csr(t, segment_ids, num_segments, gate_logits,
+                            schedule=None):
+    """Fused late/early fanin aggregation: ``max*g + min*(1-g)`` with
+    ``g = sigmoid(gate_logits)``, as one tape node.
+
+    Matches the naive composition (``segment_minmax`` + sigmoid gate
+    mixing) including tie-splitting extrema gradients and the
+    empty-segment-yields-zero convention.
+    """
+    sched = _schedule_for(segment_ids, schedule)
+    a, gl = t, gate_logits
+    out_max = segment_extrema_raw(a.data, sched, num_segments, np.maximum)
+    out_min = segment_extrema_raw(a.data, sched, num_segments, np.minimum)
+    gate = 1.0 / (1.0 + np.exp(-np.clip(gl.data, -60, 60)))
+    out = out_max * gate + out_min * (1.0 - gate)
+
+    mask_max = (a.data == out_max[sched.ids]).astype(a.data.dtype)
+    counts_max = np.zeros_like(out_max)
+    scatter_add_rows(counts_max, sched.ids, mask_max, schedule=sched)
+    mask_min = (a.data == out_min[sched.ids]).astype(a.data.dtype)
+    counts_min = np.zeros_like(out_min)
+    scatter_add_rows(counts_min, sched.ids, mask_min, schedule=sched)
+
+    def backward(g):
+        if a.requires_grad:
+            g_max = (g * gate) / np.maximum(counts_max, 1.0)
+            g_min = (g * (1.0 - gate)) / np.maximum(counts_min, 1.0)
+            ga = mask_max * g_max[sched.ids]
+            ga += mask_min * g_min[sched.ids]
+            a._accumulate(ga, own=True)
+        if gl.requires_grad:
+            gg = (g * (out_max - out_min)).sum(axis=0)
+            gg *= gate * (1.0 - gate)
+            gl._accumulate(gg.reshape(gl.data.shape), own=True)
+
+    return Tensor._make(out, (a, gl), backward)

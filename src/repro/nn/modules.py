@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .tensor import Tensor
 
 __all__ = ["Module", "Linear", "MLP", "Sequential", "ReLU", "Sigmoid", "Tanh"]
@@ -116,18 +117,54 @@ class Tanh(Module):
 
 
 class Sequential(Module):
+    """Layer chain.  Under the fused kernel backend, every maximal run
+    of ``Linear`` layers (each optionally followed by ``ReLU``/``Tanh``)
+    is executed as ONE :func:`repro.nn.kernels.mlp_chain` tape node —
+    a whole MLP becomes a single autograd node.  Numerically identical
+    to the layer-by-layer path; the module structure — and thus every
+    state-dict key — is unchanged.
+    """
+
     def __init__(self, *layers):
         super().__init__()
         self.layers = list(layers)
 
     def forward(self, x):
-        for layer in self.layers:
+        layers = self.layers
+        if kernels.is_fused():
+            i, n = 0, len(layers)
+            while i < n:
+                layer = layers[i]
+                if isinstance(layer, Linear):
+                    steps = []
+                    while i < n and isinstance(layers[i], Linear):
+                        lin = layers[i]
+                        i += 1
+                        act = None
+                        if i < n and isinstance(layers[i], (ReLU, Tanh)):
+                            act = ("relu" if isinstance(layers[i], ReLU)
+                                   else "tanh")
+                            i += 1
+                        steps.append((lin.weight, lin.bias, act))
+                    x = kernels.mlp_chain(x, steps)
+                else:
+                    x = layer(x)
+                    i += 1
+            return x
+        for layer in layers:
             x = layer(x)
         return x
 
 
 class MLP(Module):
-    """Multilayer perceptron; paper default is 3 hidden layers of 64 units."""
+    """Multilayer perceptron; paper default is 3 hidden layers of 64 units.
+
+    ``forward(x, activation=...)`` optionally applies one extra output
+    activation (``"tanh"``/``"softplus"``/``"sigmoid"``/``"relu"``) —
+    the models' ubiquitous ``mlp(x).tanh()`` pattern.  Under the fused
+    backend the whole call, output activation included, runs as a single
+    :func:`repro.nn.kernels.mlp_chain` tape node.
+    """
 
     def __init__(self, in_features, out_features, rng,
                  hidden=64, num_hidden_layers=3, activation="relu"):
@@ -144,6 +181,42 @@ class MLP(Module):
                 else:
                     raise ValueError(f"unknown activation {activation!r}")
         self.net = Sequential(*layers)
+        self._steps = None
 
-    def forward(self, x):
-        return self.net(x)
+    def fused_steps(self):
+        """The ``(weight, bias, activation)`` chain for the fused kernels.
+
+        Built once and cached: the chain is stable because parameters
+        are mutated via ``.data`` (load_state_dict), never replaced.
+        """
+        if self._steps is None:
+            steps, layers = [], self.net.layers
+            i, n = 0, len(layers)
+            while i < n:
+                lin = layers[i]
+                i += 1
+                act = None
+                if i < n and isinstance(layers[i], (ReLU, Tanh)):
+                    act = ("relu" if isinstance(layers[i], ReLU)
+                           else "tanh")
+                    i += 1
+                steps.append((lin.weight, lin.bias, act))
+            self._steps = steps
+        return self._steps
+
+    def forward(self, x, activation=None):
+        if kernels.is_fused():
+            return kernels.mlp_chain(x, self.fused_steps(),
+                                     out_act=activation)
+        out = self.net(x)
+        if activation is None:
+            return out
+        if activation == "tanh":
+            return out.tanh()
+        if activation == "softplus":
+            return out.softplus()
+        if activation == "sigmoid":
+            return out.sigmoid()
+        if activation == "relu":
+            return out.relu()
+        raise ValueError(f"unknown activation {activation!r}")

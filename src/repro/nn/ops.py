@@ -5,6 +5,12 @@ These are the operations DGL would normally provide: message gathering
 reductions over edge groups (`segment_sum` / `segment_max`), the batched
 outer product used by the paper's Kronecker LUT-interpolation module, and
 sparse-dense matmul for the GCNII baseline.
+
+Each segment/gather op dispatches on the active kernel backend (see
+:mod:`repro.nn.kernels`): the default ``fused`` backend uses sorted-CSR
+``reduceat`` kernels and fused tape nodes, while ``REPRO_KERNELS=naive``
+keeps the reference ``np.add.at`` / ``np.maximum.at`` implementations
+below, preserved verbatim for differential testing.
 """
 
 from __future__ import annotations
@@ -12,17 +18,23 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from . import kernels
 from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "concat",
     "stack",
     "gather_rows",
+    "gather_concat",
+    "gather_add",
     "scatter_rows",
     "segment_sum",
     "segment_max",
+    "segment_minmax",
+    "segment_minmax_gate",
     "segment_mean",
     "batched_outer",
+    "lut_kron_combine",
     "spmm",
     "maximum",
     "dropout",
@@ -62,8 +74,15 @@ def stack(tensors, axis=0):
                         tuple(tensors), backward)
 
 
-def gather_rows(t, index):
-    """Select rows ``t[index]`` (edges gathering endpoint features)."""
+def gather_rows(t, index, schedule=None):
+    """Select rows ``t[index]`` (edges gathering endpoint features).
+
+    ``schedule`` is an optional :class:`~repro.nn.kernels.SegmentSchedule`
+    for ``index``; the fused backend uses it to turn the duplicate-index
+    gradient scatter into a pre-sorted ``reduceat``.
+    """
+    if kernels.is_fused():
+        return kernels.gather_rows_csr(t, index, schedule=schedule)
     index = np.asarray(index, dtype=np.int64)
     a = t
 
@@ -74,6 +93,36 @@ def gather_rows(t, index):
             a._accumulate(full)
 
     return Tensor._make(a.data[index], (a,), backward)
+
+
+def gather_concat(tensors, indices, schedules=None):
+    """Fused gather-then-concat of edge inputs along axis 1.
+
+    ``indices[k]`` indexes rows of ``tensors[k]`` (``None`` = already
+    row-aligned).  The fused backend assembles the result with a single
+    copy and one tape node; the naive backend is the equivalent
+    ``concat([gather_rows(t, i), ...])`` chain.
+    """
+    if kernels.is_fused():
+        return kernels.gather_concat(tensors, indices, schedules=schedules)
+    parts = []
+    for k, (t, i) in enumerate(zip(tensors, indices)):
+        t = t if isinstance(t, Tensor) else Tensor(t)
+        sched = schedules[k] if schedules is not None else None
+        parts.append(t if i is None else gather_rows(t, i, schedule=sched))
+    return concat(parts)
+
+
+def gather_add(t, index, addend, schedule=None):
+    """Fused ``t[index] + addend`` — the arrival-update pattern.
+
+    The fused backend runs gather and add as one tape node with a CSR
+    gradient scatter; the naive path is the reference
+    ``gather_rows(t, index) + addend`` composition.
+    """
+    if kernels.is_fused():
+        return kernels.gather_add_csr(t, index, addend, schedule=schedule)
+    return gather_rows(t, index, schedule=schedule) + addend
 
 
 def scatter_rows(t, index, values):
@@ -100,8 +149,11 @@ def scatter_rows(t, index, values):
     return Tensor._make(out, (a, v), backward)
 
 
-def segment_sum(t, segment_ids, num_segments):
+def segment_sum(t, segment_ids, num_segments, schedule=None):
     """Sum rows of ``t`` grouped by ``segment_ids`` into ``num_segments`` rows."""
+    if kernels.is_fused():
+        return kernels.segment_sum_csr(t, segment_ids, num_segments,
+                                       schedule=schedule)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     a = t
     out = np.zeros((num_segments,) + a.data.shape[1:], dtype=a.data.dtype)
@@ -114,11 +166,14 @@ def segment_sum(t, segment_ids, num_segments):
     return Tensor._make(out, (a,), backward)
 
 
-def segment_max(t, segment_ids, num_segments):
+def segment_max(t, segment_ids, num_segments, schedule=None):
     """Max-reduce rows of ``t`` by segment.  Empty segments yield zeros.
 
     Gradient is split evenly between tied maxima within a segment.
     """
+    if kernels.is_fused():
+        return kernels.segment_max_csr(t, segment_ids, num_segments,
+                                       schedule=schedule)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     a = t
     out = np.full((num_segments,) + a.data.shape[1:], -np.inf, dtype=a.data.dtype)
@@ -137,12 +192,46 @@ def segment_max(t, segment_ids, num_segments):
     return Tensor._make(out, (a,), backward)
 
 
-def segment_mean(t, segment_ids, num_segments):
+def segment_minmax(t, segment_ids, num_segments, schedule=None):
+    """Per-segment (max, min) pair; empty segments yield zeros in both.
+
+    The fused backend sorts once and runs both ``reduceat`` sweeps over
+    the same layout; the naive path is the reference two-pass
+    ``segment_max`` / negated ``segment_max`` construction.
+    """
+    if kernels.is_fused():
+        return kernels.segment_minmax_csr(t, segment_ids, num_segments,
+                                          schedule=schedule)
+    agg_max = segment_max(t, segment_ids, num_segments)
+    agg_min = segment_max(t * -1.0, segment_ids, num_segments) * -1.0
+    return agg_max, agg_min
+
+
+def segment_minmax_gate(t, segment_ids, num_segments, gate_logits,
+                        schedule=None):
+    """Late/early fanin aggregation ``max*g + min*(1-g)``, gated per
+    channel by ``g = sigmoid(gate_logits)``.
+
+    The fused backend runs extrema, gate, and mix as one tape node; the
+    naive path is the reference ``segment_minmax`` + sigmoid-gate
+    composition used by the delay-propagation model.
+    """
+    if kernels.is_fused():
+        return kernels.segment_minmax_gate_csr(
+            t, segment_ids, num_segments, gate_logits, schedule=schedule)
+    agg_max, agg_min = segment_minmax(t, segment_ids, num_segments,
+                                      schedule=schedule)
+    gate = gate_logits.sigmoid().reshape(1, -1)
+    return agg_max * gate + agg_min * (1.0 - gate)
+
+
+def segment_mean(t, segment_ids, num_segments, schedule=None):
     """Mean-reduce rows by segment (empty segments yield zeros)."""
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
-    total = segment_sum(t, segment_ids, num_segments)
-    scale = 1.0 / np.maximum(counts, 1.0)
+    counts = np.bincount(segment_ids,
+                         minlength=num_segments).astype(t.data.dtype)
+    total = segment_sum(t, segment_ids, num_segments, schedule=schedule)
+    scale = (1.0 / np.maximum(counts, 1.0)).astype(t.data.dtype)
     return total * Tensor(scale[:, None] if total.ndim == 2 else scale)
 
 
@@ -164,6 +253,26 @@ def batched_outer(a, b):
             tb._accumulate((g3 * ta.data[:, :, None]).sum(axis=1))
 
     return Tensor._make(out.reshape(-1, m * n), (ta, tb), backward)
+
+
+def lut_kron_combine(ax, ay, values, valid):
+    """Kronecker LUT combination: ``((ax (x) ay) . values)`` per row,
+    reshaped to (E, 8) and masked by ``valid``.
+
+    ``ax``/``ay`` are the (E*8, 7) axis-coefficient tensors; ``values``
+    (E*8, 49) and ``valid`` (E, 8) are plain arrays.  The fused backend
+    evaluates ``ax . (V @ ay)`` per row as one tape node without ever
+    materialising the (E*8, 49) coefficient matrix; the naive path is
+    the reference ``batched_outer`` composition.
+    """
+    values = np.asarray(values)
+    valid = np.asarray(valid)
+    if kernels.is_fused():
+        return kernels.lut_kron_combine_csr(ax, ay, values, valid)
+    e = len(valid)
+    coeff = batched_outer(ax, ay)
+    out = (coeff * Tensor(values)).sum(axis=1).reshape(e, 8)
+    return out * Tensor(valid)
 
 
 def spmm(matrix, t):

@@ -128,8 +128,16 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad):
+    def _accumulate(self, grad, own=False):
         if self.grad is None:
+            # ``own=True`` asserts the caller hands over a freshly
+            # allocated array that aliases no other buffer, so it can be
+            # adopted without the defensive copy (later accumulations
+            # add into it in place).
+            if own and grad.shape == self.data.shape \
+                    and grad.dtype == self.data.dtype:
+                self.grad = grad
+                return
             # Copy: the incoming gradient may be a view into another
             # tensor's buffer, and later accumulations add in place.
             self.grad = np.array(grad, dtype=self.data.dtype)
@@ -139,10 +147,18 @@ class Tensor:
         else:
             self.grad += grad
 
-    def backward(self, grad=None):
+    def backward(self, grad=None, free=False):
         """Backpropagate from this tensor.
 
         ``grad`` defaults to ones (so scalars need no argument).
+
+        With ``free=True``, each interior node's closure, parent links
+        and accumulated gradient are released as soon as its backward
+        step has run, so the tape's forward intermediates become
+        collectable immediately instead of living until the loss tensor
+        goes out of scope — this caps peak memory across the per-design
+        iterations of a training epoch.  Leaf tensors (parameters) keep
+        their gradients; a freed graph cannot be backpropagated again.
         """
         if grad is None:
             grad = np.ones_like(self.data)
@@ -169,6 +185,10 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+            if free and node._backward is not None:
+                node._backward = None
+                node._parents = ()
+                node.grad = None
 
     def zero_grad(self):
         self.grad = None

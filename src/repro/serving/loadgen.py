@@ -50,6 +50,7 @@ class LoadgenResult:
     incorrect: int
     degraded: int
     cache_hits: int
+    warmup_requests: int
     duration_s: float
     throughput_rps: float
     latency_p50_ms: float
@@ -111,16 +112,31 @@ def _client_loop(url, designs, model, num_requests, deadline_ms, record,
 
 
 def run_loadgen(url, designs, clients=8, requests_per_client=8,
-                model="timing-full", deadline_ms=None, timeout=120.0):
+                model="timing-full", deadline_ms=None, timeout=120.0,
+                warmup_requests=None):
     """Drive ``url`` with ``clients`` concurrent request streams.
 
-    Returns a :class:`LoadgenResult`; raises if the server is not
-    reachable at all (``/healthz`` probe).
+    Before the timed phase, ``warmup_requests`` untimed ``/predict``
+    calls are issued sequentially (default: one per design, round-robin)
+    so graph loading, model instantiation and cache population are not
+    billed to the measured throughput/latency numbers; pass ``0`` to
+    disable.  Returns a :class:`LoadgenResult`; raises if the server is
+    not reachable at all (``/healthz`` probe).
     """
     url = url.rstrip("/")
     status, _ = _http_json(url + "/healthz", timeout=timeout)
     if status != 200:
         raise RuntimeError(f"server at {url} is not healthy")
+
+    designs = list(designs)
+    if warmup_requests is None:
+        warmup_requests = len(designs)
+    for i in range(warmup_requests):
+        payload = {"design": designs[i % len(designs)], "model": model}
+        try:
+            _http_json(url + "/predict", payload, timeout=timeout)
+        except (urllib.error.URLError, OSError, ValueError):
+            pass  # warmup is best-effort; the timed phase will report
 
     records = [ClientRecord() for _ in range(clients)]
     start_barrier = threading.Barrier(clients + 1)
@@ -150,6 +166,7 @@ def run_loadgen(url, designs, clients=8, requests_per_client=8,
         incorrect=sum(r.incorrect for r in records),
         degraded=sum(r.degraded for r in records),
         cache_hits=sum(r.cache_hits for r in records),
+        warmup_requests=warmup_requests,
         duration_s=duration,
         throughput_rps=(total / duration) if duration > 0 else 0.0,
         latency_p50_ms=float(np.percentile(latencies, 50))
@@ -192,6 +209,7 @@ def format_loadgen_report(result):
         f" incorrect {result.incorrect})",
         f"  degraded           {result.degraded}",
         f"  client cache hits  {result.cache_hits}",
+        f"  warmup requests    {result.warmup_requests} (untimed)",
         f"  duration           {result.duration_s:.2f} s",
         f"  throughput         {result.throughput_rps:.1f} req/s",
         f"  latency p50        {result.latency_p50_ms:.1f} ms",

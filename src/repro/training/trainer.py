@@ -106,7 +106,10 @@ def train_timing_gnn(train_graphs, cfg=None, train_cfg=None):
                     net_weight=train_cfg.net_weight,
                     cell_weight=train_cfg.cell_weight)
                 optim.zero_grad()
-                loss.backward()
+                # free=True releases each tape node as it is consumed:
+                # full-batch graphs make the tape the peak-memory driver
+                # of training, and the graph is never re-backpropagated.
+                loss.backward(free=True)
                 nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
                 optim.step()
                 epoch_loss += float(loss.data)
@@ -154,7 +157,7 @@ def train_gcnii(train_graphs, num_layers, cfg=None, train_cfg=None):
                     nn.Tensor(mask.astype(np.float64))
                 loss = (diff * diff).sum() * (1.0 / max(int(mask.sum()), 1))
                 optim.zero_grad()
-                loss.backward()
+                loss.backward(free=True)
                 nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
                 optim.step()
                 epoch_loss += float(loss.data)
@@ -200,7 +203,7 @@ def train_net_embedding(train_graphs, cfg=None, train_cfg=None):
                 pred.net_delay = net_delay
                 loss = net_delay_loss(pred, graph)
                 optim.zero_grad()
-                loss.backward()
+                loss.backward(free=True)
                 nn.clip_grad_norm(model.parameters(), train_cfg.grad_clip)
                 optim.step()
                 epoch_loss += float(loss.data)

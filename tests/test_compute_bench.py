@@ -1,0 +1,95 @@
+"""Compute benchmark harness: result structure and JSON artefact schema.
+
+The timings themselves are hardware-dependent and are NOT asserted here
+(that is ``repro bench-compute``'s job, tracked via BENCH_compute.json);
+these tests pin the harness contract: stages run under both backends,
+speedups and summaries are computed, metrics land in the registry, and
+the JSON artefact is well-formed and schema-versioned.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (COMPUTE_BENCH_SCHEMA_VERSION, STAGES,
+                         ComputeBenchResult, DesignBench,
+                         format_compute_report, run_compute_bench,
+                         write_compute_bench_json)
+from repro.models import ModelConfig
+from repro.obs import get_registry
+
+
+@pytest.fixture(scope="module")
+def bench_result(hetero):
+    return run_compute_bench([hetero], cfg=ModelConfig.fast(),
+                             reps=1, warmup=0)
+
+
+class TestRunComputeBench:
+    def test_result_structure(self, bench_result):
+        assert isinstance(bench_result, ComputeBenchResult)
+        assert bench_result.backends == ("naive", "fused")
+        assert bench_result.stages == STAGES
+        assert len(bench_result.designs) == 1
+        row = bench_result.designs[0]
+        assert isinstance(row, DesignBench)
+        assert row.nodes > 0 and row.levels > 0
+        for backend in ("naive", "fused"):
+            for stage in STAGES:
+                assert row.times_ms[backend][stage] > 0.0
+
+    def test_speedups_and_summary(self, bench_result):
+        row = bench_result.designs[0]
+        for stage in STAGES:
+            assert row.speedup[stage] > 0.0
+            assert (bench_result.summary[f"speedup_{stage}_best"]
+                    == pytest.approx(row.speedup[stage]))
+            assert (bench_result.summary[f"speedup_{stage}_best_design"]
+                    == row.name)
+            assert bench_result.summary[f"speedup_{stage}_geomean"] > 0.0
+
+    def test_metrics_registered(self, bench_result):
+        text = get_registry().render_prometheus()
+        assert "repro_compute_stage_ms" in text
+        assert "repro_compute_speedup" in text
+
+    def test_unknown_stage_rejected(self, hetero):
+        with pytest.raises(ValueError):
+            run_compute_bench([hetero], stages=["warp_drive"])
+
+    def test_report_renders(self, bench_result):
+        report = format_compute_report(bench_result)
+        assert "compute benchmark" in report
+        assert bench_result.designs[0].name in report
+
+
+class TestBenchComputeJson:
+    def test_artefact_well_formed(self, bench_result, tmp_path):
+        path = tmp_path / "BENCH_compute.json"
+        write_compute_bench_json(bench_result, path,
+                                 params={"reps": 1, "scale": 0.1})
+        payload = json.loads(path.read_text())
+        assert payload["benchmark"] == "compute"
+        assert payload["schema_version"] == COMPUTE_BENCH_SCHEMA_VERSION
+        assert payload["params"]["reps"] == 1
+        assert payload["backends"] == ["naive", "fused"]
+        assert payload["stages"] == list(STAGES)
+        row = payload["designs"][0]
+        for stage in STAGES:
+            assert row["times_ms"]["fused"][stage] > 0.0
+            assert row["speedup"][stage] > 0.0
+        for stage in STAGES:
+            assert f"speedup_{stage}_geomean" in payload["summary"]
+
+    def test_geomean_math(self):
+        rows = [DesignBench(name=f"d{i}", nodes=1, net_edges=1,
+                            cell_edges=1, levels=1,
+                            speedup={"forward": s})
+                for i, s in enumerate((1.0, 4.0))]
+        from repro.bench.compute import _summarize
+        summary = _summarize(rows, ("forward",))
+        assert summary["speedup_forward_best"] == 4.0
+        assert summary["speedup_forward_best_design"] == "d1"
+        assert summary["speedup_forward_geomean"] == pytest.approx(
+            np.sqrt(4.0))

@@ -406,3 +406,212 @@ def test_softmax_rows_sum_to_one(n, seed):
     x = Tensor(rng.normal(scale=5, size=(n, 4)))
     s = x.softmax(axis=1)
     np.testing.assert_allclose(s.data.sum(axis=1), np.ones(n), atol=1e-12)
+
+
+# -- fused kernel backend ------------------------------------------------------
+#
+# Every fused op must agree with the naive composed-op path to 1e-9
+# relative tolerance on values AND gradients (the kernels only reorder
+# floating-point arithmetic, they never approximate), and the fused
+# gradients must also pass the finite-difference check on their own.
+FUSED_RTOL, FUSED_ATOL = 1e-9, 1e-12
+
+
+def _run_both_backends(build, inputs):
+    """Run ``build(*tensors)`` under each backend; return (out, grads)."""
+    results = {}
+    for backend in ("fused", "naive"):
+        tensors = [Tensor(a.copy(), requires_grad=True) for a in inputs]
+        with nn.use_kernels(backend):
+            out = build(*tensors)
+            out.sum().backward()
+        results[backend] = (out.data.copy(),
+                            [t.grad.copy() for t in tensors])
+    return results
+
+
+def assert_backends_agree(build, inputs):
+    res = _run_both_backends(build, inputs)
+    out_f, grads_f = res["fused"]
+    out_n, grads_n = res["naive"]
+    np.testing.assert_allclose(out_f, out_n, rtol=FUSED_RTOL,
+                               atol=FUSED_ATOL)
+    for gf, gn in zip(grads_f, grads_n):
+        np.testing.assert_allclose(gf, gn, rtol=FUSED_RTOL,
+                                   atol=FUSED_ATOL)
+
+
+class TestFusedKernelEquivalence:
+    """Differential tests: fused backend == naive backend bit-for-bit
+    within tolerance, for every fused op, values and gradients."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+
+    def test_backend_selection(self):
+        with nn.use_kernels("naive"):
+            assert nn.kernel_backend() == "naive"
+            assert not nn.kernels.is_fused()
+            with nn.use_kernels("fused"):
+                assert nn.kernels.is_fused()
+            assert nn.kernel_backend() == "naive"
+        with pytest.raises(ValueError):
+            nn.kernels.set_default_backend("turbo")
+
+    def test_affine_act(self):
+        x = self.rng.normal(size=(6, 5))
+        w = self.rng.normal(size=(5, 4))
+        b = self.rng.normal(size=4)
+
+        def composed(xt, wt, bt, act):
+            out = xt.affine(wt, bt)
+            return out if act is None else getattr(out, act)()
+
+        for act in (None, "relu", "tanh"):
+            fused = _run_both_backends(
+                lambda xt, wt, bt, a=act: nn.affine_act(
+                    xt, wt, bt, activation=a), [x, w, b])["fused"]
+            naive = _run_both_backends(
+                lambda xt, wt, bt, a=act: composed(xt, wt, bt, a),
+                [x, w, b])["naive"]
+            np.testing.assert_allclose(fused[0], naive[0],
+                                       rtol=FUSED_RTOL, atol=FUSED_ATOL)
+            for gf, gn in zip(fused[1], naive[1]):
+                np.testing.assert_allclose(gf, gn, rtol=FUSED_RTOL,
+                                           atol=FUSED_ATOL)
+
+    def test_mlp_module_out_activations(self):
+        mlp = nn.MLP(5, 3, np.random.default_rng(3), hidden=8,
+                     num_hidden_layers=2)
+        x = self.rng.normal(size=(7, 5))
+        for act in (None, "tanh", "softplus", "sigmoid", "relu"):
+            res = {}
+            for backend in ("fused", "naive"):
+                xt = Tensor(x.copy(), requires_grad=True)
+                mlp.zero_grad()
+                with nn.use_kernels(backend):
+                    mlp(xt, activation=act).sum().backward()
+                res[backend] = (xt.grad.copy(),
+                                [p.grad.copy() for p in mlp.parameters()])
+            np.testing.assert_allclose(res["fused"][0], res["naive"][0],
+                                       rtol=FUSED_RTOL, atol=FUSED_ATOL)
+            for gf, gn in zip(res["fused"][1], res["naive"][1]):
+                np.testing.assert_allclose(gf, gn, rtol=FUSED_RTOL,
+                                           atol=FUSED_ATOL)
+
+    def test_mlp_chain_numerical_grad(self):
+        rng = np.random.default_rng(5)
+        w1 = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        b1 = Tensor(rng.normal(size=6), requires_grad=True)
+        w2 = Tensor(rng.normal(size=(6, 2)), requires_grad=True)
+        steps = [(w1, b1, "tanh"), (w2, None, None)]
+        x0 = rng.normal(size=(5, 4))
+        with nn.use_kernels("fused"):
+            check_grad(lambda x: nn.mlp_chain(x, steps, out_act="softplus"),
+                       x0)
+
+    def test_gather_concat(self):
+        a = self.rng.normal(size=(6, 3))
+        b = self.rng.normal(size=(6, 2))
+        idx = np.array([0, 5, 5, 2])
+        plain = self.rng.normal(size=(4, 2))
+        assert_backends_agree(
+            lambda at, bt, pt: nn.gather_concat(
+                [at, bt, pt], [idx, idx, None]),
+            [a, b, plain])
+
+    def test_gather_rows_duplicate_index_grad(self):
+        x0 = self.rng.normal(size=(5, 3))
+        idx = np.array([1, 1, 4, 0, 1])
+        with nn.use_kernels("fused"):
+            check_grad(lambda x: nn.gather_rows(x, idx) * 2.0, x0)
+
+    def test_gather_add(self):
+        t = self.rng.normal(size=(6, 4))
+        addend = self.rng.normal(size=(5, 4))
+        idx = np.array([3, 3, 0, 1, 5])
+        assert_backends_agree(
+            lambda tt, at: nn.gather_add(tt, idx, at), [t, addend])
+
+    def test_segment_sum_and_max_csr(self):
+        data = self.rng.normal(size=(8, 3))
+        seg = np.array([2, 0, 2, 1, 1, 2, 0, 4])
+        assert_backends_agree(
+            lambda d: nn.segment_sum(d, seg, 5), [data])
+        assert_backends_agree(
+            lambda d: nn.segment_max(d, seg, 5), [data])
+
+    def test_segment_minmax_one_pass(self):
+        data = self.rng.normal(size=(8, 3))
+        # Include exact ties so the tie-splitting gradient path runs.
+        data[2] = data[0]
+        seg = np.array([0, 1, 0, 2, 1, 0, 2, 2])
+
+        def build(d):
+            mx, mn = nn.segment_minmax(d, seg, 3)
+            return mx * 2.0 + mn
+
+        assert_backends_agree(build, [data])
+
+    def test_segment_minmax_gate(self):
+        data = self.rng.normal(size=(9, 4))
+        seg = np.array([0, 1, 0, 2, 1, 0, 2, 2, 1])
+        logits = self.rng.normal(size=4)
+        assert_backends_agree(
+            lambda d, g: nn.segment_minmax_gate(d, seg, 3, g), [data, logits])
+
+    def test_segment_minmax_gate_numerical_grad(self):
+        seg = np.array([0, 1, 0, 2, 1, 0])
+        logits = Tensor(np.array([0.3, -0.7, 1.1]), requires_grad=True)
+        x0 = self.rng.normal(size=(6, 3))
+        with nn.use_kernels("fused"):
+            check_grad(
+                lambda x: nn.segment_minmax_gate(x, seg, 3, logits), x0)
+
+    def test_lut_kron_combine(self):
+        e = 3
+        ax = self.rng.normal(size=(e * 8, 7))
+        ay = self.rng.normal(size=(e * 8, 7))
+        values = self.rng.normal(size=(e * 8, 49))
+        valid = (self.rng.random((e, 8)) > 0.3).astype(float)
+        assert_backends_agree(
+            lambda a, b: nn.lut_kron_combine(a, b, values, valid), [ax, ay])
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=9),
+           st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_segment_ops_property(self, rows, num_segments, seed):
+        """Randomized: CSR segment reductions match the naive path for
+        arbitrary (possibly empty) segment layouts."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(rows, 2))
+        seg = rng.integers(0, num_segments, size=rows)
+        assert_backends_agree(
+            lambda d: nn.segment_sum(d, seg, num_segments), [data])
+
+        def build(d):
+            mx, mn = nn.segment_minmax(d, seg, num_segments)
+            return mx - 0.5 * mn
+
+        assert_backends_agree(build, [data])
+
+    def test_segment_schedule_reuse(self):
+        data = self.rng.normal(size=(7, 2))
+        seg = np.array([1, 0, 1, 2, 0, 1, 2])
+        sched = nn.SegmentSchedule(seg)
+        with nn.use_kernels("fused"):
+            direct = nn.segment_sum(Tensor(data), seg, 3)
+            cached = nn.segment_sum(Tensor(data), seg, 3, schedule=sched)
+        np.testing.assert_array_equal(direct.data, cached.data)
+
+    def test_backward_free_releases_tape(self):
+        x = Tensor(self.rng.normal(size=(4, 3)), requires_grad=True)
+        w = Tensor(self.rng.normal(size=(3, 2)), requires_grad=True)
+        with nn.use_kernels("fused"):
+            out = nn.mlp_chain(x, [(w, None, "tanh")])
+            loss = out.sum()
+            loss.backward(free=True)
+        assert x.grad is not None and w.grad is not None
+        # The tape was torn down: parents and closures are gone.
+        assert loss._parents == () and loss._backward is None

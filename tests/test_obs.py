@@ -399,7 +399,7 @@ class TestBenchJson:
 
         result = LoadgenResult(
             clients=2, requests=10, ok=10, errors=0, incorrect=0,
-            degraded=0, cache_hits=5, duration_s=1.5,
+            degraded=0, cache_hits=5, warmup_requests=2, duration_s=1.5,
             throughput_rps=6.6667, latency_p50_ms=3.2,
             latency_p99_ms=9.9, latency_mean_ms=4.0,
             server_stats={"counts": {"requests": 10}})
@@ -409,6 +409,7 @@ class TestBenchJson:
         assert payload["benchmark"] == "serving"
         assert payload["schema_version"] == 1
         assert payload["requests"] == 10
+        assert payload["warmup_requests"] == 2
         assert payload["throughput_rps"] == pytest.approx(6.6667)
         assert payload["params"]["clients"] == 2
         assert payload["server_stats"]["counts"]["requests"] == 10

@@ -359,6 +359,8 @@ class TestLoadgen:
         assert result.requests == 56
         assert result.ok == 56
         assert result.errors == 0 and result.incorrect == 0
+        # default warmup: one untimed request per design, before timing.
+        assert result.warmup_requests == 2
         assert result.throughput_rps > 0
         assert result.server_stats["result_cache"]["hit_rate"] > 0
 
