@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 suite (twice: serial + parallel workers), a
 # naive-backend kernel differential pass, the coverage floors
-# (repro.parallel, repro.nn), then fast serving + compute smoke tests.
+# (repro.parallel, repro.nn, repro.obs), the bench regression gate
+# (`repro bench diff --check` vs. the run ledger), then fast serving +
+# compute smoke tests.
 #
 #   scripts/ci.sh         # full tier-1 x2 + differential + floors + smokes
 #   scripts/ci.sh smoke   # smoke only (deselects @slow experiment tests)
@@ -45,8 +47,14 @@ EOF
         tests/test_nn_autograd.py tests/test_nn_modules.py \
         tests/test_models.py
 
-    echo "== coverage floors (repro.parallel, repro.nn) =="
+    echo "== coverage floors (repro.parallel, repro.nn, repro.obs) =="
     python scripts/coverage_floor.py --min 80
+
+    echo "== bench regression gate (committed BENCH files vs. ledger) =="
+    # First run on a fresh checkout has no baseline and passes vacuously;
+    # --record appends the committed artefacts to the run ledger so the
+    # trajectory starts accumulating and later runs are actually gated.
+    python -m repro.cli bench diff --check --record
 fi
 
 echo "== serving smoke (REPRO_SCALE=0.25 REPRO_EPOCHS=2) =="

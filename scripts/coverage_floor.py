@@ -13,7 +13,10 @@ Covered packages (each with its own test files and an 80% floor):
 * ``src/repro/parallel`` — driven by tests/test_parallel.py;
 * ``src/repro/nn`` — the autograd engine and the fused kernel layer,
   driven by the autograd/module suites plus the model differential
-  tests (which push the fused propagation path end to end).
+  tests (which push the fused propagation path end to end);
+* ``src/repro/obs`` — metrics/tracing/logging plus the run ledger,
+  tape profiler and HTML report, driven by tests/test_obs.py and
+  tests/test_runs.py.
 
     python scripts/coverage_floor.py            # default floor 80%
     python scripts/coverage_floor.py --min 85
@@ -43,6 +46,10 @@ TARGETS = {
         "dir": os.path.join(REPO, "src", "repro", "nn"),
         "tests": _t("test_nn_autograd.py", "test_nn_modules.py",
                     "test_models.py", "test_training.py"),
+    },
+    "obs": {
+        "dir": os.path.join(REPO, "src", "repro", "obs"),
+        "tests": _t("test_obs.py", "test_runs.py"),
     },
 }
 

@@ -5,16 +5,27 @@ serving layer; this package holds the pure-compute benchmarks:
 
 * :mod:`repro.bench.compute` — fused vs. naive kernel backends on
   full-model forward / forward+backward / train-step passes over dataset
-  designs, recorded to ``BENCH_compute.json``.
+  designs, recorded to ``BENCH_compute.json``;
+* :mod:`repro.bench.diff` — regression gating: compares fresh BENCH
+  artefacts against the run-ledger history with relative-tolerance
+  thresholds (``repro bench diff --check`` exits non-zero on a
+  regression; wired into ``scripts/ci.sh``).
 """
 
 from .compute import (COMPUTE_BENCH_SCHEMA_VERSION, STAGES,
                       ComputeBenchResult, DesignBench,
                       format_compute_report, run_compute_bench,
                       write_compute_bench_json)
+from .diff import (DEFAULT_TOLERANCE, MetricDelta, bench_fingerprint,
+                   check_bench_file, diff_payloads, find_baseline,
+                   format_diff_report, iter_bench_metrics,
+                   record_bench_payload)
 
 __all__ = [
     "COMPUTE_BENCH_SCHEMA_VERSION", "STAGES", "ComputeBenchResult",
     "DesignBench", "run_compute_bench", "format_compute_report",
     "write_compute_bench_json",
+    "DEFAULT_TOLERANCE", "MetricDelta", "bench_fingerprint",
+    "check_bench_file", "diff_payloads", "find_baseline",
+    "format_diff_report", "iter_bench_metrics", "record_bench_payload",
 ]

@@ -188,9 +188,12 @@ def write_compute_bench_json(result, path="BENCH_compute.json", params=None):
     Written by ``repro bench-compute`` at the repo root; ``scripts/
     ci.sh`` asserts the file is produced and well-formed.
     """
+    from ..obs.runs import new_run_id, record_run
+
     payload = {
         "benchmark": "compute",
         "schema_version": COMPUTE_BENCH_SCHEMA_VERSION,
+        "run_id": new_run_id("bench_compute"),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "params": dict(params or {}),
         **result.to_dict(),
@@ -198,6 +201,13 @@ def write_compute_bench_json(result, path="BENCH_compute.json", params=None):
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1, sort_keys=False)
         fh.write("\n")
+    # mirror the artefact into the run ledger so `repro bench diff` can
+    # gate future runs against it
+    from .diff import bench_fingerprint
+
+    record_run("bench_compute", run_id=payload["run_id"],
+               fingerprint=bench_fingerprint(payload),
+               generated_at=payload["generated_at"], payload=payload)
     return path
 
 

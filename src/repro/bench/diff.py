@@ -1,0 +1,204 @@
+"""Bench regression gating: compare fresh BENCH files to ledger history.
+
+``repro bench diff`` loads the current ``BENCH_compute.json`` /
+``BENCH_serving.json`` artefacts, finds the most recent *comparable*
+run in the :class:`~repro.obs.runs.RunLedger` (same benchmark
+fingerprint — designs, scale, backends, load parameters — and a
+different ``run_id``), and compares every timing/throughput metric with
+a relative tolerance:
+
+* compute: per (design, backend, stage) wall time — lower is better;
+* serving: throughput (higher is better), p50/p99 latency (lower).
+
+``--check`` exits non-zero when any metric regresses past the
+tolerance, which is how ``scripts/ci.sh`` gates the perf trajectory;
+``--record`` appends the current payloads to the ledger so the next
+run has a baseline (history starts accumulating from the first gated
+run).  With no comparable history the check passes vacuously — a new
+benchmark shape is a baseline, not a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from ..obs.runs import config_fingerprint, default_ledger, new_run_id
+
+__all__ = ["DEFAULT_TOLERANCE", "MetricDelta", "bench_fingerprint",
+           "iter_bench_metrics", "diff_payloads", "find_baseline",
+           "record_bench_payload", "check_bench_file",
+           "format_diff_report"]
+
+DEFAULT_TOLERANCE = 0.5
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared between a current and a baseline run."""
+
+    metric: str
+    baseline: float
+    current: float
+    ratio: float                 # current / baseline
+    higher_is_better: bool
+    regressed: bool
+
+    @property
+    def improved(self):
+        if self.higher_is_better:
+            return self.ratio > 1.0
+        return self.ratio < 1.0
+
+
+def bench_fingerprint(payload):
+    """Comparability key of one bench payload (not its timings)."""
+    params = payload.get("params") or {}
+    kind = payload.get("benchmark")
+    if kind == "compute":
+        basis = {
+            "benchmark": kind,
+            "schema_version": payload.get("schema_version"),
+            "designs": sorted(row.get("name", "?")
+                              for row in payload.get("designs", [])),
+            "backends": sorted(payload.get("backends", [])),
+            "stages": sorted(payload.get("stages", [])),
+            "scale": params.get("scale"),
+        }
+    elif kind == "serving":
+        basis = {
+            "benchmark": kind,
+            "schema_version": payload.get("schema_version"),
+            "designs": sorted(params.get("designs") or []),
+            "clients": payload.get("clients"),
+            "model": params.get("model"),
+            "scale": params.get("scale"),
+            "batch_window_ms": params.get("batch_window_ms"),
+            "max_batch": params.get("max_batch"),
+        }
+    else:
+        basis = {"benchmark": kind,
+                 "schema_version": payload.get("schema_version")}
+    return config_fingerprint(**basis)
+
+
+def iter_bench_metrics(payload):
+    """Yield ``(metric_name, value, higher_is_better)`` for one payload."""
+    kind = payload.get("benchmark")
+    if kind == "compute":
+        for row in payload.get("designs", []):
+            name = row.get("name", "?")
+            for backend, stages in (row.get("times_ms") or {}).items():
+                for stage, ms in stages.items():
+                    yield (f"{name}/{backend}/{stage}_ms",
+                           float(ms), False)
+    elif kind == "serving":
+        for metric, higher in (("throughput_rps", True),
+                               ("latency_p50_ms", False),
+                               ("latency_p99_ms", False)):
+            value = payload.get(metric)
+            if value is not None:
+                yield metric, float(value), higher
+
+
+def diff_payloads(current, baseline, tolerance=DEFAULT_TOLERANCE):
+    """Compare metrics present in both payloads; returns MetricDeltas.
+
+    A metric regresses when it moves past ``tolerance`` (relative) in
+    the bad direction: time/latency above ``baseline * (1 + tol)``,
+    throughput below ``baseline * (1 - tol)``.
+    """
+    base_values = {name: (value, higher)
+                   for name, value, higher in iter_bench_metrics(baseline)}
+    deltas = []
+    for name, value, higher in iter_bench_metrics(current):
+        if name not in base_values:
+            continue
+        base, _ = base_values[name]
+        ratio = value / base if base > 0 else float("inf")
+        if higher:
+            regressed = value < base * (1.0 - tolerance)
+        else:
+            regressed = value > base * (1.0 + tolerance)
+        deltas.append(MetricDelta(metric=name, baseline=base,
+                                  current=value, ratio=ratio,
+                                  higher_is_better=higher,
+                                  regressed=regressed))
+    return deltas
+
+
+def find_baseline(payload, ledger=None):
+    """Latest comparable ledger run (payload dict), or None."""
+    ledger = ledger or default_ledger()
+    fp = bench_fingerprint(payload)
+    run_id = payload.get("run_id")
+    record = ledger.latest(
+        kind="bench",
+        where=lambda r: (r.get("fingerprint") == fp
+                         and r.get("run_id") != run_id
+                         and isinstance(r.get("payload"), dict)))
+    return record["payload"] if record else None
+
+
+def record_bench_payload(payload, ledger=None):
+    """Append one bench payload to the ledger (idempotent per run_id)."""
+    ledger = ledger or default_ledger()
+    run_id = payload.get("run_id") or new_run_id(
+        f"bench-{payload.get('benchmark', 'x')}")
+    for record in ledger.read(kind="bench"):
+        if record.get("run_id") == run_id:
+            return record
+    return ledger.append({
+        "kind": f"bench_{payload.get('benchmark', 'unknown')}",
+        "run_id": run_id,
+        "fingerprint": bench_fingerprint(payload),
+        "generated_at": payload.get("generated_at"),
+        "payload": payload,
+    })
+
+
+def check_bench_file(path, ledger=None, tolerance=DEFAULT_TOLERANCE,
+                     record=False):
+    """Gate one BENCH file against ledger history.
+
+    Returns ``(status, deltas)`` with status one of ``"missing"``
+    (no such file), ``"no-baseline"`` (nothing comparable in the
+    ledger), ``"ok"``, or ``"regression"``.  With ``record=True`` the
+    current payload is appended to the ledger after the comparison.
+    """
+    ledger = ledger or default_ledger()
+    if not os.path.exists(path):
+        return "missing", []
+    with open(path) as fh:
+        payload = json.load(fh)
+    baseline = find_baseline(payload, ledger)
+    if baseline is None:
+        status, deltas = "no-baseline", []
+    else:
+        deltas = diff_payloads(payload, baseline, tolerance=tolerance)
+        status = "regression" if any(d.regressed for d in deltas) else "ok"
+    if record:
+        record_bench_payload(payload, ledger)
+    return status, deltas
+
+
+def format_diff_report(path, status, deltas, tolerance=DEFAULT_TOLERANCE):
+    """Human-readable comparison table for one gated BENCH file."""
+    lines = [f"bench diff {path}: {status} "
+             f"(tolerance {tolerance * 100:.0f}%, "
+             f"{len(deltas)} comparable metrics)"]
+    if not deltas:
+        return "\n".join(lines)
+    lines.append(f"  {'metric':<38}{'baseline':>11}{'current':>11}"
+                 f"{'ratio':>8}")
+    worst = sorted(deltas, key=lambda d: (not d.regressed,
+                                          -abs(d.ratio - 1.0)))
+    for delta in worst[:12]:
+        flag = "  << REGRESSION" if delta.regressed else ""
+        lines.append(f"  {delta.metric:<38}{delta.baseline:>11.2f}"
+                     f"{delta.current:>11.2f}{delta.ratio:>7.2f}x{flag}")
+    hidden = len(deltas) - min(12, len(deltas))
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more within tolerance")
+    return "\n".join(lines)

@@ -11,6 +11,10 @@ Usage (also available as ``python -m repro``):
     repro serve --port 8080              # HTTP slack-prediction service
     repro bench-serve --clients 8        # loadgen benchmark of the service
     repro bench-compute --reps 5         # fused vs. naive kernel benchmark
+    repro bench diff --check             # gate BENCH files vs. run ledger
+    repro runs ls                        # recorded training/bench runs
+    repro profile --backend fused        # per-op profile of a train step
+    repro report --html -o report.html   # static HTML trajectory report
     repro stats --url http://host:8080   # stats/metrics of a live server
     repro trace picorv32a -o t.jsonl     # traced flow run -> JSONL spans
     repro write-verilog des -o des.v     # export a benchmark netlist
@@ -140,6 +144,7 @@ def _cmd_cache(args):
 
 def _cmd_train(args):
     from .experiments import train_test_graphs, trained_timing_gnn
+    from .obs import default_ledger
     from .training import evaluate_on
 
     model = trained_timing_gnn(args.variant, scale=args.scale,
@@ -151,6 +156,12 @@ def _cmd_train(args):
         for name, m in metrics.items():
             print(f"{name:<16}{split:<7}{m['arrival_r2']:>12.4f}"
                   f"{m['slack_r2']:>10.4f}")
+    latest = default_ledger().latest(kind="train")
+    if latest is not None:
+        print(f"\nrun recorded: {latest['run_id']}  "
+              f"(see `repro runs show {latest['run_id']}`)")
+    else:
+        print("\nmodel loaded from checkpoint cache; no new run recorded")
     return 0
 
 
@@ -275,6 +286,157 @@ def _cmd_bench_compute(args):
             "designs": [g.name for g in graphs], "scale": scale,
             "reps": args.reps, "warmup": args.warmup})
         print(f"wrote {path}")
+    return 0
+
+
+def _summarize_run(record):
+    """One-line description of a run record for `repro runs ls`."""
+    kind = str(record.get("kind", "?"))
+    if kind.startswith("train"):
+        loss = record.get("loss") or []
+        detail = (f"epochs={len(loss)} "
+                  f"final_loss={record.get('final_loss'):.5g}"
+                  if record.get("final_loss") is not None
+                  else f"epochs={len(loss)}")
+    elif kind.startswith("bench"):
+        payload = record.get("payload") or {}
+        if payload.get("benchmark") == "serving":
+            detail = (f"rps={payload.get('throughput_rps', 0):.1f} "
+                      f"p99={payload.get('latency_p99_ms', 0):.1f}ms")
+        else:
+            summary = payload.get("summary") or {}
+            geo = summary.get("speedup_train_step_geomean")
+            detail = f"speedup={geo:.2f}x" if geo else \
+                f"designs={len(payload.get('designs', []))}"
+    else:
+        detail = ""
+    return detail
+
+
+def _cmd_runs(args):
+    import json
+
+    from .obs import default_ledger
+
+    ledger = default_ledger()
+    if args.action == "ls":
+        records, corrupt = ledger.scan(kind=args.kind)
+        if args.last:
+            records = records[-args.last:]
+        if not records:
+            print(f"no runs recorded in {ledger.path}")
+            return 0
+        print(f"{'run':<42}{'recorded':<22}{'backend':<9}detail")
+        for record in records:
+            print(f"{record['run_id']:<42}"
+                  f"{record.get('recorded_at', '?'):<22}"
+                  f"{record.get('backend', '—') or '—':<9}"
+                  f"{_summarize_run(record)}")
+        note = f", {corrupt} corrupt lines skipped" if corrupt else ""
+        print(f"\n{len(records)} runs in {ledger.path}{note}")
+        return 0
+    if args.action == "show":
+        if not args.run_id:
+            print("runs show: RUN_ID required", file=sys.stderr)
+            return 2
+        record = ledger.get(args.run_id)
+        if record is None:
+            print(f"no run matching {args.run_id!r} in {ledger.path}",
+                  file=sys.stderr)
+            return 1
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    if args.action == "export":
+        records, corrupt = ledger.scan(kind=args.kind)
+        out = sys.stdout if args.output in (None, "-") \
+            else open(args.output, "w")
+        try:
+            for record in records:
+                out.write(json.dumps(record) + "\n")
+        finally:
+            if out is not sys.stdout:
+                out.close()
+                print(f"wrote {len(records)} runs to {args.output}"
+                      + (f" ({corrupt} corrupt lines skipped)"
+                         if corrupt else ""))
+        return 0
+    raise AssertionError(args.action)
+
+
+def _cmd_bench(args):
+    from .bench import (DEFAULT_TOLERANCE, check_bench_file,
+                        format_diff_report)
+    from .obs import default_ledger
+
+    assert args.action == "diff"
+    ledger = default_ledger()
+    tolerance = args.tolerance if args.tolerance is not None \
+        else DEFAULT_TOLERANCE
+    regressed, seen = False, 0
+    for path in (args.compute, args.serving):
+        if not path:
+            continue
+        status, deltas = check_bench_file(
+            path, ledger=ledger, tolerance=tolerance, record=args.record)
+        if status == "missing":
+            print(f"bench diff {path}: missing (skipped)")
+            continue
+        seen += 1
+        print(format_diff_report(path, status, deltas, tolerance=tolerance))
+        regressed = regressed or status == "regression"
+    if seen == 0:
+        print("bench diff: no BENCH files found — run `repro bench-compute`"
+              " / `repro bench-serve` first")
+    if regressed:
+        print("bench diff: REGRESSION past tolerance "
+              f"{tolerance * 100:.0f}%", file=sys.stderr)
+        return 1 if args.check else 0
+    return 0
+
+
+def _cmd_profile(args):
+    from .graphdata import load_dataset
+    from .netlist import BENCHMARKS
+    from .obs import format_profile_table, profile_train_step
+
+    scale = args.scale
+    if scale is None:
+        scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    by_name = {b.name: b for b in BENCHMARKS}
+    if args.design not in by_name:
+        print(f"unknown benchmark {args.design}", file=sys.stderr)
+        return 2
+    records = load_dataset(scale=scale, benchmarks=[by_name[args.design]])
+    graph = records[args.design].graph
+    backends = ["fused", "naive"] if args.backend == "both" \
+        else [args.backend]
+    for backend in backends:
+        prof, reference_ms = profile_train_step(graph, backend=backend)
+        title = (f"train step on {args.design} (scale {scale}, "
+                 f"backend {backend})")
+        print(format_profile_table(prof, top=args.top,
+                                   reference_ms=reference_ms, title=title))
+        print()
+    return 0
+
+
+def _cmd_report(args):
+    from .obs import default_ledger, render_html_report, write_html_report
+
+    ledger = default_ledger()
+    if args.html:
+        if args.output == "-":
+            print(render_html_report(ledger=ledger))
+        else:
+            write_html_report(args.output, ledger=ledger)
+            print(f"wrote {args.output}")
+        return 0
+    records, corrupt = ledger.scan()
+    print(f"{len(records)} runs in {ledger.path}"
+          + (f" ({corrupt} corrupt lines skipped)" if corrupt else ""))
+    for record in records[-10:]:
+        print(f"  {record['run_id']:<42}{_summarize_run(record)}")
+    print("use `repro report --html -o report.html` for the full report")
     return 0
 
 
@@ -506,6 +668,61 @@ def build_parser():
     p.add_argument("--bench-json", default="BENCH_compute.json",
                    help="record the run to this JSON file ('' disables)")
     p.set_defaults(func=_cmd_bench_compute)
+
+    p = sub.add_parser("bench",
+                       help="bench artefact tooling (`bench diff` gates "
+                            "BENCH files against the run ledger)")
+    p.add_argument("action", choices=["diff"])
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero when any metric regresses past "
+                        "the tolerance")
+    p.add_argument("--record", action="store_true",
+                   help="append the current BENCH payloads to the ledger "
+                        "after comparing (start/extend the baseline "
+                        "history)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="relative regression tolerance (default 0.5 = "
+                        "50%%)")
+    p.add_argument("--compute", default="BENCH_compute.json",
+                   help="compute bench artefact ('' skips)")
+    p.add_argument("--serving", default="BENCH_serving.json",
+                   help="serving bench artefact ('' skips)")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("runs",
+                       help="inspect the run ledger (REPRO_RUNS_DIR)")
+    p.add_argument("action", choices=["ls", "show", "export"])
+    p.add_argument("run_id", nargs="?", default=None,
+                   help="run id (or unique prefix) for `show`")
+    p.add_argument("--kind", default=None,
+                   help="filter by kind prefix (train, bench, ...)")
+    p.add_argument("-n", "--last", type=int, default=None,
+                   help="only the N most recent runs (ls)")
+    p.add_argument("-o", "--output", default=None,
+                   help="export destination ('-' = stdout)")
+    p.set_defaults(func=_cmd_runs)
+
+    p = sub.add_parser("profile",
+                       help="tape-level profile of a full train step "
+                            "per kernel backend")
+    p.add_argument("--design", default="usbf_device",
+                   help="benchmark design to profile on")
+    p.add_argument("--backend", default="both",
+                   choices=["fused", "naive", "both"])
+    p.add_argument("--scale", type=float, default=None,
+                   help="design scale (default: REPRO_SCALE)")
+    p.add_argument("--top", type=int, default=20,
+                   help="rows in the per-op table")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("report",
+                       help="render the run-ledger trajectory (HTML "
+                            "with --html)")
+    p.add_argument("--html", action="store_true",
+                   help="write the full static HTML report")
+    p.add_argument("-o", "--output", default="report.html",
+                   help="HTML destination ('-' = stdout)")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("stats",
                        help="print /stats (or /metrics) of a running "

@@ -74,6 +74,17 @@ def _as_array(value):
     return np.asarray(value, dtype=np.float64)
 
 
+# Installed by repro.obs.profile while a profiler is active: a callable
+# that wraps each new tape node's backward closure with per-op timing.
+# None (the default) keeps tape construction on the zero-overhead path.
+_TAPE_PROFILE_HOOK = None
+
+
+def _set_tape_profile_hook(hook):
+    global _TAPE_PROFILE_HOOK
+    _TAPE_PROFILE_HOOK = hook
+
+
 class Tensor:
     """A numpy array with an optional gradient and autograd history."""
 
@@ -125,7 +136,8 @@ class Tensor:
         if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
-            out._backward = backward
+            hook = _TAPE_PROFILE_HOOK
+            out._backward = backward if hook is None else hook(backward)
         return out
 
     def _accumulate(self, grad, own=False):

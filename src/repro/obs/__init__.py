@@ -1,6 +1,6 @@
-"""Observability: metrics, tracing and structured logging.
+"""Observability: metrics, tracing, logging, run ledger and profiling.
 
-The measurement substrate of the reproduction (DESIGN.md §3).  Three
+The measurement substrate of the reproduction (DESIGN.md §3).  Five
 independent primitives, one import point:
 
 * :mod:`.metrics` — thread-safe :class:`MetricsRegistry` of counters,
@@ -8,10 +8,18 @@ independent primitives, one import point:
   JSON snapshot (``/stats``) or in Prometheus text exposition format
   (``/metrics``);
 * :mod:`.tracing` — nested spans (``with tracer.span("flow.place")``)
-  with per-thread parent tracking, bounded retention and JSONL export
-  (``REPRO_TRACE=<path>`` streams spans to a file);
+  with per-thread parent tracking, bounded retention and rotating JSONL
+  export (``REPRO_TRACE=<path>``, bounded by ``REPRO_TRACE_MAX_LINES``);
 * :mod:`.logging` — structured key=value records with per-module
-  levels (``REPRO_LOG=repro.training=debug``).
+  levels (``REPRO_LOG=repro.training=debug``);
+* :mod:`.runs` — append-only, schema-versioned run ledger under
+  ``REPRO_RUNS_DIR``: every training and bench run leaves a durable
+  JSONL record (config fingerprint, loss series, per-design R², bench
+  payloads) that ``repro runs``, ``repro bench diff`` and
+  ``repro report --html`` (:mod:`.report`) consume;
+* :mod:`.profile` — opt-in tape-level profiler: per-op / per-kernel
+  wall time and output bytes on both autograd backends, with backward
+  closures attributed per op (``repro profile``).
 
 The flow, STA engine, extraction and training instrument the
 process-wide defaults (:func:`get_registry`, :func:`get_tracer`,
@@ -22,6 +30,12 @@ co-hosted services stay separable.
 from .logging import (LEVELS, Logger, LogManager, configure, get_logger)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       get_registry, set_registry)
+from .profile import (OpStat, Profiler, format_profile_table, profile,
+                      profile_train_step)
+from .report import render_html_report, write_html_report
+from .runs import (RUNS_SCHEMA_VERSION, RunLedger, config_fingerprint,
+                   default_ledger, default_runs_dir, new_run_id,
+                   record_run)
 from .tracing import Span, Tracer, format_span_tree, get_tracer
 
 __all__ = [
@@ -29,4 +43,9 @@ __all__ = [
     "get_registry", "set_registry",
     "Span", "Tracer", "format_span_tree", "get_tracer",
     "LEVELS", "Logger", "LogManager", "configure", "get_logger",
+    "RUNS_SCHEMA_VERSION", "RunLedger", "config_fingerprint",
+    "default_ledger", "default_runs_dir", "new_run_id", "record_run",
+    "OpStat", "Profiler", "profile", "profile_train_step",
+    "format_profile_table",
+    "render_html_report", "write_html_report",
 ]

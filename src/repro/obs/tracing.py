@@ -79,6 +79,18 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+def _count_lines(path):
+    """Newline count of an existing file (0 when absent)."""
+    count = 0
+    try:
+        with open(path, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 20), b""):
+                count += chunk.count(b"\n")
+    except OSError:
+        pass
+    return count
+
+
 class Tracer:
     """Per-process span factory with a bounded retention buffer."""
 
@@ -89,6 +101,9 @@ class Tracer:
         self._local = threading.local()
         self._sink = None
         self._sink_owned = False
+        self._sink_path = None
+        self._sink_lines = 0
+        self._sink_max_lines = None
 
     # -- span lifecycle --------------------------------------------------------
     def _stack(self):
@@ -127,26 +142,57 @@ class Tracer:
         record = span.to_dict()
         with self._lock:
             self._retained.append(record)
-            sink = self._sink
-            if sink is not None:
-                sink.write(json.dumps(record) + "\n")
-                sink.flush()
+            if self._sink is not None:
+                if self._sink_path is not None \
+                        and self._sink_max_lines is not None \
+                        and self._sink_lines >= self._sink_max_lines:
+                    self._rotate_locked()
+                self._sink.write(json.dumps(record) + "\n")
+                self._sink.flush()
+                self._sink_lines += 1
+
+    def _rotate_locked(self):
+        """Roll the owned path sink over to ``<path>.1`` (lock held)."""
+        self._sink.close()
+        try:
+            os.replace(self._sink_path, self._sink_path + ".1")
+        except OSError:
+            pass
+        self._sink = open(self._sink_path, "w")
+        self._sink_lines = 0
 
     # -- export ----------------------------------------------------------------
-    def set_sink(self, target, mode="a"):
-        """Stream finished spans to ``target`` (a path or file object)."""
+    def set_sink(self, target, mode="a", max_lines=None):
+        """Stream finished spans to ``target`` (a path or file object).
+
+        Path sinks are size-bounded: once the file holds ``max_lines``
+        lines (default ``REPRO_TRACE_MAX_LINES``, 100000) it is rotated
+        to ``<path>.1`` — one generation is kept — and writing restarts
+        on a fresh file, so a long-running ``REPRO_TRACE`` session never
+        grows a trace without bound.  File-object sinks are the caller's
+        to bound.
+        """
         self.clear_sink()
+        if max_lines is None:
+            max_lines = int(os.environ.get("REPRO_TRACE_MAX_LINES",
+                                           100000) or 0) or None
         with self._lock:
             if hasattr(target, "write"):
                 self._sink, self._sink_owned = target, False
             else:
                 self._sink = open(target, mode)
                 self._sink_owned = True
+                self._sink_path = os.fspath(target)
+                self._sink_max_lines = max_lines
+                if "a" in mode:
+                    self._sink_lines = _count_lines(self._sink_path)
 
     def clear_sink(self):
         with self._lock:
             sink, owned = self._sink, self._sink_owned
             self._sink, self._sink_owned = None, False
+            self._sink_path, self._sink_lines = None, 0
+            self._sink_max_lines = None
         if sink is not None and owned:
             sink.close()
 

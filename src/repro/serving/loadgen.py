@@ -184,9 +184,13 @@ def write_bench_json(result, path="BENCH_serving.json", params=None):
     throughput/latency trajectory is tracked across PRs; ``scripts/
     ci.sh`` asserts the file is produced and well-formed.
     """
+    from ..bench.diff import bench_fingerprint
+    from ..obs.runs import new_run_id, record_run
+
     payload = {
         "benchmark": "serving",
         "schema_version": BENCH_SCHEMA_VERSION,
+        "run_id": new_run_id("bench_serving"),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                       time.gmtime()),
         "params": dict(params or {}),
@@ -195,6 +199,11 @@ def write_bench_json(result, path="BENCH_serving.json", params=None):
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1, sort_keys=False)
         fh.write("\n")
+    # mirror the artefact into the run ledger so `repro bench diff` can
+    # gate future runs against it
+    record_run("bench_serving", run_id=payload["run_id"],
+               fingerprint=bench_fingerprint(payload),
+               generated_at=payload["generated_at"], payload=payload)
     return path
 
 

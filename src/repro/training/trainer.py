@@ -9,15 +9,18 @@ training benchmarks and evaluating generalization on the 7 test ones.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from .. import nn
 from ..models import GCNII, ModelConfig, TimingGNN, normalized_adjacency
+from ..nn import kernels as _kernels
 from ..obs import get_logger, get_registry, get_tracer
+from ..obs.runs import config_fingerprint, new_run_id, record_run
 from .loss import combined_loss
-from .evaluate import evaluate_timing_gnn, evaluate_gcnii_output
+from .evaluate import (evaluate_timing_gnn, evaluate_gcnii_output,
+                       evaluate_net_delay, slack_from_arrival)
 
 __all__ = ["TrainConfig", "TrainHistory", "train_timing_gnn", "train_gcnii"]
 
@@ -29,22 +32,24 @@ class _EpochMeter:
 
     Preserves the old ``log_every`` semantics (0 = silent, else one
     record every N epochs) while also feeding the process-wide metrics
-    registry, so ``repro stats`` sees training progress.
+    registry, so ``repro stats`` sees training progress.  Every metric
+    carries the ledger ``run`` label alongside ``model``, so a scrape
+    can be joined back to the exact recorded run it came from.
     """
 
-    def __init__(self, model_name, train_cfg):
+    def __init__(self, model_name, train_cfg, run_id=""):
         self._name = model_name
         self._cfg = train_cfg
         registry = get_registry()
         self._epoch_ms = registry.histogram(
             "repro_train_epoch_ms", "Wall time per training epoch.",
-            model=model_name)
+            model=model_name, run=run_id)
         self._loss = registry.gauge(
             "repro_train_loss", "Most recent mean training loss.",
-            model=model_name)
+            model=model_name, run=run_id)
         self._epochs = registry.counter(
             "repro_train_epochs_total", "Training epochs completed.",
-            model=model_name)
+            model=model_name, run=run_id)
         self._t0 = time.perf_counter()
 
     def epoch_done(self, epoch, loss, **fields):
@@ -59,6 +64,46 @@ class _EpochMeter:
             _log.info("epoch", model=self._name, epoch=epoch + 1,
                       epochs=self._cfg.epochs, loss=loss,
                       epoch_ms=epoch_ms, **fields)
+
+
+def _design_names(graphs):
+    return [getattr(g, "name", f"design_{i}") for i, g in enumerate(graphs)]
+
+
+def _train_fingerprint(model_cfg, train_cfg, graphs, **extra):
+    from ..graphdata.dataset import DATASET_VERSION
+
+    return config_fingerprint(
+        model_cfg=asdict(model_cfg), train_cfg=asdict(train_cfg),
+        designs=sorted(_design_names(graphs)),
+        dataset_version=DATASET_VERSION, **extra)
+
+
+def _slack_scatter_sample(model, graph, limit=200):
+    """Worst endpoint slack, true vs predicted, for the Figure-4 view.
+
+    Pools setup and hold into one worst-slack-per-endpoint series (the
+    report's scatter); evenly subsampled to ``limit`` points so ledger
+    lines stay small.
+    """
+    from ..graphdata import TIME_SCALE
+
+    pred = model.predict(graph)
+    slack_true = graph.slack() * TIME_SCALE
+    slack_pred = slack_from_arrival(graph, pred.numpy_arrival()) * TIME_SCALE
+    true_w = np.nanmin(slack_true, axis=1)
+    pred_w = np.nanmin(slack_pred, axis=1)
+    mask = np.isfinite(true_w) & np.isfinite(pred_w)
+    true_w, pred_w = true_w[mask], pred_w[mask]
+    if true_w.size == 0:
+        return None
+    if true_w.size > limit:
+        idx = np.linspace(0, true_w.size - 1, limit).astype(int)
+        true_w, pred_w = true_w[idx], pred_w[idx]
+    return {"design": getattr(graph, "name", "design"),
+            "unit": "ns",
+            "true": [round(float(v), 5) for v in true_w],
+            "pred": [round(float(v), 5) for v in pred_w]}
 
 
 @dataclass(frozen=True)
@@ -80,20 +125,29 @@ class TrainHistory:
     loss: list = field(default_factory=list)
     parts: list = field(default_factory=list)
     wall_time: float = 0.0
+    run_id: str = ""                  # ledger identity of this training run
+    eval: dict = field(default_factory=dict)   # {design: {metric: r2}}
 
 
 def train_timing_gnn(train_graphs, cfg=None, train_cfg=None):
-    """Train a :class:`TimingGNN` on a list of HeteroGraphs."""
+    """Train a :class:`TimingGNN` on a list of HeteroGraphs.
+
+    Besides the model and its :class:`TrainHistory`, every call leaves
+    a run record in the ledger (``repro runs ls``): config fingerprint,
+    per-epoch losses, per-design R² and a sampled slack scatter.
+    """
     cfg = cfg or ModelConfig.benchmark()
     train_cfg = train_cfg or TrainConfig()
+    run_id = new_run_id("train_timing")
     rng = np.random.default_rng(train_cfg.seed)
     model = TimingGNN(cfg, rng=np.random.default_rng(cfg.seed))
     optim = nn.Adam(model.parameters(), lr=train_cfg.lr)
-    history = TrainHistory()
+    history = TrainHistory(run_id=run_id)
     start = time.perf_counter()
     with get_tracer().span("train.timing_gnn", epochs=train_cfg.epochs,
-                           designs=len(train_graphs)) as span:
-        meter = _EpochMeter("timing-gnn", train_cfg)
+                           designs=len(train_graphs),
+                           run_id=run_id) as span:
+        meter = _EpochMeter("timing-gnn", train_cfg, run_id=run_id)
         for epoch in range(train_cfg.epochs):
             order = rng.permutation(len(train_graphs))
             epoch_loss, epoch_parts = 0.0, {}
@@ -121,7 +175,19 @@ def train_timing_gnn(train_graphs, cfg=None, train_cfg=None):
                                   for k, v in epoch_parts.items()})
             meter.epoch_done(epoch, history.loss[-1], lr=optim.lr)
         span.set(final_loss=history.loss[-1] if history.loss else None)
+        history.eval = evaluate_on(model, train_graphs, kind="timing")
     history.wall_time = time.perf_counter() - start
+    record_run(
+        "train_timing", run_id=run_id, model="timing-gnn",
+        backend=_kernels.backend(),
+        fingerprint=_train_fingerprint(cfg, train_cfg, train_graphs),
+        designs=_design_names(train_graphs), epochs=train_cfg.epochs,
+        wall_time_s=round(history.wall_time, 4),
+        loss=[round(float(x), 6) for x in history.loss],
+        final_loss=history.loss[-1] if history.loss else None,
+        eval=history.eval,
+        slack_scatter=_slack_scatter_sample(model, train_graphs[0])
+        if train_graphs else None)
     return model, history
 
 
@@ -133,17 +199,19 @@ def train_gcnii(train_graphs, num_layers, cfg=None, train_cfg=None):
     """
     cfg = cfg or ModelConfig.benchmark()
     train_cfg = train_cfg or TrainConfig()
+    run_id = new_run_id("train_gcnii")
     rng = np.random.default_rng(train_cfg.seed)
     model = GCNII(num_layers, cfg, rng=np.random.default_rng(cfg.seed))
     optim = nn.Adam(model.parameters(), lr=train_cfg.lr)
-    history = TrainHistory()
+    history = TrainHistory(run_id=run_id)
     matrices = [normalized_adjacency(g) for g in train_graphs]
     start = time.perf_counter()
     model_name = f"gcnii-{num_layers}"
     with get_tracer().span("train.gcnii", layers=num_layers,
                            epochs=train_cfg.epochs,
-                           designs=len(train_graphs)) as span:
-        meter = _EpochMeter(model_name, train_cfg)
+                           designs=len(train_graphs),
+                           run_id=run_id) as span:
+        meter = _EpochMeter(model_name, train_cfg, run_id=run_id)
         for epoch in range(train_cfg.epochs):
             order = rng.permutation(len(train_graphs))
             epoch_loss = 0.0
@@ -165,7 +233,18 @@ def train_gcnii(train_graphs, num_layers, cfg=None, train_cfg=None):
             history.loss.append(epoch_loss / len(train_graphs))
             meter.epoch_done(epoch, history.loss[-1])
         span.set(final_loss=history.loss[-1] if history.loss else None)
+        history.eval = evaluate_on(model, train_graphs, kind="gcnii")
     history.wall_time = time.perf_counter() - start
+    record_run(
+        "train_gcnii", run_id=run_id, model=model_name,
+        backend=_kernels.backend(),
+        fingerprint=_train_fingerprint(cfg, train_cfg, train_graphs,
+                                       num_layers=num_layers),
+        designs=_design_names(train_graphs), epochs=train_cfg.epochs,
+        wall_time_s=round(history.wall_time, 4),
+        loss=[round(float(x), 6) for x in history.loss],
+        final_loss=history.loss[-1] if history.loss else None,
+        eval=history.eval)
     return model, history
 
 
@@ -180,10 +259,11 @@ def train_net_embedding(train_graphs, cfg=None, train_cfg=None):
 
     cfg = cfg or ModelConfig.benchmark()
     train_cfg = train_cfg or TrainConfig()
+    run_id = new_run_id("train_net_emb")
     rng = np.random.default_rng(train_cfg.seed)
     model = NetEmbedding(cfg, rng=np.random.default_rng(cfg.seed))
     optim = nn.Adam(model.parameters(), lr=train_cfg.lr)
-    history = TrainHistory()
+    history = TrainHistory(run_id=run_id)
     start = time.perf_counter()
 
     class _Pred:
@@ -191,8 +271,9 @@ def train_net_embedding(train_graphs, cfg=None, train_cfg=None):
 
     with get_tracer().span("train.net_embedding",
                            epochs=train_cfg.epochs,
-                           designs=len(train_graphs)) as span:
-        meter = _EpochMeter("net-emb", train_cfg)
+                           designs=len(train_graphs),
+                           run_id=run_id) as span:
+        meter = _EpochMeter("net-emb", train_cfg, run_id=run_id)
         for epoch in range(train_cfg.epochs):
             order = rng.permutation(len(train_graphs))
             epoch_loss = 0.0
@@ -211,7 +292,22 @@ def train_net_embedding(train_graphs, cfg=None, train_cfg=None):
             history.loss.append(epoch_loss / len(train_graphs))
             meter.epoch_done(epoch, history.loss[-1])
         span.set(final_loss=history.loss[-1] if history.loss else None)
+        for graph in train_graphs:
+            _emb, net_delay = model(graph)
+            sinks = graph.is_net_sink
+            history.eval[getattr(graph, "name", "design")] = {
+                "net_delay_r2": evaluate_net_delay(
+                    graph.net_delay[sinks], net_delay.data[sinks])}
     history.wall_time = time.perf_counter() - start
+    record_run(
+        "train_net_emb", run_id=run_id, model="net-emb",
+        backend=_kernels.backend(),
+        fingerprint=_train_fingerprint(cfg, train_cfg, train_graphs),
+        designs=_design_names(train_graphs), epochs=train_cfg.epochs,
+        wall_time_s=round(history.wall_time, 4),
+        loss=[round(float(x), 6) for x in history.loss],
+        final_loss=history.loss[-1] if history.loss else None,
+        eval=history.eval)
     return model, history
 
 

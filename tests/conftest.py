@@ -70,3 +70,14 @@ def hetero_pair(library):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(123)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory.
+
+    Training and bench calls append run records as a side effect; without
+    this, running the suite would grow a ``.repro_runs/`` ledger in the
+    repository root and tests could observe each other's runs.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))

@@ -168,6 +168,66 @@ class TestPrometheusRender:
                 continue
             assert sample.match(line), line
 
+    def test_backslash_escapes_before_quote_and_newline(self):
+        # label value with a real backslash, quote and newline; the
+        # backslash must be doubled FIRST or the other escapes corrupt
+        registry = MetricsRegistry()
+        registry.gauge("esc_g", path='a\\b"c\nd').set(1)
+        text = registry.render_prometheus()
+        assert 'esc_g{path="a\\\\b\\"c\\nd"} 1\n' in text
+        # round-trips: unescaping yields the original value
+        escaped = re.search(r'esc_g\{path="(.*)"\} 1', text).group(1)
+        unescaped = escaped.replace("\\n", "\n").replace('\\"', '"') \
+                           .replace("\\\\", "\\")
+        assert unescaped == 'a\\b"c\nd'
+
+    def test_nan_and_inf_render_prometheus_spellings(self):
+        registry = MetricsRegistry()
+        registry.gauge("g_nan").set(float("nan"))
+        registry.gauge("g_pinf").set(float("inf"))
+        registry.gauge("g_ninf").set(float("-inf"))
+        text = registry.render_prometheus()
+        assert "\ng_nan NaN\n" in text
+        assert "\ng_pinf +Inf\n" in text
+        assert "\ng_ninf -Inf\n" in text
+
+    def test_empty_histogram_renders_zero_samples(self):
+        # snapshot() substitutes 0.0 for quantiles of an empty stream
+        # (only quantile() itself reports NaN), so the exposition stays
+        # parseable before the first observation
+        registry = MetricsRegistry()
+        hist = registry.histogram("idle_ms", quantiles=(0.5,))
+        text = registry.render_prometheus()
+        assert re.search(r'idle_ms\{quantile="0\.5"\} 0', text)
+        assert "\nidle_ms_count 0\n" in text
+        assert np.isnan(hist.quantile(0.5))
+
+
+class TestQuantileStreams:
+    def test_constant_stream_collapses_all_quantiles(self):
+        hist = Histogram("const_ms", quantiles=(0.5, 0.9, 0.99))
+        for _ in range(100):
+            hist.observe(7.25)
+        snap = hist.snapshot()
+        assert snap["p50"] == snap["p90"] == snap["p99"] == 7.25
+        assert snap["min"] == snap["max"] == snap["mean"] == 7.25
+        assert snap["count"] == 100
+        assert snap["sum"] == pytest.approx(725.0)
+
+    def test_two_point_stream_brackets_the_step(self):
+        hist = Histogram("two_ms", quantiles=(0.5, 0.99))
+        for _ in range(50):
+            hist.observe(1.0)
+        for _ in range(50):
+            hist.observe(9.0)
+        assert hist.quantile(0.01) == pytest.approx(1.0)
+        assert hist.quantile(0.99) == pytest.approx(9.0)
+        # the median falls between the two levels, never outside
+        assert 1.0 <= hist.quantile(0.5) <= 9.0
+        snap = hist.snapshot()
+        assert snap["min"] == 1.0 and snap["max"] == 9.0
+        assert snap["mean"] == pytest.approx(5.0)
+
 
 # -- tracing -------------------------------------------------------------------
 class TestTracing:
@@ -246,6 +306,65 @@ class TestTracing:
         tree = format_span_tree(tracer.spans())
         lines = tree.splitlines()
         assert "root" in lines[0] and "  child" in lines[1]
+
+
+class TestTraceRotation:
+    def test_sink_rotates_at_max_lines(self, tmp_path):
+        tracer = Tracer()
+        path = tmp_path / "trace.jsonl"
+        tracer.set_sink(path, max_lines=5)
+        for i in range(12):
+            with tracer.span(f"s{i}"):
+                pass
+        tracer.clear_sink()
+        rotated = tmp_path / "trace.jsonl.1"
+        assert rotated.exists()
+        kept = path.read_text().splitlines()
+        old = rotated.read_text().splitlines()
+        assert len(old) == 5
+        assert len(kept) <= 5
+        # the live file always holds the most recent spans
+        assert [json.loads(line)["name"] for line in kept] == \
+            ["s10", "s11"]
+
+    def test_append_mode_counts_preexisting_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "old"}\n' * 4)
+        tracer = Tracer()
+        tracer.set_sink(path, mode="a", max_lines=5)
+        with tracer.span("fills"):
+            pass                       # fifth line: at the cap, kept
+        with tracer.span("rolls"):
+            pass                       # past the cap: rotates first
+        tracer.clear_sink()
+        old = (tmp_path / "trace.jsonl.1").read_text().splitlines()
+        assert len(old) == 5
+        assert json.loads(old[-1])["name"] == "fills"
+        kept = path.read_text().splitlines()
+        assert len(kept) == 1
+        assert json.loads(kept[0])["name"] == "rolls"
+
+    def test_max_lines_defaults_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_MAX_LINES", "2")
+        tracer = Tracer()
+        path = tmp_path / "t.jsonl"
+        tracer.set_sink(path)
+        for i in range(3):
+            with tracer.span(f"s{i}"):
+                pass
+        tracer.clear_sink()
+        assert (tmp_path / "t.jsonl.1").exists()
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_file_object_sinks_never_rotate(self, tmp_path):
+        tracer = Tracer()
+        buffer = io.StringIO()
+        tracer.set_sink(buffer, max_lines=1)
+        for i in range(4):
+            with tracer.span(f"s{i}"):
+                pass
+        tracer.clear_sink()
+        assert len(buffer.getvalue().splitlines()) == 4
 
 
 # -- structured logging --------------------------------------------------------
