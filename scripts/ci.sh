@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 suite (twice: serial + parallel workers), a
 # naive-backend kernel differential pass, the coverage floors
-# (repro.parallel, repro.nn, repro.obs), the bench regression gate
+# (repro.parallel, repro.nn, repro.obs, repro.serving), the bench
+# regression gate
 # (`repro bench diff --check` vs. the run ledger), then fast serving +
 # compute smoke tests.
 #
@@ -47,7 +48,7 @@ EOF
         tests/test_nn_autograd.py tests/test_nn_modules.py \
         tests/test_models.py
 
-    echo "== coverage floors (repro.parallel, repro.nn, repro.obs) =="
+    echo "== coverage floors (repro.parallel, repro.nn, repro.obs, repro.serving) =="
     python scripts/coverage_floor.py --min 80
 
     echo "== bench regression gate (committed BENCH files vs. ledger) =="
@@ -62,11 +63,18 @@ SMOKE_CACHE="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_CACHE"' EXIT
 export REPRO_SCALE=0.25 REPRO_EPOCHS=2 REPRO_CACHE_DIR="$SMOKE_CACHE"
 
+# In-process serving suite, then the pre-fork pool suite (shm bit
+# identity, crash/restart, shutdown-leak regression; uses 2 workers).
 python -m pytest -x -q -m "not slow" tests/test_serving.py tests/test_obs.py
+python -m pytest -x -q -m "not slow" tests/test_pool.py
 
+# Pooled benchmark: --workers 2 also drives a single-process reference
+# phase first, so the artefact records workers, per-worker batching
+# stats and the pool speedup.  bench-serve itself exits non-zero when
+# the pooled run never forms a multi-item batch (batch_max <= 1).
 python -m repro.cli bench-serve \
     --clients 8 --requests-per-client 8 --num-designs 3 \
-    --scale 0.25 --epochs 2 \
+    --scale 0.25 --epochs 2 --workers 2 \
     --bench-json BENCH_serving.json
 
 echo "== BENCH_serving.json well-formed check =="
@@ -78,17 +86,31 @@ with open("BENCH_serving.json") as fh:
 required = ["benchmark", "schema_version", "generated_at", "params",
             "clients", "requests", "ok", "errors", "incorrect",
             "warmup_requests", "throughput_rps", "latency_p50_ms",
-            "latency_p99_ms", "server_stats"]
+            "latency_p99_ms", "server_stats", "workers", "batch_max",
+            "shed", "retries", "single_process", "pool_speedup"]
 missing = [key for key in required if key not in bench]
 assert not missing, f"BENCH_serving.json missing keys: {missing}"
 assert bench["benchmark"] == "serving"
 assert bench["requests"] > 0 and bench["ok"] > 0
 assert bench["warmup_requests"] >= 0
 assert bench["throughput_rps"] > 0
+assert bench["workers"] == 2, bench["workers"]
+assert bench["batch_max"] > 1, \
+    f"pooled run never batched (batch_max={bench['batch_max']})"
+pool = bench["server_stats"]["pool"]
+per_worker = pool["per_worker"]
+assert len(per_worker) == bench["workers"]
+for w in per_worker:
+    for key in ("worker", "completed", "batches", "batch_max",
+                "restarts"):
+        assert key in w, f"per-worker stats missing {key}"
+assert bench["single_process"]["throughput_rps"] > 0
 print(f"BENCH_serving.json ok: {bench['requests']} requests "
       f"({bench['warmup_requests']} warmup, untimed), "
       f"{bench['throughput_rps']:.1f} req/s, "
-      f"p50 {bench['latency_p50_ms']:.1f} ms")
+      f"p50 {bench['latency_p50_ms']:.1f} ms, "
+      f"workers {bench['workers']}, batch max {bench['batch_max']}, "
+      f"pool speedup {bench['pool_speedup']:.2f}x")
 EOF
 
 echo "== compute benchmark smoke (fused vs. naive kernels) =="

@@ -10,13 +10,19 @@ traced — the floors are calibrated for parent-process coverage.
 
 Covered packages (each with its own test files and an 80% floor):
 
-* ``src/repro/parallel`` — driven by tests/test_parallel.py;
+* ``src/repro/parallel`` — driven by tests/test_parallel.py plus the
+  shm-arena suite in tests/test_pool.py;
 * ``src/repro/nn`` — the autograd engine and the fused kernel layer,
   driven by the autograd/module suites plus the model differential
   tests (which push the fused propagation path end to end);
 * ``src/repro/obs`` — metrics/tracing/logging plus the run ledger,
   tape profiler and HTML report, driven by tests/test_obs.py and
-  tests/test_runs.py.
+  tests/test_runs.py;
+* ``src/repro/serving`` — the prediction service, HTTP front-end,
+  micro-batcher and the pre-fork pool tier, driven by
+  tests/test_serving.py and tests/test_pool.py (the pool worker has a
+  dedicated in-process suite precisely so its logic is traced in the
+  parent — forked worker processes are invisible to settrace).
 
     python scripts/coverage_floor.py            # default floor 80%
     python scripts/coverage_floor.py --min 85
@@ -40,7 +46,7 @@ def _t(*names):
 TARGETS = {
     "parallel": {
         "dir": os.path.join(REPO, "src", "repro", "parallel"),
-        "tests": _t("test_parallel.py"),
+        "tests": _t("test_parallel.py", "test_pool.py"),
     },
     "nn": {
         "dir": os.path.join(REPO, "src", "repro", "nn"),
@@ -50,6 +56,10 @@ TARGETS = {
     "obs": {
         "dir": os.path.join(REPO, "src", "repro", "obs"),
         "tests": _t("test_obs.py", "test_runs.py"),
+    },
+    "serving": {
+        "dir": os.path.join(REPO, "src", "repro", "serving"),
+        "tests": _t("test_serving.py", "test_pool.py"),
     },
 }
 
@@ -95,10 +105,12 @@ def report_package(name, spec, floor):
     target_dir = spec["dir"]
     total_exec = total_hit = 0
     print(f"\ncoverage of {os.path.relpath(target_dir, REPO)}:")
-    for fname in sorted(os.listdir(target_dir)):
-        if not fname.endswith(".py"):
-            continue
-        path = os.path.join(target_dir, fname)
+    paths = []
+    for root, _dirs, files in os.walk(target_dir):
+        paths += [os.path.join(root, f) for f in files
+                  if f.endswith(".py")]
+    for path in sorted(paths):
+        fname = os.path.relpath(path, target_dir)
         executable = executable_lines(path)
         hit = {line for fn, line in _executed if fn == path}
         covered = executable & hit
@@ -108,7 +120,7 @@ def report_package(name, spec, floor):
         total_hit += len(covered)
         gaps = ",".join(str(line) for line in missed[:12])
         more = f" (+{len(missed) - 12} more)" if len(missed) > 12 else ""
-        print(f"  {fname:<16}{pct:6.1f}%  "
+        print(f"  {fname:<20}{pct:6.1f}%  "
               f"({len(covered)}/{len(executable)})"
               + (f"  missed: {gaps}{more}" if missed else ""))
     pct = 100.0 * total_hit / max(total_exec, 1)

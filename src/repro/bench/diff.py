@@ -76,6 +76,11 @@ def bench_fingerprint(payload):
             "scale": params.get("scale"),
             "batch_window_ms": params.get("batch_window_ms"),
             "max_batch": params.get("max_batch"),
+            # Pooled and single-process runs are different benchmarks;
+            # so are cached and forced-forward runs.  Keep their
+            # baselines separate in the ledger.
+            "workers": params.get("workers", 0),
+            "no_cache": params.get("no_cache", False),
         }
     else:
         basis = {"benchmark": kind,

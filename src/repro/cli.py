@@ -189,51 +189,114 @@ def _cmd_predict(args):
     return 0
 
 
-def _cmd_serve(args):
-    from .serving import ModelRegistry, PredictionService, ServingServer
+def _build_service(args, workers):
+    """One PredictionService (pooled when ``workers > 0``)."""
+    from .serving import (ModelRegistry, PooledPredictionService,
+                          PredictionService)
 
     registry = ModelRegistry(scale=args.scale, epochs=args.epochs)
-    service = PredictionService(
-        registry=registry, scale=args.scale,
-        batch_window_ms=args.batch_window_ms, max_batch=args.max_batch)
+    kwargs = dict(registry=registry, scale=args.scale,
+                  batch_window_ms=args.batch_window_ms,
+                  max_batch=args.max_batch)
+    if workers > 0:
+        return PooledPredictionService(
+            workers=workers, watermark=args.watermark, **kwargs)
+    return PredictionService(**kwargs)
+
+
+def _cmd_serve(args):
+    import signal
+    import threading
+
+    from .serving import ServingServer
+
+    service = _build_service(args, args.workers)
     if args.warm:
         print(f"warming model {args.model_variant!r} ...")
         service.warm(models=[args.model_variant])
     server = ServingServer(service, host=args.host, port=args.port,
                            quiet=False)
+
+    # Graceful shutdown: SIGTERM/SIGINT stop accepting, drain in-flight
+    # requests, join the worker pool, and unlink every shm segment.
+    # Handlers go in before the ready line is printed, so a supervisor
+    # reacting to it can signal immediately.
+    stop = threading.Event()
+
+    def _graceful(signum, _frame):
+        print(f"\nsignal {signum}: draining and shutting down")
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
     host, port = server.address
-    print(f"serving on http://{host}:{port}  "
-          f"(POST /predict, GET /models /healthz /stats /metrics)")
+    mode = (f"{args.workers} pool workers" if args.workers > 0
+            else "in-process")
+    print(f"serving on http://{host}:{port} ({mode})  "
+          f"(POST /predict, GET /models /healthz /stats /metrics)",
+          flush=True)
+    server.start()
     try:
-        server.start()._thread.join()
+        stop.wait()
     except KeyboardInterrupt:
-        print("\nshutting down")
-        server.stop()
+        pass
+    server.stop()
     return 0
 
 
 def _cmd_bench_serve(args):
     from .netlist import benchmark_names
-    from .serving import (ModelRegistry, PredictionService, ServingServer,
-                          format_loadgen_report, run_loadgen)
+    from .serving import (ServingServer, format_loadgen_report,
+                          run_loadgen)
 
     designs = args.designs or benchmark_names("test")[:args.num_designs]
-    registry = ModelRegistry(scale=args.scale, epochs=args.epochs)
-    service = PredictionService(
-        registry=registry, scale=args.scale,
-        batch_window_ms=args.batch_window_ms, max_batch=args.max_batch)
-    print(f"warming model {args.model_variant!r} and "
-          f"{len(designs)} design graphs ...")
-    service.warm(models=[args.model_variant], designs=designs)
-    with ServingServer(service) as server:
-        print(f"driving {server.url} with {args.clients} clients x "
-              f"{args.requests_per_client} requests over {designs}")
-        result = run_loadgen(
-            server.url, designs, clients=args.clients,
-            requests_per_client=args.requests_per_client,
-            model=args.model_variant, deadline_ms=args.deadline_ms,
-            warmup_requests=args.warmup_requests)
-        print(format_loadgen_report(result))
+
+    def drive(workers, label):
+        service = _build_service(args, workers)
+        print(f"[{label}] warming model {args.model_variant!r} and "
+              f"{len(designs)} design graphs ...")
+        service.warm(models=[args.model_variant], designs=designs)
+        try:
+            with ServingServer(service) as server:
+                print(f"[{label}] driving {server.url} with "
+                      f"{args.clients} clients x "
+                      f"{args.requests_per_client} requests over "
+                      f"{designs}")
+                return run_loadgen(
+                    server.url, designs, clients=args.clients,
+                    requests_per_client=args.requests_per_client,
+                    model=args.model_variant,
+                    deadline_ms=args.deadline_ms,
+                    warmup_requests=args.warmup_requests,
+                    no_cache=args.no_cache)
+        finally:
+            service.close()
+
+    single = None
+    if args.workers > 0 and args.single_baseline:
+        # Reference phase: identical load against the in-process service,
+        # so the recorded pool speedup compares like with like.
+        single = drive(0, "single-process reference")
+    label = (f"pool x{args.workers}" if args.workers > 0
+             else "in-process")
+    result = drive(args.workers, label)
+    print(format_loadgen_report(result))
+
+    extra = {"workers": args.workers}
+    if single is not None:
+        extra["single_process"] = {
+            "throughput_rps": round(single.throughput_rps, 4),
+            "latency_p50_ms": round(single.latency_p50_ms, 4),
+            "latency_p99_ms": round(single.latency_p99_ms, 4),
+            "batch_max": single.batch_max,
+        }
+        if single.throughput_rps > 0:
+            extra["pool_speedup"] = round(
+                result.throughput_rps / single.throughput_rps, 3)
+            print(f"pool speedup vs single process: "
+                  f"{extra['pool_speedup']:.2f}x "
+                  f"({single.throughput_rps:.1f} -> "
+                  f"{result.throughput_rps:.1f} req/s)")
     if args.bench_json:
         from .serving import write_bench_json
         path = write_bench_json(result, args.bench_json, params={
@@ -243,12 +306,19 @@ def _cmd_bench_serve(args):
             "scale": args.scale, "epochs": args.epochs,
             "deadline_ms": args.deadline_ms,
             "batch_window_ms": args.batch_window_ms,
-            "max_batch": args.max_batch})
+            "max_batch": args.max_batch,
+            "workers": args.workers, "watermark": args.watermark,
+            "no_cache": args.no_cache}, extra=extra)
         print(f"wrote {path}")
     bad = result.errors + result.incorrect
     if bad:
         print(f"FAILED: {bad} bad responses", file=sys.stderr)
-    return 1 if bad else 0
+        return 1
+    if args.workers > 0 and result.batch_max <= 1:
+        print("FAILED: pooled run never formed a multi-item batch "
+              "(batch_max <= 1)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_bench_compute(args):
@@ -622,6 +692,13 @@ def build_parser():
                    help="training epochs if a checkpoint must be trained")
     p.add_argument("--batch-window-ms", type=float, default=2.0)
     p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--workers", type=int,
+                   default=int(os.environ.get("REPRO_WORKERS", "0") or 0),
+                   help="predictor worker processes; 0 serves in-process "
+                        "(default: REPRO_WORKERS)")
+    p.add_argument("--watermark", type=int, default=32,
+                   help="per-worker admission watermark; past it requests "
+                        "are shed with 503")
     p.add_argument("--no-warm", dest="warm", action="store_false",
                    help="skip eager model loading at startup")
     p.set_defaults(func=_cmd_serve, warm=True)
@@ -641,13 +718,27 @@ def build_parser():
     p.add_argument("--deadline-ms", type=float, default=None)
     p.add_argument("--batch-window-ms", type=float, default=2.0)
     p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--workers", type=int, default=0,
+                   help="predictor worker processes; 0 benches the "
+                        "in-process service")
+    p.add_argument("--watermark", type=int, default=32,
+                   help="per-worker admission watermark (503 past it)")
+    p.add_argument("--cached", dest="no_cache", action="store_false",
+                   help="let requests hit the server result cache "
+                        "(default: bypass it so every request runs a "
+                        "real model forward)")
+    p.add_argument("--no-single-baseline", dest="single_baseline",
+                   action="store_false",
+                   help="skip the single-process reference phase before "
+                        "a pooled run")
     p.add_argument("--warmup-requests", type=int, default=None,
                    help="untimed /predict calls before the timed phase "
                         "(default: one per design; 0 disables)")
     p.add_argument("--bench-json", default="BENCH_serving.json",
                    help="record the run to this JSON file "
                         "('' disables)")
-    p.set_defaults(func=_cmd_bench_serve)
+    p.set_defaults(func=_cmd_bench_serve, no_cache=True,
+                   single_baseline=True)
 
     p = sub.add_parser("bench-compute",
                        help="benchmark fused vs. naive kernel backends "

@@ -32,7 +32,8 @@ from concurrent.futures.process import BrokenProcessPool
 
 from ..obs import get_logger, get_registry
 
-__all__ = ["ParallelExecutor", "WorkerCrashError", "default_workers"]
+__all__ = ["ParallelExecutor", "WorkerCrashError", "default_workers",
+           "pick_start_method"]
 
 _log = get_logger("repro.parallel")
 
@@ -51,6 +52,25 @@ def default_workers():
 
 class WorkerCrashError(RuntimeError):
     """A task crashed its worker process even after retrying."""
+
+
+def pick_start_method():
+    """``REPRO_MP_START``, else fork when safe, spawn otherwise.
+
+    fork is cheap (workers inherit loaded modules) but unsafe when
+    other threads are alive — a forked child can inherit a lock held
+    mid-operation by a thread that doesn't exist in the child.
+    Results are bit-identical either way.
+    """
+    method = os.environ.get("REPRO_MP_START", "").strip()
+    available = multiprocessing.get_all_start_methods()
+    if method:
+        if method in available:
+            return method
+        _log.warning("ignoring unavailable REPRO_MP_START", value=method)
+    if "fork" in available and threading.active_count() == 1:
+        return "fork"
+    return "spawn"
 
 
 def _busy_gauge():
@@ -91,23 +111,7 @@ class ParallelExecutor:
     # -- pool path -----------------------------------------------------------
     @staticmethod
     def _start_method():
-        """``REPRO_MP_START``, else fork when safe, spawn otherwise.
-
-        fork is cheap (workers inherit loaded modules) but unsafe when
-        other threads are alive — a forked child can inherit a lock held
-        mid-operation by a thread that doesn't exist in the child.
-        Results are bit-identical either way.
-        """
-        method = os.environ.get("REPRO_MP_START", "").strip()
-        available = multiprocessing.get_all_start_methods()
-        if method:
-            if method in available:
-                return method
-            _log.warning("ignoring unavailable REPRO_MP_START",
-                         value=method)
-        if "fork" in available and threading.active_count() == 1:
-            return "fork"
-        return "spawn"
+        return pick_start_method()
 
     def _make_pool(self, n_tasks):
         from concurrent.futures import ProcessPoolExecutor

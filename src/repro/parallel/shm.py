@@ -1,0 +1,296 @@
+"""Shared-memory publication of numpy arrays across processes.
+
+:class:`ShmArena` is the parent-side owner of a set of named
+``multiprocessing.shared_memory`` segments.  Each segment packs one
+*bundle* — a dict of numpy arrays plus a small JSON meta dict — behind a
+self-describing header, so a worker process can reconstruct zero-copy
+read-only views from nothing but the segment name:
+
+    segment := [u64 header_len][header JSON][pad to 64][array data...]
+
+The header records each array's dtype/shape and its offset relative to
+the (64-aligned) data start, so layout is deterministic on both sides.
+
+Lifetime rules:
+
+* the arena (parent) *owns* every segment it publishes: re-publishing a
+  key unlinks the old segment, :meth:`ShmArena.close_all` unlinks all of
+  them, and an ``atexit`` hook makes cleanup run even when the owner
+  forgets — segments never outlive a normally-exiting parent;
+* attachers (:func:`attach`) get read-only views and must *not* unlink;
+  an attach is a borrow, not an ownership transfer, so it bypasses the
+  CPython resource tracker entirely — whichever tracker the attaching
+  process talks to would otherwise unlink the parent's live segment
+  when the attacher exits;
+* unlinking while attachments exist is safe on POSIX: the backing pages
+  live until the last mapping closes, so in-flight readers finish.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import secrets
+import struct
+import threading
+
+import numpy as np
+
+__all__ = ["ShmArena", "Attachment", "attach", "SHM_FORMAT_VERSION"]
+
+SHM_FORMAT_VERSION = 1
+
+_ALIGN = 64
+_LEN = struct.Struct("<Q")
+
+# Serializes SharedMemory construction against the attach-time
+# registration bypass below: publish() must not create (and register)
+# a segment while attach() has the tracker's register patched out.
+_TRACKER_LOCK = threading.Lock()
+
+
+def _aligned(n):
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _pack_header(arrays, meta):
+    """(header bytes, total segment size, per-array relative offsets)."""
+    entries, offset = [], 0
+    for name, array in arrays.items():
+        nbytes = int(array.nbytes)
+        entries.append({"name": name, "dtype": array.dtype.str,
+                        "shape": list(array.shape), "offset": offset})
+        offset = _aligned(offset + nbytes)
+    header = json.dumps({"version": SHM_FORMAT_VERSION,
+                         "meta": meta or {},
+                         "arrays": entries}).encode()
+    data_start = _aligned(_LEN.size + len(header))
+    return header, data_start + max(offset, _ALIGN), data_start, entries
+
+
+def _attach_untracked(segment_name):
+    """``SharedMemory(name=...)`` without resource-tracker registration.
+
+    Attaching registers the segment with the resource tracker on this
+    CPython (``track=False`` exists only in newer versions), which is
+    wrong for a borrow: whichever tracker the attaching process talks
+    to — its own, or one shared with the publisher — would unlink the
+    publisher's live segment when the attacher exits.  Unregistering
+    after the fact is no better: with a shared tracker it deletes the
+    *publisher's* registration.  So patch ``register`` out for the
+    duration of the constructor instead; only the publisher's
+    ``create=True`` registration ever exists, and crash cleanup stays
+    with the owner.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+    with _TRACKER_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            return shared_memory.SharedMemory(name=segment_name)
+        finally:
+            resource_tracker.register = original
+
+
+def _disarm(shm):
+    """Neutralize a SharedMemory handle without unmapping its pages.
+
+    Drops the handle's buffer/mmap references and closes its fd; any
+    numpy views exported from the buffer keep the mapping alive through
+    their own reference chain (view -> memoryview -> mmap), and the
+    pages unmap when the last view dies.  After this, ``close()`` —
+    including the GC-time retry in ``__del__`` — is a no-op, so a
+    handle with live views can never spray unraisable BufferErrors.
+    """
+    try:
+        shm._buf = None
+        shm._mmap = None
+        if shm._fd >= 0:
+            os.close(shm._fd)
+            shm._fd = -1
+    except (AttributeError, OSError):   # CPython-internal layout drifted
+        pass
+
+
+def _close_shm(shm):
+    """Close a SharedMemory handle tolerating live exported views.
+
+    ``SharedMemory.close()`` raises ``BufferError`` while numpy views
+    over its buffer are alive — and its ``__del__`` would retry and
+    spray unraisable exceptions at GC time; fall back to
+    :func:`_disarm` when that happens.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        _disarm(shm)
+
+
+class Attachment:
+    """A read-only view bundle over someone else's shared segment."""
+
+    def __init__(self, shm, arrays, meta):
+        self._shm = shm
+        self.name = shm.name
+        self.arrays = arrays
+        self.meta = meta
+
+    @property
+    def nbytes(self):
+        return self._shm.size
+
+    def close(self):
+        """Drop our references; the mapping itself lives until every
+        exported numpy view is garbage collected."""
+        self.arrays = {}
+        self.meta = {}
+        _close_shm(self._shm)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+def _read_bundle(shm, writable=False):
+    buf = shm.buf
+    (header_len,) = _LEN.unpack_from(buf, 0)
+    header = json.loads(bytes(buf[_LEN.size:_LEN.size + header_len]))
+    if header.get("version") != SHM_FORMAT_VERSION:
+        raise ValueError(f"shm segment {shm.name}: format version "
+                         f"{header.get('version')} != {SHM_FORMAT_VERSION}")
+    data_start = _aligned(_LEN.size + header_len)
+    arrays = {}
+    for entry in header["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        view = np.frombuffer(buf, dtype=dtype, count=count,
+                             offset=data_start + entry["offset"])
+        view = view.reshape(shape)
+        view.flags.writeable = writable
+        arrays[entry["name"]] = view
+    return arrays, header.get("meta", {})
+
+
+def attach(segment_name):
+    """Attach to a published segment: zero-copy read-only views.
+
+    Returns an :class:`Attachment` whose ``arrays``/``meta`` mirror what
+    the publisher passed to :meth:`ShmArena.publish`.  The caller never
+    unlinks — the publishing arena owns the segment.
+    """
+    shm = _attach_untracked(segment_name)
+    arrays, meta = _read_bundle(shm, writable=False)
+    # The handle's own fd/mmap refs are never needed again — the views
+    # keep the mapping alive.  Disarming here means an Attachment that
+    # is dropped without close() cannot raise in SharedMemory.__del__.
+    _disarm(shm)
+    return Attachment(shm, arrays, meta)
+
+
+class ShmArena:
+    """Parent-side registry of published shared-memory bundles.
+
+    Keys are logical (``"model:timing-full:v123"``); segment names are
+    generated (prefix + counter + random token) so two arenas — or two
+    generations of one key — never collide system-wide.
+    """
+
+    def __init__(self, prefix=None):
+        self.prefix = prefix or f"rp{os.getpid():x}"
+        self._segments = {}      # logical key -> (SharedMemory, nbytes)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._closed = False
+        self._owner_pid = os.getpid()
+        atexit.register(self.close_all)
+
+    # -- publishing -------------------------------------------------------------
+    def publish(self, key, arrays, meta=None):
+        """Copy ``arrays`` (+ ``meta``) into a fresh segment; return its
+        system-wide segment name.  Re-publishing a key unlinks the old
+        generation first."""
+        from multiprocessing import shared_memory
+        packed = {}
+        for name, array in arrays.items():
+            array = np.asarray(array)
+            if not array.flags.c_contiguous:
+                # (ascontiguousarray unconditionally would also promote
+                # 0-d arrays to 1-d, corrupting the recorded shape)
+                array = np.ascontiguousarray(array)
+            packed[name] = array
+        header, total, data_start, entries = _pack_header(packed, meta)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena is closed")
+            self._seq += 1
+            name = f"{self.prefix}-{self._seq}-{secrets.token_hex(3)}"
+            with _TRACKER_LOCK:
+                shm = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=total)
+            buf = shm.buf
+            _LEN.pack_into(buf, 0, len(header))
+            buf[_LEN.size:_LEN.size + len(header)] = header
+            for entry, array in zip(entries, packed.values()):
+                offset = data_start + entry["offset"]
+                dest = np.frombuffer(buf, dtype=array.dtype,
+                                     count=array.size, offset=offset)
+                np.copyto(dest, array.reshape(-1))
+            old = self._segments.pop(key, None)
+            self._segments[key] = (shm, total)
+        if old is not None:
+            self._destroy(old[0])
+        return name
+
+    def _destroy(self, shm):
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        _close_shm(shm)
+
+    def unpublish(self, key):
+        with self._lock:
+            old = self._segments.pop(key, None)
+        if old is not None:
+            self._destroy(old[0])
+            return True
+        return False
+
+    # -- introspection ----------------------------------------------------------
+    def segment_name(self, key):
+        with self._lock:
+            entry = self._segments.get(key)
+            return entry[0].name if entry else None
+
+    def keys(self):
+        with self._lock:
+            return sorted(self._segments)
+
+    def total_bytes(self):
+        with self._lock:
+            return sum(nbytes for _, nbytes in self._segments.values())
+
+    def __len__(self):
+        with self._lock:
+            return len(self._segments)
+
+    # -- lifecycle --------------------------------------------------------------
+    def close_all(self):
+        """Unlink every segment this arena published (idempotent).
+
+        No-op in forked children: only the process that created the
+        arena may destroy its segments.
+        """
+        if os.getpid() != self._owner_pid:
+            return
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._closed = True
+        for shm, _nbytes in segments:
+            self._destroy(shm)

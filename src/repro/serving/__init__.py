@@ -10,7 +10,11 @@ The reproduction's first traffic-facing subsystem (see DESIGN.md §3):
 * :mod:`.http`      — stdlib JSON/HTTP front-end (``/predict``,
   ``/models``, ``/healthz``, ``/stats``, Prometheus ``/metrics``);
 * :mod:`.loadgen`   — concurrent load-generator benchmark harness
-  (results tracked across PRs in ``BENCH_serving.json``).
+  (results tracked across PRs in ``BENCH_serving.json``);
+* :mod:`.pool`      — pre-fork multi-process serving tier: N predictor
+  workers attached zero-copy to shared-memory model weights and graph
+  arrays, with admission control, crash supervision, and per-worker
+  micro-batching.
 
 All serving telemetry lives in one :class:`repro.obs.MetricsRegistry`
 per service — ``/stats`` and ``/metrics`` are two views of it.
@@ -21,10 +25,12 @@ from .cache import LRUCache
 from .http import ServingServer, make_server
 from .loadgen import (LoadgenResult, format_loadgen_report, run_loadgen,
                       write_bench_json)
+from .pool import (NotPoolable, PoolCrashError, PoolError,
+                   PooledPredictionService, PoolRouter, PoolWorker)
 from .registry import (DEFAULT_MODELS, ModelEntry, ModelLoadError,
                        ModelRegistry)
-from .service import (PredictionService, PredictRequest, PredictResponse,
-                      RequestError)
+from .service import (Overloaded, PredictionService, PredictRequest,
+                      PredictResponse, RequestError)
 
 __all__ = [
     "BatchTimeout", "MicroBatcher",
@@ -32,7 +38,9 @@ __all__ = [
     "ServingServer", "make_server",
     "LoadgenResult", "format_loadgen_report", "run_loadgen",
     "write_bench_json",
+    "NotPoolable", "PoolCrashError", "PoolError",
+    "PooledPredictionService", "PoolRouter", "PoolWorker",
     "DEFAULT_MODELS", "ModelEntry", "ModelLoadError", "ModelRegistry",
-    "PredictionService", "PredictRequest", "PredictResponse",
-    "RequestError",
+    "Overloaded", "PredictionService", "PredictRequest",
+    "PredictResponse", "RequestError",
 ]

@@ -21,7 +21,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..obs import get_logger
-from .service import PredictionService, RequestError
+from .service import Overloaded, PredictionService, RequestError
 
 _log = get_logger("repro.serving.http")
 
@@ -89,6 +89,12 @@ def _make_handler(service, quiet=True):
                 return
             try:
                 response = service.predict(payload)
+            except Overloaded as exc:
+                # Load shed; tell clients to back off (loadgen's pacing
+                # keys off the flag).
+                self._send_json(exc.status, {"error": str(exc),
+                                             "shed": True})
+                return
             except RequestError as exc:
                 self._send_json(exc.status, {"error": str(exc)})
                 return
@@ -107,8 +113,13 @@ def make_server(service, host="127.0.0.1", port=8080, quiet=True):
 
     ``port=0`` picks a free ephemeral port (see ``server_address``).
     """
-    server = ThreadingHTTPServer((host, port),
-                                 _make_handler(service, quiet=quiet))
+    # The stdlib default accept backlog (request_queue_size=5) drops
+    # connections with ECONNRESET when hundreds of loadgen clients
+    # burst-connect; listen deeper so admission control — not the
+    # kernel's SYN queue — decides who gets shed.
+    server_cls = type("_Server", (ThreadingHTTPServer,),
+                      {"request_queue_size": 256})
+    server = server_cls((host, port), _make_handler(service, quiet=quiet))
     server.daemon_threads = True
     return server
 

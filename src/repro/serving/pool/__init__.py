@@ -1,0 +1,36 @@
+"""Pre-fork multi-process serving tier with shared-memory state.
+
+The pool splits serving across N predictor processes while paying for
+model weights and extracted graphs exactly once:
+
+    HTTP threads                 parent process              workers
+    ------------                 --------------              -------
+    /predict ──► PooledPredictionService
+                    │  caches, deadlines, degradation (base class)
+                    ▼
+                 PoolRouter ──publish──► ShmArena ◄──attach (zero-copy)
+                    │  admission control, sharding,      ▲
+                    │  health checks, crash retry        │
+                    ├──queue──► PoolWorker 0 ────────────┤
+                    ├──queue──► PoolWorker 1 ────────────┤
+                    └──queue──► PoolWorker N-1 ──────────┘
+                                   (micro-batched forwards)
+
+Pieces:
+
+* :mod:`~repro.serving.pool.worker` — the per-process serve loop
+  (attach shared state, window-drain micro-batching, payload assembly);
+* :mod:`~repro.serving.pool.router` — parent-side dispatch: shm
+  publication, watermark admission control, key-sharding, deadline
+  propagation, heartbeat/restart supervision;
+* :mod:`~repro.serving.pool.service` — the drop-in
+  :class:`PredictionService` subclass the CLI and HTTP tier use when
+  ``repro serve --workers N`` asks for a pool.
+"""
+
+from .router import NotPoolable, PoolCrashError, PoolError, PoolRouter
+from .service import PooledPredictionService
+from .worker import PoolWorker, worker_main
+
+__all__ = ["PoolRouter", "PoolWorker", "PooledPredictionService",
+           "PoolError", "NotPoolable", "PoolCrashError", "worker_main"]

@@ -1,0 +1,96 @@
+"""Pooled prediction service: the in-process core, dispatching to workers.
+
+:class:`PooledPredictionService` keeps the entire
+:class:`~repro.serving.service.PredictionService` contract — request
+validation, graph/result caches, deadline degradation to ground-truth
+STA, stats/metrics — and swaps only the model-execution step: instead of
+running the forward pass on the calling thread through a
+:class:`~repro.serving.batching.MicroBatcher`, it publishes the model
+and graph to shared memory (once) and dispatches the request to a
+:class:`~repro.serving.pool.router.PoolRouter` worker shard, where
+requests from many front-end threads coalesce into real multi-item
+batches.
+
+Fallback ladder, from the router's failure modes:
+
+* :class:`~repro.serving.pool.router.NotPoolable` — the model cannot be
+  rebuilt in a worker (custom test doubles, broken checkpoints): serve
+  it in-process exactly as the base class would;
+* :class:`~repro.serving.pool.router.PoolError` (including crash-retry
+  exhaustion) — pool fault, not a request fault: fall back to the
+  in-process path so the caller still gets a real prediction;
+* :class:`~repro.serving.service.Overloaded` — propagates (HTTP 503);
+  shedding is the point of admission control, not a fault;
+* :class:`~repro.serving.batching.BatchTimeout` — propagates; the base
+  class turns it into the degraded ground-truth response.
+"""
+
+from __future__ import annotations
+
+from ..service import PredictionService
+from .router import NotPoolable, PoolError, PoolRouter
+
+__all__ = ["PooledPredictionService"]
+
+
+class PooledPredictionService(PredictionService):
+    """PredictionService whose forwards run on a pre-fork worker pool."""
+
+    def __init__(self, registry=None, scale=None, workers=2,
+                 watermark=32, retries=1, graph_slots=64, kernels=None,
+                 heartbeat_timeout_s=None, **kwargs):
+        super().__init__(registry=registry, scale=scale, **kwargs)
+        self.router = PoolRouter(
+            workers=workers,
+            window_s=self._batch_window_ms / 1000.0,
+            max_batch=self._max_batch,
+            watermark=watermark, retries=retries,
+            graph_slots=graph_slots, kernels=kernels,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            metrics=self.metrics)
+        self.router.start()
+
+    # -- the one overridden step ------------------------------------------------
+    def _execute(self, entry, key, graph, request):
+        try:
+            segment = self._publish(entry, key, graph)
+            return self.router.submit(entry.name, key, segment,
+                                      include_slack=request.include_slack,
+                                      timeout=request.remaining_s())
+        except NotPoolable:
+            return super()._execute(entry, key, graph, request)
+        except PoolError:
+            # Worker-side fault (crash budget exhausted, queue torn
+            # down): answer in-process rather than failing the request.
+            return super()._execute(entry, key, graph, request)
+
+    def _publish(self, entry, key, graph):
+        self.router.ensure_model(entry)
+        return self.router.ensure_graph(key, graph)
+
+    # -- introspection ----------------------------------------------------------
+    def stats(self):
+        stats = super().stats()
+        pool = self.router.stats()
+        stats["pool"] = pool
+        stats["workers"] = pool["workers"]
+        stats["batch_max"] = max(stats["batch_max"], pool["batch_max"])
+        return stats
+
+    def warm(self, models=(), designs=()):
+        """Load + publish models, extract + publish design graphs."""
+        super().warm(models=models, designs=designs)
+        from ..service import PredictRequest
+        for name in models:
+            try:
+                self.router.ensure_model(self.registry.get(name))
+            except NotPoolable:
+                pass
+        for design in designs:
+            request = PredictRequest(design=design).validate()
+            graph, key, _hit = self.resolve_graph(request)
+            self.router.ensure_graph(key, graph)
+
+    def close(self, drain_s=5.0):
+        self.router.close(drain_s=drain_s)
+        super().close()

@@ -1,0 +1,291 @@
+"""Predictor worker: the process side of the pre-fork serving pool.
+
+One :class:`PoolWorker` runs in each pool process.  It owns *no* model
+weights and *no* graph arrays of its own — both are zero-copy read-only
+views over shared-memory segments published by the parent
+(:mod:`repro.parallel.shm`), so N workers cost one copy of the model
+and one copy of every served design, regardless of N.
+
+The worker's main loop is also its micro-batcher: it blocks on its
+request queue, gives stragglers ``window_s`` to pile on (up to
+``max_batch``), dedupes items that refer to the same graph, and runs
+one disjoint-union forward per (model, batch).  Because the parent
+router shards requests by graph key, concurrent requests for the same
+design always land on the same worker and coalesce.
+
+The loop is transport-agnostic on purpose: it only needs ``get(timeout)``
+/ ``put`` queues, so tests drive it in-process with ``queue.Queue`` while
+production uses ``multiprocessing`` queues via :func:`worker_main`.
+
+Protocol (tuples; first element is the kind):
+
+* parent -> worker: ``MSG_MODEL``, ``MSG_PREDICT``, ``MSG_STOP``,
+  ``MSG_CRASH`` (test hook: hard ``os._exit``);
+* worker -> parent: ``R_READY``, ``R_OK``, ``R_ERR``, ``R_EXPIRED``,
+  ``R_BATCH`` (per-forward batching stats), ``R_MODEL_ERR``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+
+from ...graphdata.hetero import HeteroGraph
+from ...parallel.shm import attach
+
+__all__ = ["PoolWorker", "worker_main",
+           "MSG_MODEL", "MSG_PREDICT", "MSG_STOP", "MSG_CRASH",
+           "R_READY", "R_OK", "R_ERR", "R_EXPIRED", "R_BATCH",
+           "R_MODEL_ERR"]
+
+MSG_MODEL = "model"
+MSG_PREDICT = "predict"
+MSG_STOP = "stop"
+MSG_CRASH = "crash"
+
+R_READY = "ready"
+R_OK = "ok"
+R_ERR = "err"
+R_EXPIRED = "expired"
+R_BATCH = "batch"
+R_MODEL_ERR = "model_err"
+
+# Model classes a worker can rebuild from a pickled spec.  Anything else
+# is "not poolable" and the parent serves it in-process instead.
+POOLABLE_CLASSES = ("TimingGNN", "NetEmbedding")
+
+
+def build_model_from_spec(spec):
+    """Instantiate the model skeleton a published spec describes."""
+    cls = spec.get("cls")
+    cfg = spec.get("config")
+    if cls == "TimingGNN":
+        from ...models import TimingGNN
+        return TimingGNN(cfg)
+    if cls == "NetEmbedding":
+        from ...models import NetEmbedding
+        return NetEmbedding(cfg)
+    raise ValueError(f"unknown poolable model class {cls!r}")
+
+
+class PoolWorker:
+    """Attach shared state, batch requests, answer with payloads."""
+
+    def __init__(self, worker_id, request_q, response_q, heartbeat=None,
+                 window_s=0.002, max_batch=16, poll_s=0.1):
+        self.worker_id = int(worker_id)
+        self.request_q = request_q
+        self.response_q = response_q
+        self.heartbeat = heartbeat
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self.poll_s = float(poll_s)
+        self._models = {}      # name -> {model, kind, version, attachment}
+        self._graphs = {}      # key -> (segment_name, graph, attachment)
+        self._stopping = False
+
+    # -- plumbing ---------------------------------------------------------------
+    def _beat(self):
+        if self.heartbeat is not None:
+            try:
+                self.heartbeat[self.worker_id] = time.time()
+            except (IndexError, OSError):
+                pass
+
+    def _respond(self, message):
+        try:
+            self.response_q.put(message)
+        except (OSError, ValueError):
+            # Parent gone / queue closed: nothing left to serve.
+            self._stopping = True
+
+    # -- the loop ---------------------------------------------------------------
+    def serve(self):
+        """Run until a stop message arrives (or the parent disappears)."""
+        self._respond((R_READY, self.worker_id, os.getpid()))
+        try:
+            while not self._stopping:
+                batch = self._take_batch()
+                if batch:
+                    self._execute(batch)
+        finally:
+            self.shutdown()
+
+    def _take_batch(self):
+        """One blocking item, then up to ``window_s`` of stragglers."""
+        first = None
+        while first is None and not self._stopping:
+            self._beat()
+            try:
+                message = self.request_q.get(timeout=self.poll_s)
+            except queue.Empty:
+                continue
+            except (OSError, EOFError):
+                self._stopping = True
+                return []
+            first = self._handle_control(message)
+        if first is None:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.window_s
+        while len(batch) < self.max_batch and not self._stopping:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                message = self.request_q.get(timeout=remaining)
+            except queue.Empty:
+                break
+            except (OSError, EOFError):
+                self._stopping = True
+                break
+            item = self._handle_control(message)
+            if item is not None:
+                batch.append(item)
+        return batch
+
+    def _handle_control(self, message):
+        """Process control messages inline; return predict items as-is."""
+        kind = message[0]
+        if kind == MSG_PREDICT:
+            return message
+        if kind == MSG_MODEL:
+            self._attach_model(*message[1:])
+        elif kind == MSG_STOP:
+            self._stopping = True
+        elif kind == MSG_CRASH:
+            os._exit(13)   # crash-injection test hook: die without cleanup
+        return None
+
+    # -- shared-state attachment ------------------------------------------------
+    def _attach_model(self, name, version, segment, spec):
+        try:
+            attachment = attach(segment)
+            model = build_model_from_spec(spec)
+            params = dict(model.named_parameters())
+            if set(params) != set(attachment.arrays):
+                raise ValueError(
+                    f"model {name!r}: parameter names of the published "
+                    f"state do not match the rebuilt skeleton")
+            for pname, view in attachment.arrays.items():
+                if params[pname].data.shape != view.shape:
+                    raise ValueError(f"model {name!r}: shape mismatch "
+                                     f"for parameter {pname!r}")
+                params[pname].data = view   # zero-copy shared weights
+            model.eval()
+        except Exception as exc:   # noqa: BLE001 — reported to the parent
+            self._respond((R_MODEL_ERR, name,
+                           f"{type(exc).__name__}: {exc}"))
+            return
+        old = self._models.pop(name, None)
+        if old is not None:
+            old["attachment"].close()
+        self._models[name] = {"model": model, "kind": spec["kind"],
+                              "version": version,
+                              "attachment": attachment}
+
+    def _graph(self, key, segment):
+        cached = self._graphs.get(key)
+        if cached is not None:
+            if cached[0] == segment:
+                return cached[1]
+            cached[2].close()   # key re-published under a new segment
+        attachment = attach(segment)
+        meta = attachment.meta
+        graph = HeteroGraph(name=meta["name"], split=meta["split"],
+                            clock_period=meta["clock_period"],
+                            **attachment.arrays)
+        graph.build_levels()
+        self._graphs[key] = (segment, graph, attachment)
+        return graph
+
+    # -- execution --------------------------------------------------------------
+    def _execute(self, batch):
+        self._beat()
+        by_model = {}
+        for message in batch:
+            by_model.setdefault(message[2], []).append(message)
+        for model_name, items in by_model.items():
+            self._execute_model(model_name, items)
+
+    def _execute_model(self, name, items):
+        # (MSG_PREDICT, req_id, model, key, segment, include_slack,
+        #  deadline_ts) — deadline_ts is absolute time.time() seconds.
+        now = time.time()
+        live = []
+        for message in items:
+            deadline = message[6]
+            if deadline is not None and now > deadline:
+                self._respond((R_EXPIRED, message[1]))
+            else:
+                live.append(message)
+        if not live:
+            return
+        record = self._models.get(name)
+        if record is None:
+            for message in live:
+                self._respond((R_ERR, message[1],
+                               f"model {name!r} not published to worker"))
+            return
+        try:
+            graphs, position = [], {}
+            for message in live:
+                key, segment = message[3], message[4]
+                if key not in position:
+                    position[key] = len(graphs)
+                    graphs.append(self._graph(key, segment))
+            outputs = record["model"].predict_batch(graphs)
+        except Exception as exc:   # noqa: BLE001 — per-item error report
+            for message in live:
+                self._respond((R_ERR, message[1],
+                               f"{type(exc).__name__}: {exc}"))
+            return
+        self._respond((R_BATCH, self.worker_id, len(live), len(graphs),
+                       name))
+        for message in live:
+            graph = graphs[position[message[3]]]
+            payload = self._payload(record["kind"], graph,
+                                    outputs[position[message[3]]],
+                                    bool(message[5]))
+            self._respond((R_OK, message[1], payload, len(live)))
+
+    @staticmethod
+    def _payload(kind, graph, output, include_slack):
+        from ..service import _netdelay_payload, _timing_payload
+        if kind == "timing":
+            return _timing_payload(graph, output["arrival"], include_slack)
+        return _netdelay_payload(graph, output["net_delay"])
+
+    # -- lifecycle --------------------------------------------------------------
+    def shutdown(self):
+        """Release every shared-memory attachment (no unlinks)."""
+        for record in self._models.values():
+            record["attachment"].close()
+        self._models.clear()
+        for _segment, _graph, attachment in self._graphs.values():
+            attachment.close()
+        self._graphs.clear()
+
+
+def worker_main(worker_id, request_q, response_q, heartbeat, options):
+    """Process entry point (must stay module-level for spawn pickling)."""
+    import signal
+
+    # The parent coordinates shutdown: a stray terminal Ctrl-C must not
+    # kill workers before the router has drained them.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    options = dict(options or {})
+    backend = options.get("kernels")
+    if backend:
+        from ...nn.kernels import set_default_backend
+        set_default_backend(backend)
+    worker = PoolWorker(worker_id, request_q, response_q,
+                        heartbeat=heartbeat,
+                        window_s=options.get("window_s", 0.002),
+                        max_batch=options.get("max_batch", 16),
+                        poll_s=options.get("poll_s", 0.1))
+    worker.serve()

@@ -38,7 +38,7 @@ from .cache import LRUCache
 from .registry import ModelLoadError, ModelRegistry
 
 __all__ = ["PredictRequest", "PredictResponse", "RequestError",
-           "PredictionService"]
+           "Overloaded", "PredictionService"]
 
 
 class RequestError(ValueError):
@@ -47,6 +47,18 @@ class RequestError(ValueError):
     def __init__(self, message, status=400):
         super().__init__(message)
         self.status = status
+
+
+class Overloaded(RequestError):
+    """Admission control shed this request (maps to HTTP 503).
+
+    Raised by the pooled serving tier when a worker shard's pending
+    queue is past its watermark; clients should back off and retry
+    (the load generator's pacing does exactly that).
+    """
+
+    def __init__(self, message="server overloaded; retry later"):
+        super().__init__(message, status=503)
 
 
 @dataclass
@@ -66,6 +78,7 @@ class PredictRequest:
     scale: float = None
     deadline_ms: float = None
     include_slack: bool = False
+    no_cache: bool = False
     request_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
     created_at: float = field(default_factory=time.perf_counter)
 
@@ -74,7 +87,7 @@ class PredictRequest:
         if not isinstance(payload, dict):
             raise RequestError("request body must be a JSON object")
         known = {"design", "verilog", "model", "seed", "scale",
-                 "deadline_ms", "include_slack", "request_id"}
+                 "deadline_ms", "include_slack", "no_cache", "request_id"}
         unknown = set(payload) - known
         if unknown:
             raise RequestError(f"unknown request fields: {sorted(unknown)}")
@@ -111,6 +124,8 @@ class PredictRequest:
                 raise RequestError("'deadline_ms' must be a number")
             if self.deadline_ms < 0:
                 raise RequestError("'deadline_ms' must be >= 0")
+        self.include_slack = bool(self.include_slack)
+        self.no_cache = bool(self.no_cache)
         return self
 
     def remaining_s(self):
@@ -217,6 +232,9 @@ class PredictionService:
             "model_fallbacks": self.metrics.counter(
                 "repro_model_fallbacks_total",
                 "Degradations caused by a model that failed to load."),
+            "shed": self.metrics.counter(
+                "repro_requests_shed_total",
+                "Requests shed by admission control (503 Overloaded)."),
         }
         self._started_at = time.time()
 
@@ -316,6 +334,10 @@ class PredictionService:
                          model=request.model,
                          design=request.design or "<verilog>")
                 response = self._predict(request.validate())
+            except Overloaded as exc:
+                self._bump("shed")
+                span.set(error=str(exc), shed=True)
+                raise
             except RequestError as exc:
                 self._bump("errors")
                 span.set(error=str(exc))
@@ -355,7 +377,8 @@ class PredictionService:
 
         result_key = (entry.name, entry.version, key,
                       bool(request.include_slack))
-        cached = self.result_cache.get(result_key)
+        cached = None if request.no_cache \
+            else self.result_cache.get(result_key)
         if cached is not None:
             return PredictResponse(
                 request_id=request.request_id, design=design_name,
@@ -369,23 +392,36 @@ class PredictionService:
             return self._degraded_response(request, entry, graph,
                                            design_name)
 
-        batcher = self._batcher_for(entry)
         try:
-            output, batch_size = batcher.submit(key, graph,
-                                                timeout=remaining)
+            payload, batch_size = self._execute(entry, key, graph, request)
         except BatchTimeout:
             self._bump("deadline_fallbacks")
             return self._degraded_response(request, entry, graph,
                                            design_name)
 
-        payload = self._model_payload(entry, graph, output,
-                                      request.include_slack)
-        self.result_cache.put(result_key, payload)
+        if not request.no_cache:
+            self.result_cache.put(result_key, payload)
         return PredictResponse(
             request_id=request.request_id, design=design_name,
             model=entry.name, model_version=entry.version, kind=kind,
             degraded=False, cache_hit=False, batch_size=batch_size,
             latency_ms=0.0, prediction=payload)
+
+    def _execute(self, entry, key, graph, request):
+        """Run the model for one request; returns ``(payload, batch_size)``.
+
+        The in-process implementation goes through the per-model
+        :class:`MicroBatcher`; the pooled subclass
+        (:class:`repro.serving.pool.PooledPredictionService`) overrides
+        this to dispatch to a worker process instead.  Raises
+        :class:`BatchTimeout` when the request's deadline expires first.
+        """
+        batcher = self._batcher_for(entry)
+        output, batch_size = batcher.submit(key, graph,
+                                            timeout=request.remaining_s())
+        payload = self._model_payload(entry, graph, output,
+                                      request.include_slack)
+        return payload, batch_size
 
     def _degraded_response(self, request, entry, graph, design_name):
         return PredictResponse(
@@ -421,6 +457,9 @@ class PredictionService:
             "graph_cache": self.graph_cache.stats(),
             "result_cache": self.result_cache.stats(),
             "batching": batchers,
+            "workers": 0,
+            "batch_max": max((b["max_batch"] for b in batchers.values()),
+                             default=0),
             "uptime_s": round(time.time() - self._started_at, 1),
         }
 

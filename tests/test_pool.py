@@ -1,0 +1,519 @@
+"""Pre-fork serving pool: shared-memory state, worker loop semantics,
+end-to-end pooled prediction, crash recovery, admission control, and
+leak-free shutdown.
+
+Layering of the tests mirrors the subsystem:
+
+* ``TestShmArena`` exercises the publish/attach/unlink substrate alone;
+* ``TestPoolWorker`` drives the worker serve loop *in this process*
+  over plain ``queue.Queue`` transports (the loop is duck-typed on
+  purpose), so its batching/deadline/error branches are directly
+  testable (and traceable by the coverage harness);
+* ``TestPooledService`` runs real 2-worker pools: bit-identity of
+  shm-attached predictions against in-process ones on both kernel
+  backends, crash injection with restart-and-retry, overload shedding,
+  and no-leak shutdown;
+* ``TestServeShutdown`` SIGTERMs an actual ``repro serve --workers``
+  process and asserts nothing survives it.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.flow import Flow
+from repro.graphdata.hetero import HeteroGraph
+from repro.models import ModelConfig, NetEmbedding, TimingGNN
+from repro.parallel import ShmArena, attach
+from repro.serving import (Overloaded, PooledPredictionService,
+                           PredictionService, ModelRegistry)
+from repro.serving.pool.worker import (MSG_MODEL, MSG_PREDICT, MSG_STOP,
+                                       PoolWorker, R_BATCH, R_ERR,
+                                       R_EXPIRED, R_MODEL_ERR, R_OK,
+                                       R_READY)
+from repro.serving.registry import ModelEntry
+from repro.serving.service import _timing_payload
+
+SCALE = 0.15
+DESIGNS = ["spm", "usb_cdc_core", "wbqspiflash"]
+
+
+def shm_segments(prefix):
+    return glob.glob(f"/dev/shm/{prefix}*")
+
+
+# -- fixtures ------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def graphs():
+    out = {}
+    for name in DESIGNS:
+        out[name] = Flow.from_benchmark(name, scale=SCALE).place(
+            seed=1).extract()
+    return out
+
+
+@pytest.fixture(scope="module")
+def toy_model():
+    return TimingGNN(ModelConfig.benchmark())
+
+
+def toy_registry(toy_model):
+    registry = ModelRegistry(scale=SCALE, names=[])
+    registry.register("toy", lambda: ModelEntry(
+        name="toy", kind="timing", version="vtest", model=toy_model,
+        loaded_at=time.time(), load_seconds=0.0))
+    registry.register("toy-net", lambda: ModelEntry(
+        name="toy-net", kind="netdelay", version="vtest",
+        model=NetEmbedding(ModelConfig.benchmark()),
+        loaded_at=time.time(), load_seconds=0.0))
+    return registry
+
+
+# -- shared-memory arena -------------------------------------------------------
+class TestShmArena:
+    def test_roundtrip_bit_identical(self):
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}a")
+        arrays = {
+            "f64": np.arange(24, dtype=np.float64).reshape(4, 6),
+            "i32": np.array([[1, -2], [3, -4]], dtype=np.int32),
+            "flags": np.array([True, False, True]),
+            "scalarish": np.array(3.25),
+        }
+        name = arena.publish("bundle", arrays, meta={"n": 7, "s": "x"})
+        att = attach(name)
+        try:
+            assert att.meta == {"n": 7, "s": "x"}
+            for key, array in arrays.items():
+                view = att.arrays[key]
+                assert view.dtype == array.dtype
+                assert view.shape == array.shape
+                np.testing.assert_array_equal(view, array)
+                assert not view.flags.writeable
+        finally:
+            att.close()
+            arena.close_all()
+
+    def test_republish_unlinks_old_generation(self):
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}b")
+        first = arena.publish("k", {"x": np.zeros(4)})
+        second = arena.publish("k", {"x": np.ones(4)})
+        assert first != second
+        assert len(arena) == 1
+        assert arena.segment_name("k") == second
+        with pytest.raises(FileNotFoundError):
+            attach(first)
+        np.testing.assert_array_equal(attach(second).arrays["x"],
+                                      np.ones(4))
+        arena.close_all()
+
+    def test_close_all_unlinks_everything(self):
+        prefix = f"rptest{os.getpid():x}c"
+        arena = ShmArena(prefix=prefix)
+        arena.publish("a", {"x": np.zeros(8)})
+        arena.publish("b", {"y": np.ones(16)})
+        assert arena.total_bytes() > 0
+        assert len(shm_segments(prefix)) == 2
+        arena.close_all()
+        assert shm_segments(prefix) == []
+        arena.close_all()   # idempotent
+
+    def test_unpublish_single_key(self):
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}d")
+        arena.publish("a", {"x": np.zeros(4)})
+        assert arena.unpublish("a") is True
+        assert arena.unpublish("a") is False
+        assert len(arena) == 0
+        arena.close_all()
+
+    def test_attach_in_child_does_not_steal_segment(self):
+        """An attaching process exiting must not unlink the segment
+        (the CPython resource tracker would, unless unregistered)."""
+        import multiprocessing
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}e")
+        name = arena.publish("k", {"x": np.arange(8.0)})
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(target=_attach_and_exit, args=(name,))
+        proc.start()
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+        # The parent's segment must still be attachable afterwards.
+        att = attach(name)
+        np.testing.assert_array_equal(att.arrays["x"], np.arange(8.0))
+        att.close()
+        arena.close_all()
+
+
+def _attach_and_exit(segment):
+    att = attach(segment)
+    assert float(att.arrays["x"][3]) == 3.0
+    att.close()
+
+
+# -- worker loop, driven in-process --------------------------------------------
+class TestPoolWorker:
+    def _publish(self, arena, toy_model, graph):
+        params = {n: p.data for n, p in toy_model.named_parameters()}
+        model_seg = arena.publish("model", params)
+        spec = {"kind": "timing", "cls": "TimingGNN",
+                "config": toy_model.cfg}
+        graph_seg = arena.publish("graph", {
+            n: getattr(graph, n) for n in HeteroGraph._ARRAY_FIELDS},
+            meta={"name": graph.name, "split": graph.split,
+                  "clock_period": float(graph.clock_period)})
+        return model_seg, spec, graph_seg
+
+    def _drain(self, qout):
+        out = []
+        while True:
+            try:
+                out.append(qout.get_nowait())
+            except queue.Empty:
+                return out
+
+    def _run(self, messages, window_s=0.001, max_batch=8):
+        qin, qout = queue.Queue(), queue.Queue()
+        for message in messages:
+            qin.put(message)
+        qin.put((MSG_STOP,))
+        worker = PoolWorker(0, qin, qout, window_s=window_s,
+                            max_batch=max_batch, poll_s=0.01)
+        worker.serve()
+        return self._drain(qout)
+
+    def test_predict_payload_matches_direct_forward(self, toy_model,
+                                                    graphs):
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}w1")
+        graph = graphs["spm"]
+        model_seg, spec, graph_seg = self._publish(arena, toy_model, graph)
+        responses = self._run([
+            (MSG_MODEL, "toy", "v1", model_seg, spec),
+            (MSG_PREDICT, 1, "toy", "gkey", graph_seg, False, None),
+        ])
+        arena.close_all()
+        kinds = [r[0] for r in responses]
+        assert kinds == [R_READY, R_BATCH, R_OK]
+        expected = _timing_payload(
+            graph, toy_model.predict_batch([graph])[0]["arrival"], False)
+        ok = responses[-1]
+        assert ok[1] == 1 and ok[2] == expected and ok[3] == 1
+
+    def test_batches_coalesce_and_dedupe_graphs(self, toy_model, graphs):
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}w2")
+        graph = graphs["spm"]
+        model_seg, spec, graph_seg = self._publish(arena, toy_model, graph)
+        predicts = [(MSG_PREDICT, i, "toy", "gkey", graph_seg, False, None)
+                    for i in range(1, 5)]
+        responses = self._run(
+            [(MSG_MODEL, "toy", "v1", model_seg, spec), *predicts])
+        arena.close_all()
+        batch = [r for r in responses if r[0] == R_BATCH]
+        oks = [r for r in responses if r[0] == R_OK]
+        assert len(oks) == 4
+        # One forward over one deduped graph served all four requests.
+        assert len(batch) == 1 and batch[0][2] == 4 and batch[0][3] == 1
+        assert all(r[3] == 4 for r in oks)
+        assert len({repr(sorted(r[2].items()))
+                    for r in oks}) == 1   # identical payloads
+
+    def test_expired_deadline_dropped(self, toy_model, graphs):
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}w3")
+        model_seg, spec, graph_seg = self._publish(arena, toy_model,
+                                                   graphs["spm"])
+        responses = self._run([
+            (MSG_MODEL, "toy", "v1", model_seg, spec),
+            (MSG_PREDICT, 7, "toy", "gkey", graph_seg, False,
+             time.time() - 1.0),
+        ])
+        arena.close_all()
+        assert (R_EXPIRED, 7) in responses
+        assert not any(r[0] == R_OK for r in responses)
+
+    def test_unknown_model_errors_per_item(self, toy_model, graphs):
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}w4")
+        _m, _s, graph_seg = self._publish(arena, toy_model, graphs["spm"])
+        responses = self._run([
+            (MSG_PREDICT, 9, "ghost", "gkey", graph_seg, False, None)])
+        arena.close_all()
+        errs = [r for r in responses if r[0] == R_ERR]
+        assert len(errs) == 1 and errs[0][1] == 9
+        assert "ghost" in errs[0][2]
+
+    def test_bad_model_spec_reports_model_err(self, toy_model, graphs):
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}w5")
+        params = {n: p.data for n, p in toy_model.named_parameters()}
+        seg = arena.publish("model", params)
+        responses = self._run([
+            (MSG_MODEL, "toy", "v1", seg,
+             {"kind": "timing", "cls": "NotAModel", "config": None})])
+        arena.close_all()
+        assert any(r[0] == R_MODEL_ERR and r[1] == "toy"
+                   for r in responses)
+
+    def test_shutdown_releases_attachments(self, toy_model, graphs):
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}w6")
+        model_seg, spec, graph_seg = self._publish(arena, toy_model,
+                                                   graphs["spm"])
+        qin, qout = queue.Queue(), queue.Queue()
+        worker = PoolWorker(0, qin, qout, window_s=0.001, poll_s=0.01)
+        qin.put((MSG_MODEL, "toy", "v1", model_seg, spec))
+        qin.put((MSG_PREDICT, 1, "toy", "g", graph_seg, False, None))
+        qin.put((MSG_STOP,))
+        worker.serve()
+        assert worker._models == {} and worker._graphs == {}
+        arena.close_all()
+
+
+# -- end-to-end pooled service -------------------------------------------------
+def _pooled(toy_model, **kwargs):
+    kwargs.setdefault("workers", 2)
+    return PooledPredictionService(registry=toy_registry(toy_model),
+                                   scale=SCALE, **kwargs)
+
+
+class TestPooledService:
+    @pytest.mark.parametrize("backend", ["fused", "naive"])
+    def test_bit_identical_to_in_process(self, toy_model, graphs, backend):
+        """Shm-attached weights in a worker == in-process weights, for
+        both kernel backends, for both model kinds."""
+        from repro.nn.kernels import use_kernels
+        reference = PredictionService(registry=toy_registry(toy_model),
+                                      scale=SCALE)
+        pooled = _pooled(toy_model, kernels=backend)
+        try:
+            for model in ("toy", "toy-net"):
+                for design in DESIGNS[:2]:
+                    request = {"design": design, "model": model,
+                               "no_cache": True, "include_slack":
+                               model == "toy"}
+                    with use_kernels(backend):
+                        want = reference.predict(dict(request))
+                    got = pooled.predict(dict(request))
+                    assert not got.degraded and not want.degraded
+                    assert got.prediction == want.prediction
+        finally:
+            pooled.close()
+            reference.close()
+
+    def test_concurrent_load_forms_real_batches(self, toy_model):
+        service = _pooled(toy_model)
+        try:
+            service.warm(models=["toy"], designs=["spm"])
+            results = []
+            def hit():
+                results.append(service.predict(
+                    {"design": "spm", "model": "toy", "no_cache": True}))
+            threads = [threading.Thread(target=hit) for _ in range(10)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(results) == 10
+            assert all(not r.degraded for r in results)
+            stats = service.stats()
+            assert stats["workers"] == 2
+            assert stats["batch_max"] > 1
+            assert stats["pool"]["shm_bytes"] > 0
+        finally:
+            service.close()
+
+    def test_worker_crash_mid_request_is_retried(self, toy_model):
+        service = _pooled(toy_model, retries=2)
+        try:
+            service.warm(models=["toy"], designs=["spm"])
+            from repro.serving.service import PredictRequest
+            key = service._graph_key(
+                PredictRequest(design="spm", model="toy").validate())
+            shard = service.router.shard(key)
+            old_pid = service.router._handles[shard].process.pid
+            # Die *before* the predict lands: the request either sits in
+            # the dead worker's queue or arrives mid-restart, and must be
+            # re-dispatched to the replacement either way.
+            service.router.inject_crash(shard)
+            response = service.predict({"design": "spm", "model": "toy",
+                                        "no_cache": True})
+            assert not response.degraded
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and \
+                    service.router.stats()["restarts"] < 1:
+                time.sleep(0.05)
+            stats = service.router.stats()
+            assert stats["restarts"] >= 1
+            new = service.router._handles[shard].process
+            assert new.is_alive() and new.pid != old_pid
+        finally:
+            service.close()
+
+    def test_overload_sheds_with_503_semantics(self, toy_model):
+        # watermark=0: every admission check is past the mark, so the
+        # shedding path is deterministic.
+        service = _pooled(toy_model, watermark=0)
+        try:
+            service.warm(models=["toy"], designs=["spm"])
+            with pytest.raises(Overloaded) as err:
+                service.predict({"design": "spm", "model": "toy",
+                                 "no_cache": True})
+            assert err.value.status == 503
+            assert service.stats()["counts"]["shed"] == 1
+            assert service.router.stats()["shed"] == 1
+        finally:
+            service.close()
+
+    def test_http_shed_returns_503_with_flag(self, toy_model):
+        import json
+        import urllib.error
+        import urllib.request
+        from repro.serving import ServingServer
+        service = _pooled(toy_model, watermark=0)
+        service.warm(models=["toy"], designs=["spm"])
+        with ServingServer(service) as server:
+            req = urllib.request.Request(
+                server.url + "/predict",
+                data=json.dumps({"design": "spm", "model": "toy",
+                                 "no_cache": True}).encode(),
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=60)
+            assert err.value.code == 503
+            body = json.loads(err.value.read())
+            assert body["shed"] is True
+
+    def test_close_leaves_no_segments_or_children(self, toy_model):
+        service = _pooled(toy_model)
+        service.warm(models=["toy"], designs=["spm"])
+        service.predict({"design": "spm", "model": "toy",
+                         "no_cache": True})
+        prefix = service.router.arena.prefix
+        pids = [h.process.pid for h in service.router._handles]
+        assert len(shm_segments(prefix)) >= 2   # model + graph published
+        service.close()
+        assert shm_segments(prefix) == []
+        for pid in pids:
+            # join() reaped them: the pid must be gone (or at minimum
+            # not our child anymore).
+            assert not _pid_alive(pid)
+
+    def test_crash_then_close_still_leak_free(self, toy_model):
+        service = _pooled(toy_model)
+        service.warm(models=["toy"], designs=["spm"])
+        prefix = service.router.arena.prefix
+        service.router.inject_crash(0)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and \
+                service.router.stats()["restarts"] < 1:
+            time.sleep(0.05)
+        assert service.router.stats()["restarts"] >= 1
+        pids = [h.process.pid for h in service.router._handles]
+        service.close()
+        assert shm_segments(prefix) == []
+        for pid in pids:
+            assert not _pid_alive(pid)
+
+    def test_not_poolable_model_falls_back_in_process(self, toy_model):
+        class Opaque:
+            """No named_parameters/cfg: cannot be rebuilt in a worker."""
+            def predict_batch(self, graphs_):
+                model = TimingGNN(ModelConfig.benchmark())
+                return model.predict_batch(graphs_)
+
+        registry = toy_registry(toy_model)
+        registry.register("opaque", lambda: ModelEntry(
+            name="opaque", kind="timing", version="v0", model=Opaque(),
+            loaded_at=time.time(), load_seconds=0.0))
+        service = PooledPredictionService(registry=registry, scale=SCALE,
+                                          workers=2)
+        try:
+            response = service.predict({"design": "spm",
+                                        "model": "opaque",
+                                        "no_cache": True})
+            assert not response.degraded
+            assert response.prediction["num_endpoints"] > 0
+            # Nothing was dispatched to the pool for this model.
+            assert "opaque" not in service.router.stats()["models"]
+        finally:
+            service.close()
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    # Zombies answer kill(0); only a real reap removes them.  Check the
+    # process state to call a zombie "not alive".
+    try:
+        with open(f"/proc/{pid}/stat") as fh:
+            return fh.read().split()[2] != "Z"
+    except OSError:
+        return False
+
+
+# -- `repro serve` graceful shutdown -------------------------------------------
+class TestServeShutdown:
+    def test_sigterm_drains_and_unlinks(self, tmp_path):
+        """SIGTERM on `repro serve --workers 2` exits cleanly, leaving
+        no /dev/shm segments and no child processes behind."""
+        env = dict(os.environ, PYTHONPATH="src",
+                   PYTHONUNBUFFERED="1")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--workers", "2",
+             "--port", "0", "--no-warm", "--scale", str(SCALE)],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(
+                __file__))),
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        prefix = f"rp{proc.pid:x}"
+        try:
+            deadline = time.monotonic() + 60
+            started = False
+            for line in proc.stdout:
+                if "serving on http" in line:
+                    started = True
+                    break
+                if time.monotonic() > deadline:
+                    break
+            assert started, "server never reported ready"
+            # The pool is up: its segments appear once models/graphs are
+            # published; worker processes exist right away.
+            children = _children_of(proc.pid)
+            assert len(children) >= 2
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+            assert proc.returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+            proc.stdout.close()
+        assert shm_segments(prefix) == []
+        # Check the workers recorded *before* shutdown: once the parent
+        # is dead, any survivor is reparented to init, so scanning
+        # children-of-parent again would be vacuous.
+        time.sleep(0.5)
+        for pid in children:
+            assert not _pid_alive(pid), \
+                f"worker {pid} survived parent shutdown (orphaned)"
+
+
+def _children_of(pid):
+    out = []
+    for stat in glob.glob("/proc/[0-9]*/stat"):
+        try:
+            with open(stat) as fh:
+                fields = fh.read().split()
+            if int(fields[3]) == pid:
+                out.append(int(fields[0]))
+        except (OSError, ValueError, IndexError):
+            continue
+    return out
