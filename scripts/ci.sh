@@ -102,8 +102,19 @@ per_worker = pool["per_worker"]
 assert len(per_worker) == bench["workers"]
 for w in per_worker:
     for key in ("worker", "completed", "batches", "batch_max",
-                "restarts"):
+                "restarts", "latency_p50_ms", "latency_p99_ms",
+                "latency_mean_ms", "requests"):
         assert key in w, f"per-worker stats missing {key}"
+# Fleet observability: the pooled run must record the aggregated
+# per-worker latency breakdown next to the router-side counters.
+breakdown = bench["per_worker_latency"]
+assert len(breakdown) == bench["workers"]
+for row in breakdown:
+    for key in ("worker", "requests", "latency_p50_ms",
+                "latency_p99_ms", "latency_mean_ms"):
+        assert key in row, f"per_worker_latency missing {key}"
+assert sum(row["requests"] for row in breakdown) > 0, \
+    "fleet aggregation recorded no worker-side requests"
 assert bench["single_process"]["throughput_rps"] > 0
 print(f"BENCH_serving.json ok: {bench['requests']} requests "
       f"({bench['warmup_requests']} warmup, untimed), "
@@ -111,6 +122,47 @@ print(f"BENCH_serving.json ok: {bench['requests']} requests "
       f"p50 {bench['latency_p50_ms']:.1f} ms, "
       f"workers {bench['workers']}, batch max {bench['batch_max']}, "
       f"pool speedup {bench['pool_speedup']:.2f}x")
+EOF
+
+echo "== pooled /metrics fleet exposition check =="
+# A pooled server's /metrics must expose worker-labeled series merged
+# from the worker-process registries (fleet aggregation), and the
+# summed worker request counters must equal the router's accepted
+# counter once the pool is drained.
+python - <<'EOF'
+import re
+import time
+import urllib.request
+
+from repro.serving import ServingServer
+from repro.serving.pool import PooledPredictionService
+
+service = PooledPredictionService(workers=2, scale=0.25)
+service.warm(models=["timing-full"], designs=["usbf_device"])
+with ServingServer(service) as server:
+    for _ in range(6):
+        urllib.request.urlopen(urllib.request.Request(
+            server.url + "/predict",
+            data=b'{"design": "usbf_device", "no_cache": true}',
+            headers={"Content-Type": "application/json"}), timeout=120)
+    deadline = time.time() + 5.0
+    while time.time() < deadline:
+        text = urllib.request.urlopen(server.url + "/metrics",
+                                      timeout=30).read().decode()
+        if 'worker="1"' in text:
+            break
+        time.sleep(0.3)
+assert 'worker="1"' in text, "no worker-labeled series in /metrics"
+assert "repro_worker_requests_total" in text
+service.close()
+pattern = re.compile(
+    r'repro_worker_requests_total\{[^}]*\} ([0-9.]+)')
+worker_total = sum(float(v) for v in pattern.findall(
+    service.metrics_text()))
+accepted = service.metrics.get("repro_pool_requests_total").value
+assert worker_total == accepted > 0, (worker_total, accepted)
+print(f"fleet /metrics ok: worker-labeled series present, "
+      f"{int(worker_total)} worker requests == accepted counter")
 EOF
 
 echo "== compute benchmark smoke (fused vs. naive kernels) =="

@@ -16,8 +16,8 @@ Covered packages (each with its own test files and an 80% floor):
   driven by the autograd/module suites plus the model differential
   tests (which push the fused propagation path end to end);
 * ``src/repro/obs`` — metrics/tracing/logging plus the run ledger,
-  tape profiler and HTML report, driven by tests/test_obs.py and
-  tests/test_runs.py;
+  tape profiler, HTML report and the fleet aggregation layer, driven by
+  tests/test_obs.py, tests/test_runs.py and tests/test_fleet.py;
 * ``src/repro/serving`` — the prediction service, HTTP front-end,
   micro-batcher and the pre-fork pool tier, driven by
   tests/test_serving.py and tests/test_pool.py (the pool worker has a
@@ -55,7 +55,7 @@ TARGETS = {
     },
     "obs": {
         "dir": os.path.join(REPO, "src", "repro", "obs"),
-        "tests": _t("test_obs.py", "test_runs.py"),
+        "tests": _t("test_obs.py", "test_runs.py", "test_fleet.py"),
     },
     "serving": {
         "dir": os.path.join(REPO, "src", "repro", "serving"),

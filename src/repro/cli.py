@@ -16,7 +16,9 @@ Usage (also available as ``python -m repro``):
     repro profile --backend fused        # per-op profile of a train step
     repro report --html -o report.html   # static HTML trajectory report
     repro stats --url http://host:8080   # stats/metrics of a live server
+    repro top --url http://host:8080     # live fleet dashboard (ANSI)
     repro trace picorv32a -o t.jsonl     # traced flow run -> JSONL spans
+    repro trace --export t.jsonl --trace-id 4f...  # one request timeline
     repro write-verilog des -o des.v     # export a benchmark netlist
     repro write-liberty -c late -o s.lib # export one library corner
 """
@@ -283,6 +285,18 @@ def _cmd_bench_serve(args):
     print(format_loadgen_report(result))
 
     extra = {"workers": args.workers}
+    pool_stats = result.server_stats.get("pool") or {}
+    if pool_stats.get("per_worker"):
+        # Per-worker latency breakdown (fleet-aggregated from the worker
+        # registries); scripts/ci.sh asserts these fields exist for
+        # pooled runs.
+        extra["per_worker_latency"] = [
+            {"worker": w["worker"],
+             "requests": w.get("requests", 0),
+             "latency_p50_ms": w.get("latency_p50_ms", 0.0),
+             "latency_p99_ms": w.get("latency_p99_ms", 0.0),
+             "latency_mean_ms": w.get("latency_mean_ms", 0.0)}
+            for w in pool_stats["per_worker"]]
     if single is not None:
         extra["single_process"] = {
             "throughput_rps": round(single.throughput_rps, 4),
@@ -531,8 +545,37 @@ def _cmd_stats(args):
 
 
 def _cmd_trace(args):
+    from .obs import format_span_tree, get_tracer, iter_trace_records
+
+    if args.export:
+        # Stream an existing (possibly rotated) JSONL sink; with
+        # --trace-id only the matching records are ever held in memory,
+        # so one request timeline can be pulled out of a huge sink.
+        records = list(iter_trace_records(args.export,
+                                          trace_id=args.trace_id))
+        if not records:
+            what = (f"trace {args.trace_id!r}" if args.trace_id
+                    else "spans")
+            print(f"no {what} found in {args.export}", file=sys.stderr)
+            return 1
+        if args.output:
+            import json
+            with open(args.output, "w") as fh:
+                for record in records:
+                    fh.write(json.dumps(record) + "\n")
+            print(f"wrote {len(records)} spans to {args.output}")
+        else:
+            print(format_span_tree(records))
+            print(f"\n{len(records)} spans from {args.export}"
+                  + (f" (trace {args.trace_id})" if args.trace_id
+                     else ""))
+        return 0
+
+    if not args.benchmark:
+        print("trace: a benchmark name is required unless --export is "
+              "given", file=sys.stderr)
+        return 2
     from .flow import Flow
-    from .obs import format_span_tree, get_tracer
 
     tracer = get_tracer()
     tracer.reset()
@@ -548,6 +591,46 @@ def _cmd_trace(args):
     print(format_span_tree(spans))
     print(f"\nwrote {len(spans)} spans to {output}")
     return 0
+
+
+def _cmd_top(args):
+    import json
+    import time
+    import urllib.request
+
+    from .obs import render_top
+
+    url = args.url.rstrip("/")
+
+    def fetch(path):
+        with urllib.request.urlopen(url + path,
+                                    timeout=args.timeout) as resp:
+            return json.loads(resp.read())
+
+    prev = prev_t = None
+    frames = 0
+    try:
+        while True:
+            try:
+                stats = fetch("/stats")
+                healthz = fetch("/healthz")
+            except OSError as exc:
+                print(f"cannot reach {url}: {exc}", file=sys.stderr)
+                return 1
+            now = time.monotonic()
+            frame = render_top(stats, healthz, prev=prev,
+                               dt=(now - prev_t) if prev_t else None,
+                               url=url)
+            if not args.no_clear:
+                sys.stdout.write("\x1b[H\x1b[2J")   # ANSI home + clear
+            print(frame, flush=True)
+            prev, prev_t = stats, now
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_write_verilog(args):
@@ -824,13 +907,35 @@ def build_parser():
     p.add_argument("--timeout", type=float, default=10.0)
     p.set_defaults(func=_cmd_stats)
 
+    p = sub.add_parser("top",
+                       help="live terminal dashboard over a running "
+                            "server (/stats + /healthz)")
+    p.add_argument("--url", default="http://127.0.0.1:8080")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between refreshes")
+    p.add_argument("-n", "--iterations", type=int, default=0,
+                   help="frames to draw before exiting (0 = until "
+                        "Ctrl-C)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of redrawing in place")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(func=_cmd_top)
+
     p = sub.add_parser("trace",
-                       help="run a traced flow, export spans as JSONL")
-    p.add_argument("benchmark")
+                       help="run a traced flow, or filter an existing "
+                            "JSONL trace sink (--export)")
+    p.add_argument("benchmark", nargs="?", default=None)
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--export", default=None, metavar="SINK",
+                   help="render spans from this (possibly rotated) JSONL "
+                        "sink instead of running a flow")
+    p.add_argument("--trace-id", default=None,
+                   help="with --export: only spans of this trace id")
     p.add_argument("-o", "--output", default=None,
-                   help="JSONL path (default: trace_<benchmark>.jsonl)")
+                   help="JSONL destination (default: "
+                        "trace_<benchmark>.jsonl; with --export, write "
+                        "the matching spans there instead of rendering)")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("write-verilog", help="export a benchmark netlist")

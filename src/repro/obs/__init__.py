@@ -1,6 +1,6 @@
 """Observability: metrics, tracing, logging, run ledger and profiling.
 
-The measurement substrate of the reproduction (DESIGN.md §3).  Five
+The measurement substrate of the reproduction (DESIGN.md §3).  Six
 independent primitives, one import point:
 
 * :mod:`.metrics` — thread-safe :class:`MetricsRegistry` of counters,
@@ -19,7 +19,12 @@ independent primitives, one import point:
   ``repro report --html`` (:mod:`.report`) consume;
 * :mod:`.profile` — opt-in tape-level profiler: per-op / per-kernel
   wall time and output bytes on both autograd backends, with backward
-  closures attributed per op (``repro profile``).
+  closures attributed per op (``repro profile``);
+* :mod:`.fleet` — cross-process aggregation for the serving pool:
+  merges per-worker registry snapshots (counters summed, gauges
+  last-write, quantile sketches combined) under a ``worker`` label,
+  tracks a rolling latency SLO, and renders the ``repro top``
+  dashboard.
 
 The flow, STA engine, extraction and training instrument the
 process-wide defaults (:func:`get_registry`, :func:`get_tracer`,
@@ -27,6 +32,8 @@ process-wide defaults (:func:`get_registry`, :func:`get_tracer`,
 co-hosted services stay separable.
 """
 
+from .fleet import (FleetAggregator, SloTracker, merge_sketches,
+                    merge_states, render_top, sketch_quantile)
 from .logging import (LEVELS, Logger, LogManager, configure, get_logger)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       get_registry, set_registry)
@@ -36,12 +43,16 @@ from .report import render_html_report, write_html_report
 from .runs import (RUNS_SCHEMA_VERSION, RunLedger, config_fingerprint,
                    default_ledger, default_runs_dir, new_run_id,
                    record_run)
-from .tracing import Span, Tracer, format_span_tree, get_tracer
+from .tracing import (Span, Tracer, format_span_tree, get_tracer,
+                      iter_trace_records, make_span_record, mint_trace_id)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "get_registry", "set_registry",
     "Span", "Tracer", "format_span_tree", "get_tracer",
+    "iter_trace_records", "make_span_record", "mint_trace_id",
+    "FleetAggregator", "SloTracker", "merge_sketches", "merge_states",
+    "render_top", "sketch_quantile",
     "LEVELS", "Logger", "LogManager", "configure", "get_logger",
     "RUNS_SCHEMA_VERSION", "RunLedger", "config_fingerprint",
     "default_ledger", "default_runs_dir", "new_run_id", "record_run",

@@ -1,0 +1,495 @@
+"""Fleet-wide observability: merge per-process metrics into one view.
+
+The pre-fork serving pool (PR 6) split the process into a router and N
+predictor workers — and with it split the metrics: each worker holds its
+own :class:`~repro.obs.metrics.MetricsRegistry` that the parent's
+``/metrics`` endpoint cannot see.  This module is the merge layer:
+
+* workers periodically ship ``MetricsRegistry.export_state()`` snapshots
+  (counters/gauges/histogram quantile sketches) over a dedicated stats
+  queue;
+* the parent's :class:`FleetAggregator` keys them by worker id, folds
+  dead generations on crash/restart so counters stay monotonic, expires
+  stale publishers, and renders everything with a ``worker`` label next
+  to the router's own series;
+* :func:`merge_sketches` combines the bounded quantile sketches
+  (count-weighted), so fleet p50/p99 track the pooled stream within a
+  couple of ranks;
+* :class:`SloTracker` keeps the rolling good/bad request ratio behind
+  the ``/healthz`` SLO summary (``REPRO_SLO_LATENCY_MS`` /
+  ``REPRO_SLO_WINDOW``);
+* :func:`render_top` draws the ``repro top`` terminal dashboard frame
+  from a ``/stats`` + ``/healthz`` pair.
+
+Everything here is transport-agnostic: states are plain dicts, so the
+same merge logic serves multiprocessing queues, tests feeding literals,
+and any future shm-bundle transport.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from .metrics import _format_value, _label_str
+
+__all__ = ["merge_sketches", "sketch_quantile", "merge_states",
+           "FleetAggregator", "SloTracker", "render_top"]
+
+_EMPTY_SKETCH = {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                 "sample": []}
+
+# Quantile columns rendered for merged histogram sketches — matches the
+# summary quantiles the in-process Histogram instruments use.
+_SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+
+# -- quantile sketches -----------------------------------------------------------
+def _weighted_quantiles(values, weights, qs):
+    """Interpolated weighted quantiles (Hazen positions) of a sample."""
+    order = np.argsort(values, kind="stable")
+    values, weights = values[order], weights[order]
+    cum = np.cumsum(weights)
+    if cum[-1] <= 0:
+        return np.full(len(qs), values[0] if len(values) else 0.0)
+    positions = (cum - 0.5 * weights) / cum[-1]
+    return np.interp(qs, positions, values)
+
+
+def merge_sketches(sketches, max_points=256):
+    """Combine histogram sketches from independent streams into one.
+
+    Counts/sums/extrema merge exactly; the merged ``sample`` is a
+    quantile grid of the pooled distribution where each input sketch's
+    points carry weight ``count / len(sample)`` — so a worker that saw
+    10x the traffic pulls the merged quantiles 10x as hard.  For streams
+    that still fit in their reservoirs this reproduces the pooled
+    empirical quantiles to within a few ranks (property-tested).
+    """
+    sketches = [s for s in sketches or () if s and s.get("count")]
+    if not sketches:
+        return dict(_EMPTY_SKETCH)
+    count = int(sum(s["count"] for s in sketches))
+    total = float(sum(s["sum"] for s in sketches))
+    lo = float(min(s["min"] for s in sketches))
+    hi = float(max(s["max"] for s in sketches))
+    values, weights = [], []
+    for s in sketches:
+        points = s.get("sample") or []
+        if not points:
+            continue
+        values.append(np.asarray(points, dtype=float))
+        weights.append(np.full(len(points), s["count"] / len(points)))
+    if not values:
+        return {"count": count, "sum": total, "min": lo, "max": hi,
+                "sample": []}
+    values = np.concatenate(values)
+    weights = np.concatenate(weights)
+    grid = np.linspace(0.0, 1.0, min(int(max_points), len(values))
+                       if len(values) > 1 else 1)
+    sample = _weighted_quantiles(values, weights, grid)
+    return {"count": count, "sum": total, "min": lo, "max": hi,
+            "sample": np.clip(sample, lo, hi).tolist()}
+
+
+def sketch_quantile(sketch, q):
+    """Quantile estimate from a sketch; NaN when it holds no points."""
+    points = (sketch or {}).get("sample") or []
+    if not points:
+        return float("nan")
+    return float(np.quantile(np.asarray(points, dtype=float), q))
+
+
+# -- registry-state merging ------------------------------------------------------
+def _series_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+def merge_states(states, max_points=256):
+    """Merge ``MetricsRegistry.export_state()`` dicts, oldest first.
+
+    Counters and histogram sketches accumulate; gauges are last-write —
+    a later state's value replaces an earlier one, which is why callers
+    order inputs by publication time.  Inputs are not mutated.
+    """
+    out = {}
+    for state in states:
+        if not state:
+            continue
+        for name, entry in state.items():
+            target = out.get(name)
+            if target is None:
+                target = out[name] = {"kind": entry["kind"],
+                                      "help": entry.get("help", ""),
+                                      "series": []}
+            if entry.get("help") and not target.get("help"):
+                target["help"] = entry["help"]
+            existing = {_series_key(s["labels"]): s
+                        for s in target["series"]}
+            for series in entry.get("series", ()):
+                key = _series_key(series["labels"])
+                value = series["value"]
+                match = existing.get(key)
+                if match is None:
+                    copied = {"labels": dict(series["labels"]),
+                              "value": (dict(value)
+                                        if isinstance(value, dict)
+                                        else value)}
+                    target["series"].append(copied)
+                    existing[key] = copied
+                elif entry["kind"] == "counter":
+                    match["value"] += value
+                elif entry["kind"] == "gauge":
+                    match["value"] = value
+                else:
+                    match["value"] = merge_sketches(
+                        [match["value"], value], max_points=max_points)
+    return out
+
+
+def _strip_gauges(state):
+    return {name: entry for name, entry in state.items()
+            if entry["kind"] != "gauge"}
+
+
+def _render_families(families):
+    """Prometheus text from ``{name: {kind, help, rows}}`` families."""
+    lines = []
+    for name in sorted(families):
+        family = families[name]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for labels, value in family["rows"]:
+            if family["kind"] == "summary":
+                for q in _SUMMARY_QUANTILES:
+                    lines.append(
+                        f"{name}{_label_str(labels, {'quantile': f'{q:g}'})}"
+                        f" {_format_value(sketch_quantile(value, q))}")
+                lines.append(f"{name}_sum{_label_str(labels)} "
+                             f"{_format_value(value.get('sum', 0.0))}")
+                lines.append(f"{name}_count{_label_str(labels)} "
+                             f"{_format_value(value.get('count', 0))}")
+            else:
+                lines.append(f"{name}{_label_str(labels)} "
+                             f"{_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class FleetAggregator:
+    """Parent-side merge point for per-worker registry snapshots.
+
+    ``update()`` stores the latest snapshot per source (a worker id).
+    Because counters in a restarted worker restart from zero, a
+    generation change (new pid for a known source) *folds* the dead
+    generation's counters and sketches into a per-source base first —
+    summed totals stay monotonic across crashes, while its gauges are
+    dropped (a dead worker has no queue depth).  ``expire()`` does the
+    same for sources that silently stopped publishing.
+    """
+
+    def __init__(self, max_age_s=10.0):
+        self.max_age_s = float(max_age_s)
+        self._lock = threading.Lock()
+        self._live = {}    # source -> {pid, ts, state}
+        self._base = {}    # source -> {pid-or-None: folded state}
+
+    # -- ingest -----------------------------------------------------------------
+    def update(self, source, state, pid=None, ts=None):
+        source = str(source)
+        with self._lock:
+            previous = self._live.get(source)
+            if previous is not None and pid is not None \
+                    and previous.get("pid") not in (None, pid):
+                self._fold_locked(source, previous["state"],
+                                  previous.get("pid"))
+            self._live[source] = {"pid": pid,
+                                  "ts": time.time() if ts is None else ts,
+                                  "state": state}
+
+    def _fold_locked(self, source, state, pid):
+        """Archive a generation's counters/sketches (gauges dropped).
+
+        Keyed by pid so a known generation is *replaced*, never
+        double-counted: its counters are cumulative, so the latest
+        snapshot supersedes earlier folds — and a source that resurfaces
+        live with the same pid shadows its own folded entry entirely
+        (see :meth:`_states_locked`).  Pid-less folds accumulate, since
+        generations then cannot be told apart.
+        """
+        folded = _strip_gauges(state)
+        gens = self._base.setdefault(source, {})
+        if pid is None:
+            gens[None] = merge_states([gens.get(None), folded])
+        else:
+            gens[pid] = folded
+
+    def retire(self, source):
+        """Fold a source's live snapshot into its base (crash/shutdown)."""
+        source = str(source)
+        with self._lock:
+            entry = self._live.pop(source, None)
+            if entry is not None:
+                self._fold_locked(source, entry["state"], entry.get("pid"))
+        return entry is not None
+
+    def expire(self, max_age_s=None, now=None):
+        """Retire every source whose last publication is stale."""
+        limit = self.max_age_s if max_age_s is None else float(max_age_s)
+        now = time.time() if now is None else now
+        with self._lock:
+            stale = [source for source, entry in self._live.items()
+                     if now - entry["ts"] > limit]
+            for source in stale:
+                entry = self._live.pop(source)
+                self._fold_locked(source, entry["state"], entry.get("pid"))
+        return stale
+
+    # -- views ------------------------------------------------------------------
+    def sources(self):
+        """Every known source id (live and retired), sorted."""
+        with self._lock:
+            return sorted(set(self._live) | set(self._base),
+                          key=lambda s: (len(s), s))
+
+    def live_sources(self):
+        with self._lock:
+            return {source: {"pid": entry["pid"], "ts": entry["ts"]}
+                    for source, entry in self._live.items()}
+
+    def _states_locked(self, source):
+        """Base generations + live state of one source, oldest first.
+
+        A base generation whose pid matches the current live pid is the
+        live generation's own earlier fold — skipped, because the live
+        cumulative snapshot supersedes it.
+        """
+        entry = self._live.get(source)
+        skip = entry["pid"] if entry and entry["pid"] is not None else None
+        states = [state for pid_key, state
+                  in self._base.get(source, {}).items()
+                  if skip is None or pid_key != skip]
+        if entry is not None:
+            states.append(entry["state"])
+        return states
+
+    def state_for(self, source):
+        """Base + live combined state of one source (empty dict if unknown)."""
+        source = str(source)
+        with self._lock:
+            states = self._states_locked(source)
+        return merge_states(states)
+
+    def merged(self, max_points=256):
+        """One state merging every source: counters/sketches summed,
+        gauges last-write in publication-time order."""
+        with self._lock:
+            states = []
+            live_order = sorted(
+                (source for source in self._live),
+                key=lambda source: self._live[source]["ts"])
+            for source in set(self._base) - set(self._live):
+                states.extend(self._states_locked(source))
+            for source in live_order:
+                states.extend(self._states_locked(source))
+        return merge_states(states, max_points=max_points)
+
+    def counter_total(self, name, **labels):
+        """Summed value of a counter family across the whole fleet."""
+        entry = self.merged().get(name)
+        total = 0.0
+        for series in (entry or {}).get("series", ()):
+            if all(series["labels"].get(k) == v
+                   for k, v in labels.items()):
+                total += series["value"]
+        return total
+
+    def histogram_quantiles(self, name, qs=(0.5, 0.99)):
+        """Fleet-merged quantiles of one histogram family (NaN-free)."""
+        entry = self.merged().get(name)
+        sketch = merge_sketches([series["value"] for series
+                                 in (entry or {}).get("series", ())])
+        out = {}
+        for q in qs:
+            value = sketch_quantile(sketch, q)
+            out[f"p{q * 100:g}".replace(".", "_")] = \
+                0.0 if value != value else value
+        out["count"] = sketch["count"]
+        return out
+
+    def render_prometheus(self, label="worker"):
+        """Every source's combined state with a ``worker=<id>`` label."""
+        families = {}
+        for source in self.sources():
+            state = self.state_for(source)
+            for name, entry in state.items():
+                family = families.setdefault(
+                    name, {"kind": entry["kind"],
+                           "help": entry.get("help", ""), "rows": []})
+                for series in entry["series"]:
+                    family["rows"].append(
+                        (dict(series["labels"], **{label: source}),
+                         series["value"]))
+        return _render_families(families)
+
+    def summary(self):
+        """JSON-friendly fleet digest for ``/stats`` and ``repro top``."""
+        merged = self.merged()
+
+        def series(name):
+            return (merged.get(name) or {}).get("series", ())
+
+        requests = {}
+        for s in series("repro_worker_requests_total"):
+            outcome = s["labels"].get("outcome", "ok")
+            requests[outcome] = requests.get(outcome, 0) + int(s["value"])
+        latency = self.histogram_quantiles("repro_worker_request_ms")
+        return {
+            "reporting": self.sources(),
+            "live": sorted(self.live_sources()),
+            "worker_requests": requests,
+            "worker_requests_total": int(sum(requests.values())),
+            "worker_graph_cache": {
+                "hits": int(sum(s["value"] for s in
+                                series("repro_worker_cache_hits_total"))),
+                "misses": int(sum(s["value"] for s in
+                                  series("repro_worker_cache_misses_total"))),
+            },
+            "latency_ms": {"p50": round(latency["p50"], 3),
+                           "p99": round(latency["p99"], 3),
+                           "count": latency["count"]},
+        }
+
+
+# -- SLO tracking ----------------------------------------------------------------
+class SloTracker:
+    """Rolling good/bad request ratio against a latency objective.
+
+    A request is *good* when it succeeded within ``objective_ms``
+    end-to-end; errors, sheds and over-objective responses are bad.  The
+    window is a bounded ring of the most recent requests, so the ratio
+    is a recent-health signal rather than a lifetime average.  Defaults
+    come from ``REPRO_SLO_LATENCY_MS`` (500) and ``REPRO_SLO_WINDOW``
+    (512).
+    """
+
+    def __init__(self, objective_ms=None, window=None):
+        if objective_ms is None:
+            objective_ms = float(os.environ.get("REPRO_SLO_LATENCY_MS",
+                                                500.0) or 500.0)
+        if window is None:
+            window = int(os.environ.get("REPRO_SLO_WINDOW", 512) or 512)
+        self.objective_ms = float(objective_ms)
+        self.window = max(int(window), 1)
+        self._lock = threading.Lock()
+        self._events = deque(maxlen=self.window)
+
+    def record(self, latency_ms, ok=True):
+        good = bool(ok) and latency_ms is not None \
+            and float(latency_ms) <= self.objective_ms
+        with self._lock:
+            self._events.append(good)
+        return good
+
+    def summary(self):
+        with self._lock:
+            total = len(self._events)
+            good = sum(self._events)
+        return {"objective_ms": self.objective_ms, "window": self.window,
+                "total": total, "good": good, "bad": total - good,
+                "good_ratio": round(good / total, 4) if total else 1.0}
+
+
+# -- `repro top` rendering -------------------------------------------------------
+def _rate(current, previous, dt):
+    if previous is None or not dt or dt <= 0:
+        return 0.0
+    return max(current - previous, 0) / dt
+
+
+def render_top(stats, healthz=None, prev=None, dt=None, url=""):
+    """One ``repro top`` dashboard frame as a plain string.
+
+    ``stats``/``healthz`` are the JSON bodies of a live server;
+    ``prev`` is the previous ``/stats`` sample and ``dt`` the seconds
+    between them, used for QPS/shed-rate deltas.  Pure function: the CLI
+    owns the ANSI clear/redraw loop, tests just assert on the text.
+    """
+    healthz = healthz or {}
+    prev = prev or {}
+    counts = stats.get("counts", {})
+    prev_counts = prev.get("counts", {})
+    latency = stats.get("latency", {})
+    pool = stats.get("pool") or {}
+    slo = healthz.get("slo") or {}
+
+    qps = _rate(counts.get("requests", 0),
+                prev_counts.get("requests"), dt)
+    shed_rate = _rate(counts.get("shed", 0), prev_counts.get("shed"), dt)
+    lines = [
+        f"repro top — {url or 'server'}   "
+        f"uptime {stats.get('uptime_s', 0):.0f}s   "
+        f"status {healthz.get('status', '?')}",
+        f"requests {int(counts.get('requests', 0))}"
+        f"  qps {qps:.1f}"
+        f"  errors {int(counts.get('errors', 0))}"
+        f"  degraded {int(counts.get('degraded', 0))}"
+        f"  shed {int(counts.get('shed', 0))} ({shed_rate:.1f}/s)",
+        f"latency p50 {latency.get('p50_ms', 0.0):.1f} ms"
+        f"  p99 {latency.get('p99_ms', 0.0):.1f} ms"
+        f"  mean {latency.get('mean_ms', 0.0):.1f} ms",
+    ]
+    if slo:
+        lines.append(
+            f"SLO {slo.get('good_ratio', 1.0) * 100:.1f}% good "
+            f"(objective {slo.get('objective_ms', 0):.0f} ms, "
+            f"last {slo.get('total', 0)} of window {slo.get('window', 0)})")
+    if pool:
+        lines.append(
+            f"pool: {pool.get('workers', 0)} workers"
+            f"  pending {pool.get('pending', 0)}"
+            f"  shed {pool.get('shed', 0)}"
+            f"  restarts {pool.get('restarts', 0)}"
+            f"  shm {pool.get('shm_bytes', 0) / 1e6:.1f} MB"
+            f" in {pool.get('shm_segments', 0)} segments")
+        header = (f"{'worker':>6} {'alive':>5} {'qps':>7} {'p50ms':>8} "
+                  f"{'p99ms':>8} {'done':>7} {'batches':>8} "
+                  f"{'mean':>6} {'max':>4} {'restarts':>8}")
+        lines.append(header)
+        prev_workers = {w.get("worker"): w for w in
+                        (prev.get("pool") or {}).get("per_worker", [])}
+        for w in pool.get("per_worker", []):
+            before = prev_workers.get(w.get("worker"), {})
+            wqps = _rate(w.get("completed", 0),
+                         before.get("completed"), dt)
+            lines.append(
+                f"{w.get('worker', '?'):>6} "
+                f"{'up' if w.get('alive') else 'DOWN':>5} "
+                f"{wqps:>7.1f} "
+                f"{w.get('latency_p50_ms', 0.0):>8.1f} "
+                f"{w.get('latency_p99_ms', 0.0):>8.1f} "
+                f"{w.get('completed', 0):>7} "
+                f"{w.get('batches', 0):>8} "
+                f"{w.get('mean_batch', 0.0):>6.2f} "
+                f"{w.get('batch_max', 0):>4} "
+                f"{w.get('restarts', 0):>8}")
+    else:
+        for name, b in (stats.get("batching") or {}).items():
+            lines.append(f"batcher[{name}]  {b.get('batches', 0)} batches"
+                         f"  mean {b.get('mean_batch', 0.0):.2f}"
+                         f"  max {b.get('max_batch', 0)}"
+                         f"  depth {b.get('queue_depth', 0)}")
+    caches = []
+    for label in ("result_cache", "graph_cache"):
+        cache = stats.get(label) or {}
+        if cache:
+            caches.append(f"{label.split('_')[0]} "
+                          f"{cache.get('hits', 0)}/{cache.get('misses', 0)}"
+                          f" h/m")
+    if caches:
+        lines.append("caches: " + "   ".join(caches))
+    return "\n".join(lines)

@@ -196,6 +196,32 @@ class Histogram(_Instrument):
             data = np.asarray(self._sample, dtype=float)
         return float(np.quantile(data, q))
 
+    def sketch(self, max_points=256):
+        """Mergeable quantile sketch of the stream so far.
+
+        Returns ``{count, sum, min, max, sample}`` where ``sample`` is
+        the reservoir itself (sorted) while it fits in ``max_points``,
+        and an evenly spaced quantile grid of it after — either way a
+        bounded, JSON-friendly stand-in for the distribution that
+        :func:`repro.obs.fleet.merge_sketches` can combine across
+        processes (each point weighted by ``count / len(sample)``).
+        """
+        with self._lock:
+            count, total = self._count, self._sum
+            lo = self._min if self._count else 0.0
+            hi = self._max if self._count else 0.0
+            data = (np.asarray(self._sample, dtype=float)
+                    if self._sample else None)
+        if data is None:
+            sample = []
+        elif len(data) <= int(max_points):
+            sample = np.sort(data).tolist()
+        else:
+            grid = np.linspace(0.0, 1.0, int(max_points))
+            sample = np.quantile(data, grid).tolist()
+        return {"count": count, "sum": total, "min": lo, "max": hi,
+                "sample": sample}
+
     def snapshot(self):
         with self._lock:
             count, total = self._count, self._sum
@@ -288,6 +314,31 @@ class MetricsRegistry:
                 {"labels": instrument.labels,
                  "value": instrument.snapshot()})
         return out
+
+    def export_state(self, max_points=256):
+        """Process-portable snapshot of every instrument in the registry.
+
+        ``{name: {kind, help, series: [{labels, value}]}}`` where
+        ``value`` is the raw float for counters/gauges and a mergeable
+        quantile sketch (:meth:`Histogram.sketch`) for histograms — the
+        wire format the fleet aggregator (:mod:`repro.obs.fleet`) ships
+        from pool workers to the parent and merges with a ``worker``
+        label.  Everything in it is JSON/pickle friendly.
+        """
+        with self._lock:
+            helps = dict(self._helps)
+        state = {}
+        for instrument in self.instruments():
+            entry = state.setdefault(
+                instrument.name,
+                {"kind": instrument.kind,
+                 "help": helps.get(instrument.name, ""), "series": []})
+            value = (instrument.sketch(max_points=max_points)
+                     if isinstance(instrument, Histogram)
+                     else instrument.value)
+            entry["series"].append({"labels": dict(instrument.labels),
+                                    "value": value})
+        return state
 
     def render_prometheus(self):
         """Prometheus text exposition format (version 0.0.4)."""

@@ -32,7 +32,65 @@ import uuid
 from contextlib import contextmanager
 from collections import deque
 
-__all__ = ["Span", "Tracer", "get_tracer", "format_span_tree"]
+__all__ = ["Span", "Tracer", "get_tracer", "format_span_tree",
+           "mint_trace_id", "make_span_record", "iter_trace_records"]
+
+
+def mint_trace_id():
+    """A fresh 16-hex-char trace id (front-ends mint one per request)."""
+    return uuid.uuid4().hex[:16]
+
+
+def make_span_record(name, trace_id, parent_id, start_ts, duration_ms,
+                     status="ok", **attrs):
+    """A finished span record built by hand (no context manager).
+
+    Pool workers use this to synthesize their per-request span trees —
+    queue wait, batch window, shm attach, forward — whose phases overlap
+    between items of one batch and therefore cannot be expressed as
+    nested ``with`` blocks.  The resulting dict is shape-compatible with
+    :meth:`Span.to_dict` so :func:`Tracer.ingest` and
+    :func:`format_span_tree` accept it unchanged.
+    """
+    return {"name": name, "trace_id": trace_id,
+            "span_id": uuid.uuid4().hex[:16], "parent_id": parent_id,
+            "start_ts": round(float(start_ts), 6),
+            "duration_ms": round(max(float(duration_ms), 0.0), 4),
+            "thread": threading.current_thread().name,
+            "status": status, "attrs": dict(attrs)}
+
+
+def iter_trace_records(path, trace_id=None):
+    """Stream span records out of a JSONL sink, oldest first.
+
+    Reads the rotated generation (``<path>.1``, when present) before the
+    live file, line by line — a single trace can be filtered out of a
+    multi-gigabyte sink without ever holding more than the matching
+    records.  Corrupt lines are skipped, matching the run ledger's
+    tolerance for torn writes.
+    """
+    path = os.fspath(path)
+    candidates = [path + ".1", path]
+    for candidate in candidates:
+        try:
+            fh = open(candidate)
+        except OSError:
+            continue
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict) or "span_id" not in record:
+                    continue
+                if trace_id is not None \
+                        and record.get("trace_id") != trace_id:
+                    continue
+                yield record
 
 
 class Span:
@@ -118,15 +176,25 @@ class Tracer:
         return stack[-1] if stack else None
 
     @contextmanager
-    def span(self, name, **attrs):
+    def span(self, name, trace_id=None, parent_id=None, **attrs):
+        """Open a span; ``trace_id``/``parent_id`` override inheritance.
+
+        Without the overrides a span joins the innermost open span on
+        this thread (or mints a fresh trace).  With them, a transport
+        can continue a *distributed* trace: the HTTP front-end mints the
+        trace id, and worker-side records ship back carrying the same id
+        (see :meth:`ingest`).
+        """
         if not self.enabled:
             yield _NULL_SPAN
             return
         stack = self._stack()
         parent = stack[-1] if stack else None
-        trace_id = parent.trace_id if parent else uuid.uuid4().hex[:16]
-        span = Span(name, trace_id,
-                    parent.span_id if parent else None, attrs)
+        if trace_id is None:
+            trace_id = parent.trace_id if parent else mint_trace_id()
+        if parent_id is None:
+            parent_id = parent.span_id if parent else None
+        span = Span(name, trace_id, parent_id, attrs)
         stack.append(span)
         try:
             yield span
@@ -139,7 +207,26 @@ class Tracer:
             self._finish(span)
 
     def _finish(self, span):
-        record = span.to_dict()
+        self._write(span.to_dict())
+
+    def ingest(self, records):
+        """Adopt finished span records from another process.
+
+        The pool router feeds worker span trees (shipped back on the
+        result path) through here, so retention and the JSONL sink hold
+        one stitched timeline per request — ``repro trace`` renders the
+        worker's queue-wait/attach/forward phases indented under the
+        parent's ``pool.submit`` span.  Returns the number adopted.
+        """
+        count = 0
+        for record in records or ():
+            if not isinstance(record, dict) or "span_id" not in record:
+                continue
+            self._write(dict(record))
+            count += 1
+        return count
+
+    def _write(self, record):
         with self._lock:
             self._retained.append(record)
             if self._sink is not None:

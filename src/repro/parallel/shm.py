@@ -275,6 +275,14 @@ class ShmArena:
         with self._lock:
             return sum(nbytes for _, nbytes in self._segments.values())
 
+    def entries(self):
+        """Per-key segment inventory (for ``/stats`` and ``repro top``):
+        ``[{key, segment, nbytes}, ...]``, sorted by logical key."""
+        with self._lock:
+            rows = [{"key": key, "segment": shm.name, "nbytes": nbytes}
+                    for key, (shm, nbytes) in self._segments.items()]
+        return sorted(rows, key=lambda row: row["key"])
+
     def __len__(self):
         with self._lock:
             return len(self._segments)

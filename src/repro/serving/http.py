@@ -4,10 +4,17 @@ Endpoints:
 
 * ``POST /predict`` — body is a :class:`PredictRequest` JSON object;
 * ``GET /models``   — the registry catalogue (loaded state, versions);
-* ``GET /healthz``  — liveness;
+* ``GET /healthz``  — liveness (per-worker detail + SLO under the pool);
 * ``GET /stats``    — counts, cache hit rates, p50/p99 latency, batching;
 * ``GET /metrics``  — the same facts in Prometheus text exposition
   format (scrape target), straight from the service's metrics registry.
+
+Every ``/predict`` is the root of a distributed trace: the handler
+mints a ``trace_id`` (or adopts a caller-supplied ``X-Trace-Id``
+header), opens the ``http.predict`` root span under it, and returns the
+id in both the JSON body and the ``X-Trace-Id`` response header — with
+the pool, worker-side span records stitch under the same id so ``repro
+trace`` renders the full queue-wait → attach → forward timeline.
 
 Built on ``http.server.ThreadingHTTPServer`` so each connection is
 handled on its own thread — concurrency and batching come from the
@@ -17,10 +24,11 @@ service core, not the transport.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..obs import get_logger
+from ..obs import get_logger, get_tracer, mint_trace_id
 from .service import Overloaded, PredictionService, RequestError
 
 _log = get_logger("repro.serving.http")
@@ -28,6 +36,15 @@ _log = get_logger("repro.serving.http")
 __all__ = ["make_server", "ServingServer"]
 
 _MAX_BODY_BYTES = 16 * 1024 * 1024
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{8,32}$")
+
+
+def _request_trace_id(headers):
+    """Adopt a well-formed caller trace id, else mint a fresh one."""
+    supplied = (headers.get("X-Trace-Id") or "").strip().lower()
+    if _TRACE_ID_RE.match(supplied):
+        return supplied
+    return mint_trace_id()
 
 
 def _make_handler(service, quiet=True):
@@ -38,11 +55,13 @@ def _make_handler(service, quiet=True):
             if not quiet:
                 BaseHTTPRequestHandler.log_message(self, fmt, *args)
 
-        def _send_json(self, status, payload):
+        def _send_json(self, status, payload, headers=None):
             body = json.dumps(payload).encode()
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -87,23 +106,39 @@ def _make_handler(service, quiet=True):
             except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                 self._send_json(400, {"error": f"invalid JSON: {exc}"})
                 return
+            trace_id = _request_trace_id(self.headers)
+            headers = {"X-Trace-Id": trace_id}
             try:
-                response = service.predict(payload)
+                # Root span of the distributed trace: serve.predict,
+                # pool.submit and the worker-side records all nest under
+                # this trace_id.
+                with get_tracer().span("http.predict",
+                                       trace_id=trace_id) as sp:
+                    sp.set(path="/predict")
+                    response = service.predict(payload)
             except Overloaded as exc:
                 # Load shed; tell clients to back off (loadgen's pacing
                 # keys off the flag).
                 self._send_json(exc.status, {"error": str(exc),
-                                             "shed": True})
+                                             "shed": True,
+                                             "trace_id": trace_id},
+                                headers=headers)
                 return
             except RequestError as exc:
-                self._send_json(exc.status, {"error": str(exc)})
+                self._send_json(exc.status, {"error": str(exc),
+                                             "trace_id": trace_id},
+                                headers=headers)
                 return
             except Exception as exc:   # noqa: BLE001 — last-resort 500
                 _log.error("internal_error", path=self.path,
                            error=str(exc))
-                self._send_json(500, {"error": f"internal error: {exc}"})
+                self._send_json(500, {"error": f"internal error: {exc}",
+                                      "trace_id": trace_id},
+                                headers=headers)
                 return
-            self._send_json(200, response.to_dict())
+            body = response.to_dict()
+            body["trace_id"] = trace_id
+            self._send_json(200, body, headers=headers)
 
     return Handler
 

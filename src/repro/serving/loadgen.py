@@ -301,5 +301,14 @@ def format_loadgen_report(result):
             lines.append(
                 f"  worker[{w['worker']}]          {w['completed']} done,"
                 f" {w['batches']} batches, mean {w['mean_batch']:.2f},"
-                f" max {w['batch_max']}, restarts {w['restarts']}")
+                f" max {w['batch_max']}, restarts {w['restarts']},"
+                f" p50 {w.get('latency_p50_ms', 0.0):.1f} ms,"
+                f" p99 {w.get('latency_p99_ms', 0.0):.1f} ms")
+        fleet = pool.get("fleet") or {}
+        if fleet.get("worker_requests_total"):
+            latency = fleet.get("latency_ms", {})
+            lines.append(
+                f"  fleet              {fleet['worker_requests_total']} "
+                f"worker requests, p50 {latency.get('p50', 0.0):.1f} ms, "
+                f"p99 {latency.get('p99', 0.0):.1f} ms")
     return "\n".join(lines)

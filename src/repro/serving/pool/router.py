@@ -38,6 +38,8 @@ from collections import OrderedDict
 
 from ...graphdata.hetero import HeteroGraph
 from ...obs import get_logger
+from ...obs.fleet import FleetAggregator, merge_sketches, sketch_quantile
+from ...obs.tracing import get_tracer
 from ...parallel import ShmArena, pick_start_method
 from ..batching import BatchTimeout
 from ..service import Overloaded
@@ -66,7 +68,8 @@ class _Ticket:
     """Parent-side state of one in-flight pooled request."""
 
     __slots__ = ("req_id", "worker_id", "message", "attempts", "event",
-                 "payload", "batch_size", "error", "crashed", "expired")
+                 "payload", "batch_size", "error", "crashed", "expired",
+                 "spans")
 
     def __init__(self, req_id, worker_id, message):
         self.req_id = req_id
@@ -79,6 +82,7 @@ class _Ticket:
         self.error = None
         self.crashed = False
         self.expired = False
+        self.spans = []
 
 
 class _WorkerHandle:
@@ -115,7 +119,8 @@ class PoolRouter:
     def __init__(self, workers=2, window_s=0.002, max_batch=16,
                  watermark=32, retries=1, graph_slots=64,
                  health_interval_s=0.2, heartbeat_timeout_s=None,
-                 kernels=None, metrics=None, start_timeout_s=60.0):
+                 kernels=None, metrics=None, start_timeout_s=60.0,
+                 stats_interval_s=0.25):
         if workers < 1:
             raise ValueError("pool needs at least one worker")
         self.workers = int(workers)
@@ -127,7 +132,10 @@ class PoolRouter:
         self._start_timeout = float(start_timeout_s)
         self._options = {"window_s": float(window_s),
                          "max_batch": int(max_batch),
-                         "kernels": kernels}
+                         "kernels": kernels,
+                         "stats_interval_s": float(stats_interval_s)}
+        self.fleet = FleetAggregator(
+            max_age_s=max(20.0 * float(stats_interval_s), 5.0))
         self.arena = ShmArena()
         self._lock = threading.Lock()
         self._handles = []
@@ -162,9 +170,13 @@ class PoolRouter:
                 "repro_pool_batch_size",
                 "Items per pooled model forward.",
                 quantiles=(0.5, 0.9, 0.99))
+            self._c_requests = metrics.counter(
+                "repro_pool_requests_total",
+                "Requests dispatched to pool workers (admitted requests "
+                "plus crash re-dispatches).")
         else:
             self._g_busy = self._g_depth = self._g_shm = None
-            self._c_restarts = self._h_batch = None
+            self._c_restarts = self._h_batch = self._c_requests = None
 
     # -- lifecycle --------------------------------------------------------------
     def start(self):
@@ -174,6 +186,7 @@ class PoolRouter:
                 return self
             self._started = True
             self._response_q = self._ctx.Queue()
+            self._stats_q = self._ctx.Queue()
             self._heartbeat = self._ctx.Array("d", self.workers, lock=False)
             self._handles = [_WorkerHandle(i) for i in range(self.workers)]
             for handle in self._handles:
@@ -184,6 +197,9 @@ class PoolRouter:
         self._monitor = threading.Thread(target=self._health_loop,
                                          name="pool-health", daemon=True)
         self._monitor.start()
+        self._stats_thread = threading.Thread(target=self._stats_loop,
+                                              name="pool-stats", daemon=True)
+        self._stats_thread.start()
         deadline = time.monotonic() + self._start_timeout
         for handle in self._handles:
             if not handle.ready.wait(max(0.0, deadline - time.monotonic())):
@@ -199,7 +215,7 @@ class PoolRouter:
         handle.process = self._ctx.Process(
             target=worker_main, name=f"pool-worker-{handle.worker_id}",
             args=(handle.worker_id, handle.request_q, self._response_q,
-                  self._heartbeat, self._options),
+                  self._heartbeat, self._options, self._stats_q),
             daemon=True)
         self._heartbeat[handle.worker_id] = time.time()
         handle.process.start()
@@ -209,9 +225,15 @@ class PoolRouter:
             handle.request_q.put((MSG_MODEL, name, version, segment, spec))
 
     def close(self, drain_s=5.0):
-        """Drain in-flight requests, stop workers, release all shm."""
+        """Drain in-flight requests, stop workers, release all shm.
+
+        Pool gauges are explicitly zeroed on every close path: a
+        ``/metrics`` scrape taken after shutdown must not report phantom
+        busy workers or queue depth (the registry outlives the pool).
+        """
         if not self._started or self._closing.is_set():
             self.arena.close_all()
+            self._zero_gauges()
             return
         self._closing.set()
         deadline = time.monotonic() + max(0.0, drain_s)
@@ -250,16 +272,20 @@ class PoolRouter:
                 pass
         self._stopped.set()
         for thread in (getattr(self, "_receiver", None),
-                       getattr(self, "_monitor", None)):
+                       getattr(self, "_monitor", None),
+                       getattr(self, "_stats_thread", None)):
             if thread is not None:
-                thread.join(timeout=1.0)
-        try:
-            self._response_q.close()
-            self._response_q.cancel_join_thread()
-        except (OSError, ValueError):
-            pass
+                thread.join(timeout=2.0)
+        for q in (self._response_q, getattr(self, "_stats_q", None)):
+            if q is None:
+                continue
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
         self.arena.close_all()
-        self._update_gauges()
+        self._zero_gauges()
 
     # -- publication ------------------------------------------------------------
     def ensure_model(self, entry):
@@ -334,37 +360,53 @@ class PoolRouter:
             raise PoolError("pool is shut down")
         worker_id = self.shard(key)
         deadline_ts = time.time() + timeout if timeout is not None else None
-        with self._lock:
-            if self._pending[worker_id] >= self.watermark:
-                self._shed_count += 1
-                raise Overloaded(
-                    f"worker shard {worker_id} is over its admission "
-                    f"watermark ({self.watermark} in flight)")
-            req_id = next(self._seq)
-            message = (MSG_PREDICT, req_id, model_name, key, segment,
-                       bool(include_slack), deadline_ts)
-            ticket = _Ticket(req_id, worker_id, message)
-            self._tickets[req_id] = ticket
-            self._pending[worker_id] += 1
-            handle = self._handles[worker_id]
-        self._update_gauges()
-        try:
-            handle.request_q.put(message)
-        except (OSError, ValueError) as exc:
-            self._forget(ticket)
-            raise PoolError(f"worker {worker_id} queue unavailable: {exc}")
-        if not ticket.event.wait(timeout):
-            self._forget(ticket)
-            raise BatchTimeout(
-                f"pooled request {req_id} missed its deadline")
-        if ticket.expired:
-            raise BatchTimeout(
-                f"pooled request {req_id} expired in worker {worker_id}")
-        if ticket.error is not None:
-            if ticket.crashed:
-                raise PoolCrashError(ticket.error)
-            raise PoolError(ticket.error)
-        return ticket.payload, ticket.batch_size
+        tracer = get_tracer()
+        with tracer.span("pool.submit", worker=worker_id,
+                         model=model_name, graph=str(key)) as sp:
+            # Distributed trace context: the worker parents its span
+            # records under this pool.submit span, so the stitched
+            # timeline reads queue wait -> attach -> forward end to end.
+            trace_id = getattr(sp, "trace_id", None)
+            ctx = ((trace_id, getattr(sp, "span_id", None), time.time())
+                   if trace_id else None)
+            with self._lock:
+                if self._pending[worker_id] >= self.watermark:
+                    self._shed_count += 1
+                    raise Overloaded(
+                        f"worker shard {worker_id} is over its admission "
+                        f"watermark ({self.watermark} in flight)")
+                req_id = next(self._seq)
+                message = (MSG_PREDICT, req_id, model_name, key, segment,
+                           bool(include_slack), deadline_ts, ctx)
+                ticket = _Ticket(req_id, worker_id, message)
+                self._tickets[req_id] = ticket
+                self._pending[worker_id] += 1
+                handle = self._handles[worker_id]
+            self._update_gauges()
+            try:
+                handle.request_q.put(message)
+            except (OSError, ValueError) as exc:
+                self._forget(ticket)
+                raise PoolError(
+                    f"worker {worker_id} queue unavailable: {exc}")
+            if self._c_requests is not None:
+                self._c_requests.inc()
+            if not ticket.event.wait(timeout):
+                self._forget(ticket)
+                raise BatchTimeout(
+                    f"pooled request {req_id} missed its deadline")
+            if ticket.expired:
+                raise BatchTimeout(
+                    f"pooled request {req_id} expired in worker "
+                    f"{worker_id}")
+            if ticket.error is not None:
+                if ticket.crashed:
+                    raise PoolCrashError(ticket.error)
+                raise PoolError(ticket.error)
+            if ticket.spans:
+                tracer.ingest(ticket.spans)
+            sp.set(batch_size=ticket.batch_size)
+            return ticket.payload, ticket.batch_size
 
     def _forget(self, ticket):
         """Drop a ticket the caller stopped waiting for."""
@@ -392,8 +434,12 @@ class PoolRouter:
     def _handle_response(self, message):
         kind = message[0]
         if kind == R_OK:
-            _kind, req_id, payload, batch_size = message
-            self._resolve(req_id, payload=payload, batch_size=batch_size)
+            # Optional 5th element: worker-side span records (older
+            # workers answer with the 4-tuple form).
+            req_id, payload, batch_size = message[1:4]
+            spans = message[4] if len(message) > 4 else []
+            self._resolve(req_id, payload=payload, batch_size=batch_size,
+                          spans=spans)
         elif kind == R_ERR:
             self._resolve(message[1], error=message[2])
         elif kind == R_EXPIRED:
@@ -418,7 +464,7 @@ class PoolRouter:
                          model=message[1], error=message[2])
 
     def _resolve(self, req_id, payload=None, batch_size=0, error=None,
-                 expired=False, crashed=False):
+                 expired=False, crashed=False, spans=None):
         with self._lock:
             ticket = self._tickets.pop(req_id, None)
             if ticket is None:
@@ -431,8 +477,44 @@ class PoolRouter:
         ticket.error = error
         ticket.expired = expired
         ticket.crashed = crashed
+        ticket.spans = list(spans or ())
         ticket.event.set()
         self._update_gauges()
+
+    def _stats_loop(self):
+        """Merge worker registry snapshots into the fleet aggregator.
+
+        Runs through drain: ``_stopped`` is set only after the workers
+        are joined, and each worker force-publishes a final snapshot on
+        shutdown, so the loop does one last non-blocking sweep before
+        exiting — post-close fleet totals include every request the
+        workers ever answered.
+        """
+        import queue as _queue
+        while True:
+            try:
+                item = self._stats_q.get(timeout=0.2)
+            except _queue.Empty:
+                if self._stopped.is_set():
+                    break
+                self.fleet.expire()
+                continue
+            except (OSError, EOFError, ValueError):
+                return
+            self._ingest_stats(item)
+        time.sleep(0.05)           # let in-flight feeder writes land
+        while True:
+            try:
+                self._ingest_stats(self._stats_q.get_nowait())
+            except (_queue.Empty, OSError, EOFError, ValueError):
+                return
+
+    def _ingest_stats(self, item):
+        try:
+            worker_id, pid, ts, state = item
+        except (TypeError, ValueError):
+            return
+        self.fleet.update(worker_id, state, pid=pid, ts=ts)
 
     # -- health / restart -------------------------------------------------------
     def _health_loop(self):
@@ -468,6 +550,9 @@ class PoolRouter:
                 pass
             handle.restarts += 1
             self._restart_count += 1
+            # Fold the dead generation's counters into the fleet base
+            # now; its replacement republishes under a fresh pid.
+            self.fleet.retire(handle.worker_id)
             replay = [t for t in self._tickets.values()
                       if t.worker_id == handle.worker_id
                       and not t.event.is_set()]
@@ -480,6 +565,8 @@ class PoolRouter:
                 else:
                     try:
                         handle.request_q.put(ticket.message)
+                        if self._c_requests is not None:
+                            self._c_requests.inc()
                     except (OSError, ValueError):
                         failed.append(ticket)
             for ticket in failed:
@@ -508,6 +595,30 @@ class PoolRouter:
         self._g_busy.set(busy)
         self._g_shm.set(self.arena.total_bytes())
 
+    def _zero_gauges(self):
+        if self._g_depth is None:
+            return
+        for gauge in (self._g_depth, self._g_busy, self._g_shm):
+            gauge.set(0)
+
+    def _worker_latency(self, worker_id):
+        """Per-worker latency digest from the fleet-merged snapshots."""
+        state = self.fleet.state_for(worker_id)
+        entry = state.get("repro_worker_request_ms")
+        sketch = merge_sketches([series["value"] for series
+                                 in (entry or {}).get("series", ())])
+        out = {}
+        for q, field in ((0.5, "latency_p50_ms"), (0.99, "latency_p99_ms")):
+            value = sketch_quantile(sketch, q)
+            out[field] = round(0.0 if value != value else value, 3)
+        count = sketch.get("count", 0)
+        out["latency_mean_ms"] = round(sketch["sum"] / count, 3) \
+            if count else 0.0
+        requests = state.get("repro_worker_requests_total")
+        out["requests"] = int(sum(series["value"] for series
+                                  in (requests or {}).get("series", ())))
+        return out
+
     def stats(self):
         with self._lock:
             per_worker = [handle.stats() for handle in self._handles]
@@ -516,6 +627,8 @@ class PoolRouter:
             shed = self._shed_count
             models = sorted(self._models)
             graphs = len(self._graphs)
+        for row in per_worker:
+            row.update(self._worker_latency(row["worker"]))
         batches = sum(w["batches"] for w in per_worker)
         items = sum(w["batched_items"] for w in per_worker)
         return {
@@ -528,8 +641,10 @@ class PoolRouter:
             "graph_segments": graphs,
             "shm_bytes": self.arena.total_bytes(),
             "shm_segments": len(self.arena),
+            "shm_entries": self.arena.entries(),
             "batch_max": max((w["batch_max"] for w in per_worker),
                              default=0),
             "mean_batch": round(items / batches, 3) if batches else 0.0,
             "per_worker": per_worker,
+            "fleet": self.fleet.summary(),
         }

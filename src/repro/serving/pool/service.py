@@ -70,12 +70,52 @@ class PooledPredictionService(PredictionService):
 
     # -- introspection ----------------------------------------------------------
     def stats(self):
+        """Parent stats merged with the fleet-aggregated worker view.
+
+        Under the pool, forwards and graph attachments happen in worker
+        processes whose registries the parent cannot read directly —
+        naively reporting only the parent's counters silently inflates
+        cache-hit ratios and drops every worker-side execution.  The
+        worker columns here come from the fleet aggregator's merged
+        snapshots, so for an identical request stream the merged totals
+        equal what a single-process service would have reported (see
+        tests/test_pool.py::TestFleetParity).
+        """
         stats = super().stats()
         pool = self.router.stats()
         stats["pool"] = pool
         stats["workers"] = pool["workers"]
         stats["batch_max"] = max(stats["batch_max"], pool["batch_max"])
+        fleet = pool.get("fleet", {})
+        cache = dict(stats["graph_cache"])
+        worker_cache = fleet.get("worker_graph_cache", {})
+        cache["worker_hits"] = worker_cache.get("hits", 0)
+        cache["worker_misses"] = worker_cache.get("misses", 0)
+        stats["graph_cache"] = cache
+        stats["worker_requests"] = fleet.get("worker_requests_total", 0)
         return stats
+
+    def healthz(self):
+        """Liveness with per-worker detail: ``degraded`` when any worker
+        process is down (the monitor is busy restarting it)."""
+        health = super().healthz()
+        pool = self.router.stats()
+        health["workers"] = [
+            {"worker": w["worker"], "pid": w["pid"], "alive": w["alive"],
+             "restarts": w["restarts"]} for w in pool["per_worker"]]
+        if any(not w["alive"] for w in health["workers"]):
+            health["status"] = "degraded"
+        return health
+
+    def metrics_text(self):
+        """Parent exposition plus every worker's series, ``worker``-labeled.
+
+        Worker instrument names (``repro_worker_*``) are disjoint from
+        parent families, so concatenating the expositions never emits a
+        duplicate ``# TYPE`` line.
+        """
+        return super().metrics_text() + \
+            self.router.fleet.render_prometheus()
 
     def warm(self, models=(), designs=()):
         """Load + publish models, extract + publish design graphs."""

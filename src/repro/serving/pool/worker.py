@@ -23,6 +23,19 @@ Protocol (tuples; first element is the kind):
   ``MSG_CRASH`` (test hook: hard ``os._exit``);
 * worker -> parent: ``R_READY``, ``R_OK``, ``R_ERR``, ``R_EXPIRED``,
   ``R_BATCH`` (per-forward batching stats), ``R_MODEL_ERR``.
+
+Protocol extensions are append-only: ``MSG_PREDICT`` may carry an
+optional 8th element ``(trace_id, parent_span_id, sent_ts)`` and
+``R_OK`` grows an optional 5th element (the worker-side span records
+for that request) — old peers that index only the original slots keep
+working.
+
+The worker also owns a private :class:`~repro.obs.MetricsRegistry`
+(``repro_worker_*`` instruments, names deliberately disjoint from the
+parent's ``repro_pool_*``/``repro_serving_*`` families) and, when given
+a ``stats_q``, periodically publishes ``export_state()`` snapshots that
+the parent's :class:`~repro.obs.fleet.FleetAggregator` merges under a
+``worker`` label.
 """
 
 from __future__ import annotations
@@ -32,6 +45,8 @@ import queue
 import time
 
 from ...graphdata.hetero import HeteroGraph
+from ...obs.metrics import MetricsRegistry
+from ...obs.tracing import make_span_record
 from ...parallel.shm import attach
 
 __all__ = ["PoolWorker", "worker_main",
@@ -73,7 +88,8 @@ class PoolWorker:
     """Attach shared state, batch requests, answer with payloads."""
 
     def __init__(self, worker_id, request_q, response_q, heartbeat=None,
-                 window_s=0.002, max_batch=16, poll_s=0.1):
+                 window_s=0.002, max_batch=16, poll_s=0.1, stats_q=None,
+                 stats_interval_s=0.25):
         self.worker_id = int(worker_id)
         self.request_q = request_q
         self.response_q = response_q
@@ -81,9 +97,34 @@ class PoolWorker:
         self.window_s = float(window_s)
         self.max_batch = int(max_batch)
         self.poll_s = float(poll_s)
+        self.stats_q = stats_q
+        self.stats_interval_s = float(stats_interval_s)
+        self._last_publish = 0.0
         self._models = {}      # name -> {model, kind, version, attachment}
         self._graphs = {}      # key -> (segment_name, graph, attachment)
         self._stopping = False
+        self.metrics = MetricsRegistry()
+        self._h_request = self.metrics.histogram(
+            "repro_worker_request_ms",
+            "Worker-side request latency (queue wait through reply).")
+        self._h_forward = self.metrics.histogram(
+            "repro_worker_forward_ms",
+            "Model forward wall time per batch.")
+        self._h_batch = self.metrics.histogram(
+            "repro_worker_batch_size",
+            "Live items per executed (model, batch).")
+        self._c_cache_hits = self.metrics.counter(
+            "repro_worker_cache_hits_total",
+            "Graph attachments served from the worker cache.",
+            cache="graph")
+        self._c_cache_misses = self.metrics.counter(
+            "repro_worker_cache_misses_total",
+            "Graph attachments that required a fresh shm attach.",
+            cache="graph")
+        self._g_graphs = self.metrics.gauge(
+            "repro_worker_graphs", "Graphs attached in this worker.")
+        self._g_models = self.metrics.gauge(
+            "repro_worker_models", "Models attached in this worker.")
 
     # -- plumbing ---------------------------------------------------------------
     def _beat(self):
@@ -100,6 +141,32 @@ class PoolWorker:
             # Parent gone / queue closed: nothing left to serve.
             self._stopping = True
 
+    def _count_request(self, outcome):
+        self.metrics.counter(
+            "repro_worker_requests_total",
+            "Requests answered by this worker, by outcome.",
+            outcome=outcome).inc()
+
+    def publish_stats(self, force=False):
+        """Ship a registry snapshot to the parent's stats queue.
+
+        Rate-limited to one snapshot per ``stats_interval_s`` unless
+        ``force`` (shutdown uses force so the final counter totals are
+        never lost — see the merged-totals test in tests/test_pool.py).
+        """
+        if self.stats_q is None:
+            return False
+        now = time.time()
+        if not force and now - self._last_publish < self.stats_interval_s:
+            return False
+        self._last_publish = now
+        try:
+            self.stats_q.put((self.worker_id, os.getpid(), now,
+                              self.metrics.export_state()))
+        except (OSError, ValueError, queue.Full):
+            return False
+        return True
+
     # -- the loop ---------------------------------------------------------------
     def serve(self):
         """Run until a stop message arrives (or the parent disappears)."""
@@ -113,10 +180,16 @@ class PoolWorker:
             self.shutdown()
 
     def _take_batch(self):
-        """One blocking item, then up to ``window_s`` of stragglers."""
+        """One blocking item, then up to ``window_s`` of stragglers.
+
+        Returns ``(message, recv_ts)`` pairs — the receive timestamp
+        anchors the queue-wait span and the worker-side latency
+        histogram for each item.
+        """
         first = None
         while first is None and not self._stopping:
             self._beat()
+            self.publish_stats()
             try:
                 message = self.request_q.get(timeout=self.poll_s)
             except queue.Empty:
@@ -127,7 +200,7 @@ class PoolWorker:
             first = self._handle_control(message)
         if first is None:
             return []
-        batch = [first]
+        batch = [(first, time.time())]
         deadline = time.monotonic() + self.window_s
         while len(batch) < self.max_batch and not self._stopping:
             remaining = deadline - time.monotonic()
@@ -142,7 +215,7 @@ class PoolWorker:
                 break
             item = self._handle_control(message)
             if item is not None:
-                batch.append(item)
+                batch.append((item, time.time()))
         return batch
 
     def _handle_control(self, message):
@@ -184,13 +257,16 @@ class PoolWorker:
         self._models[name] = {"model": model, "kind": spec["kind"],
                               "version": version,
                               "attachment": attachment}
+        self._g_models.set(len(self._models))
 
     def _graph(self, key, segment):
         cached = self._graphs.get(key)
         if cached is not None:
             if cached[0] == segment:
+                self._c_cache_hits.inc()
                 return cached[1]
             cached[2].close()   # key re-published under a new segment
+        self._c_cache_misses.inc()
         attachment = attach(segment)
         meta = attachment.meta
         graph = HeteroGraph(name=meta["name"], split=meta["split"],
@@ -198,57 +274,112 @@ class PoolWorker:
                             **attachment.arrays)
         graph.build_levels()
         self._graphs[key] = (segment, graph, attachment)
+        self._g_graphs.set(len(self._graphs))
         return graph
 
     # -- execution --------------------------------------------------------------
     def _execute(self, batch):
         self._beat()
         by_model = {}
-        for message in batch:
-            by_model.setdefault(message[2], []).append(message)
+        for message, recv_ts in batch:
+            by_model.setdefault(message[2], []).append((message, recv_ts))
         for model_name, items in by_model.items():
             self._execute_model(model_name, items)
+        self.publish_stats()
+
+    def _item_spans(self, message, recv_ts, exec_ts, attach_ms,
+                    forward_ms, batch_size, end_ts):
+        """Synthesize the worker-side span tree for one request.
+
+        The batch phases (queue wait, batch window, shm attach, model
+        forward) overlap between items of one batch, so they cannot be
+        expressed as nested ``with tracer.span()`` blocks — instead each
+        item gets hand-built records parented under the router's
+        ``pool.submit`` span via the trace context the message carried.
+        Returns [] for messages without a trace context (old peers,
+        tracing disabled).
+        """
+        ctx = message[7] if len(message) > 7 else None
+        if not ctx:
+            return []
+        trace_id, parent_span_id, sent_ts = ctx
+        sent_ts = float(sent_ts if sent_ts is not None else recv_ts)
+        root = make_span_record(
+            "worker.predict", trace_id, parent_span_id, sent_ts,
+            (end_ts - sent_ts) * 1000.0, worker=self.worker_id,
+            model=message[2], graph=message[3], batch_size=batch_size)
+        spans = [root]
+        phases = [("worker.queue_wait", sent_ts, recv_ts - sent_ts),
+                  ("worker.batch_window", recv_ts, exec_ts - recv_ts),
+                  ("worker.shm_attach", exec_ts, attach_ms / 1000.0),
+                  ("worker.forward", exec_ts + attach_ms / 1000.0,
+                   forward_ms / 1000.0)]
+        for phase, start, seconds in phases:
+            if phase == "worker.shm_attach" and attach_ms <= 0.0:
+                continue
+            spans.append(make_span_record(
+                phase, trace_id, root["span_id"], start,
+                seconds * 1000.0, worker=self.worker_id))
+        return spans
 
     def _execute_model(self, name, items):
         # (MSG_PREDICT, req_id, model, key, segment, include_slack,
-        #  deadline_ts) — deadline_ts is absolute time.time() seconds.
+        #  deadline_ts[, trace_ctx]) — deadline_ts is absolute
+        #  time.time() seconds; trace_ctx, when present, is
+        #  (trace_id, parent_span_id, sent_ts).
         now = time.time()
         live = []
-        for message in items:
+        for message, recv_ts in items:
             deadline = message[6]
             if deadline is not None and now > deadline:
+                self._count_request("expired")
                 self._respond((R_EXPIRED, message[1]))
             else:
-                live.append(message)
+                live.append((message, recv_ts))
         if not live:
             return
         record = self._models.get(name)
         if record is None:
-            for message in live:
+            for message, _recv_ts in live:
+                self._count_request("error")
                 self._respond((R_ERR, message[1],
                                f"model {name!r} not published to worker"))
             return
+        exec_ts = time.time()
         try:
             graphs, position = [], {}
-            for message in live:
+            t0 = time.perf_counter()
+            for message, _recv_ts in live:
                 key, segment = message[3], message[4]
                 if key not in position:
                     position[key] = len(graphs)
                     graphs.append(self._graph(key, segment))
+            attach_ms = (time.perf_counter() - t0) * 1000.0
+            t0 = time.perf_counter()
             outputs = record["model"].predict_batch(graphs)
+            forward_ms = (time.perf_counter() - t0) * 1000.0
         except Exception as exc:   # noqa: BLE001 — per-item error report
-            for message in live:
+            for message, _recv_ts in live:
+                self._count_request("error")
                 self._respond((R_ERR, message[1],
                                f"{type(exc).__name__}: {exc}"))
             return
+        self._h_forward.observe(forward_ms)
+        self._h_batch.observe(len(live))
         self._respond((R_BATCH, self.worker_id, len(live), len(graphs),
                        name))
-        for message in live:
+        for message, recv_ts in live:
             graph = graphs[position[message[3]]]
             payload = self._payload(record["kind"], graph,
                                     outputs[position[message[3]]],
                                     bool(message[5]))
-            self._respond((R_OK, message[1], payload, len(live)))
+            end_ts = time.time()
+            self._count_request("ok")
+            self._h_request.observe((end_ts - recv_ts) * 1000.0)
+            spans = self._item_spans(message, recv_ts, exec_ts,
+                                     attach_ms, forward_ms, len(live),
+                                     end_ts)
+            self._respond((R_OK, message[1], payload, len(live), spans))
 
     @staticmethod
     def _payload(kind, graph, output, include_slack):
@@ -266,9 +397,13 @@ class PoolWorker:
         for _segment, _graph, attachment in self._graphs.values():
             attachment.close()
         self._graphs.clear()
+        self._g_models.set(0)
+        self._g_graphs.set(0)
+        self.publish_stats(force=True)
 
 
-def worker_main(worker_id, request_q, response_q, heartbeat, options):
+def worker_main(worker_id, request_q, response_q, heartbeat, options,
+                stats_q=None):
     """Process entry point (must stay module-level for spawn pickling)."""
     import signal
 
@@ -287,5 +422,8 @@ def worker_main(worker_id, request_q, response_q, heartbeat, options):
                         heartbeat=heartbeat,
                         window_s=options.get("window_s", 0.002),
                         max_batch=options.get("max_batch", 16),
-                        poll_s=options.get("poll_s", 0.1))
+                        poll_s=options.get("poll_s", 0.1),
+                        stats_q=stats_q,
+                        stats_interval_s=options.get("stats_interval_s",
+                                                     0.25))
     worker.serve()

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graphdata import TIME_SCALE
-from ..obs import MetricsRegistry, get_registry, get_tracer
+from ..obs import MetricsRegistry, SloTracker, get_registry, get_tracer
 from ..training import slack_from_arrival
 from .batching import BatchTimeout, MicroBatcher
 from .cache import LRUCache
@@ -236,6 +236,10 @@ class PredictionService:
                 "repro_requests_shed_total",
                 "Requests shed by admission control (503 Overloaded)."),
         }
+        # Rolling latency SLO: good = answered within the objective
+        # (REPRO_SLO_LATENCY_MS); sheds and unexpected faults are bad,
+        # client errors (4xx) are excluded.  Surfaced by /healthz.
+        self.slo = SloTracker()
         self._started_at = time.time()
 
     # -- graph resolution -------------------------------------------------------
@@ -336,6 +340,7 @@ class PredictionService:
                 response = self._predict(request.validate())
             except Overloaded as exc:
                 self._bump("shed")
+                self.slo.record(None, ok=False)
                 span.set(error=str(exc), shed=True)
                 raise
             except RequestError as exc:
@@ -345,6 +350,7 @@ class PredictionService:
             response.latency_ms = ((time.perf_counter()
                                     - request.created_at) * 1000.0)
             self._latency.observe(response.latency_ms)
+            self.slo.record(response.latency_ms)
             if response.degraded:
                 self._bump("degraded")
             span.set(degraded=response.degraded,
@@ -438,7 +444,8 @@ class PredictionService:
 
     def healthz(self):
         return {"status": "ok", "uptime_s": round(
-            time.time() - self._started_at, 1)}
+            time.time() - self._started_at, 1),
+            "slo": self.slo.summary()}
 
     def stats(self):
         """JSON stats view — a projection of :attr:`metrics`, so it can
@@ -461,6 +468,7 @@ class PredictionService:
             "batch_max": max((b["max_batch"] for b in batchers.values()),
                              default=0),
             "uptime_s": round(time.time() - self._started_at, 1),
+            "slo": self.slo.summary(),
         }
 
     def metrics_text(self):

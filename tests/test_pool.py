@@ -259,6 +259,52 @@ class TestPoolWorker:
         assert any(r[0] == R_MODEL_ERR and r[1] == "toy"
                    for r in responses)
 
+    def test_stats_published_and_spans_shipped(self, toy_model, graphs):
+        """Protocol extensions are append-only: an 8-tuple MSG_PREDICT
+        carrying a trace context makes the worker synthesize a span tree
+        in the R_OK's 5th element, and a stats queue receives registry
+        snapshots (force-published at shutdown at the latest)."""
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}w7")
+        graph = graphs["spm"]
+        model_seg, spec, graph_seg = self._publish(arena, toy_model, graph)
+        qin, qout, stats_q = queue.Queue(), queue.Queue(), queue.Queue()
+        sent_ts = time.time()
+        qin.put((MSG_MODEL, "toy", "v1", model_seg, spec))
+        qin.put((MSG_PREDICT, 1, "toy", "gkey", graph_seg, False, None,
+                 ("deadbeefcafef00d", "aaaa0000bbbb1111", sent_ts)))
+        qin.put((MSG_PREDICT, 2, "toy", "gkey", graph_seg, False, None))
+        qin.put((MSG_STOP,))
+        worker = PoolWorker(0, qin, qout, window_s=0.001, poll_s=0.01,
+                            stats_q=stats_q, stats_interval_s=0.0)
+        worker.serve()
+        arena.close_all()
+        oks = {r[1]: r for r in self._drain(qout) if r[0] == R_OK}
+        spans = oks[1][4]
+        assert spans, "traced request shipped no spans"
+        root = spans[0]
+        assert root["name"] == "worker.predict"
+        assert root["trace_id"] == "deadbeefcafef00d"
+        assert root["parent_id"] == "aaaa0000bbbb1111"
+        children = {s["name"] for s in spans[1:]}
+        assert {"worker.queue_wait", "worker.batch_window",
+                "worker.forward"} <= children
+        assert all(s["parent_id"] == root["span_id"] for s in spans[1:])
+        # The 7-tuple (no trace context) stays valid and ships no spans.
+        assert oks[2][4] == []
+        # Registry snapshots landed on the stats queue; the final one
+        # (forced at shutdown) carries both request outcomes.
+        worker_id, pid, _ts, state = None, None, None, None
+        while True:
+            try:
+                worker_id, pid, _ts, state = stats_q.get_nowait()
+            except queue.Empty:
+                break
+        assert worker_id == 0 and pid == os.getpid()
+        series = state["repro_worker_requests_total"]["series"]
+        assert sum(s["value"] for s in series) == 2
+        assert state["repro_worker_request_ms"]["series"][0] \
+            ["value"]["count"] == 2
+
     def test_shutdown_releases_attachments(self, toy_model, graphs):
         arena = ShmArena(prefix=f"rptest{os.getpid():x}w6")
         model_seg, spec, graph_seg = self._publish(arena, toy_model,
@@ -441,6 +487,148 @@ class TestPooledService:
             assert "opaque" not in service.router.stats()["models"]
         finally:
             service.close()
+
+
+# -- fleet observability across the pool ---------------------------------------
+class TestFleetParity:
+    def test_merged_totals_match_single_process(self, toy_model):
+        """Satellite fix: under the pool, worker-side counters used to be
+        lost entirely, so ``stats()`` under-reported work and inflated
+        cache-hit ratios.  For an identical request stream the pooled
+        service must now report the same request totals as a
+        single-process service, and the fleet-merged worker counters must
+        equal the router's accepted counter (no loss, no double count)."""
+        stream = [{"design": design, "model": "toy", "no_cache": True}
+                  for design in (DESIGNS[:2] * 3)]
+        single = PredictionService(registry=toy_registry(toy_model),
+                                   scale=SCALE)
+        try:
+            for request in stream:
+                single.predict(dict(request))
+            single_counts = single.stats()["counts"]
+        finally:
+            single.close()
+
+        pooled = _pooled(toy_model)
+        try:
+            for request in stream:
+                pooled.predict(dict(request))
+            # The live fleet view is eventually consistent: workers
+            # publish at most every stats_interval_s, so poll until the
+            # merged totals catch up with the stream we just drove.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                stats = pooled.stats()
+                if stats["worker_requests"] >= len(stream):
+                    break
+                time.sleep(0.1)
+        finally:
+            pooled.close()
+
+        assert single_counts["requests"] == len(stream)
+        assert stats["counts"]["requests"] == single_counts["requests"]
+        # Workers force-publish their registries on shutdown and the
+        # router drains the stats queue before close() returns, so the
+        # post-close fleet view is complete.
+        fleet = pooled.router.fleet.summary()
+        accepted = pooled.metrics.get("repro_pool_requests_total").value
+        assert accepted == len(stream)
+        assert fleet["worker_requests_total"] == accepted
+        assert fleet["worker_requests"].get("ok") == len(stream)
+        # The merged view surfaces worker-side graph-cache traffic that
+        # the parent-side counters never see.
+        cache = fleet["worker_graph_cache"]
+        assert cache["hits"] + cache["misses"] > 0
+        assert stats["graph_cache"]["worker_hits"] + \
+            stats["graph_cache"]["worker_misses"] > 0
+        assert stats["worker_requests"] == len(stream)
+        # Fleet latency sketches cover every worker-side request.
+        assert fleet["latency_ms"]["count"] == len(stream)
+
+    def test_pool_gauges_zeroed_after_close(self, toy_model):
+        """Satellite fix: pool gauges must not leak their final values
+        past close() — a post-shutdown scrape reporting phantom busy
+        workers or shm bytes would page someone about a dead process."""
+        service = _pooled(toy_model)
+        try:
+            service.warm(models=["toy"], designs=["spm"])
+            service.predict({"design": "spm", "model": "toy",
+                             "no_cache": True})
+            assert service.metrics.get("repro_pool_shm_bytes").value > 0
+        finally:
+            service.close()
+        for name in ("repro_pool_queue_depth", "repro_pool_busy_workers",
+                     "repro_pool_shm_bytes"):
+            assert service.metrics.get(name).value == 0.0, name
+        service.close()   # idempotent: still zero
+        assert service.metrics.get("repro_pool_shm_bytes").value == 0.0
+
+    def test_worker_spans_stitch_into_parent_trace(self, toy_model):
+        """Acceptance: one stitched timeline per request — the worker's
+        synthesized span tree ships back on the result path and lands
+        under the router's ``pool.submit`` span with the same trace id."""
+        from repro.obs import format_span_tree, get_tracer
+        tracer = get_tracer()
+        tracer.reset()
+        service = _pooled(toy_model)
+        try:
+            service.predict({"design": "spm", "model": "toy",
+                             "no_cache": True})
+        finally:
+            service.close()
+        spans = tracer.spans()
+        predicts = [s for s in spans if s["name"] == "worker.predict"]
+        assert predicts, "worker span tree never shipped back"
+        trace_id = predicts[0]["trace_id"]
+        submits = [s for s in spans if s["name"] == "pool.submit"
+                   and s["trace_id"] == trace_id]
+        assert submits, "no router-side span in the same trace"
+        assert predicts[0]["parent_id"] == submits[0]["span_id"]
+        names = {s["name"] for s in spans if s["trace_id"] == trace_id}
+        assert {"worker.queue_wait", "worker.forward"} <= names
+        tree = format_span_tree(
+            [s for s in spans if s["trace_id"] == trace_id])
+        lines = tree.splitlines()
+        submit_line = next(i for i, l in enumerate(lines)
+                           if "pool.submit" in l)
+        worker_line = next(i for i, l in enumerate(lines)
+                           if "worker.predict" in l)
+        assert submit_line < worker_line
+        assert lines[worker_line].index("worker.predict") > \
+            lines[submit_line].index("pool.submit")
+
+    def test_pooled_healthz_reports_workers(self, toy_model):
+        service = _pooled(toy_model)
+        try:
+            health = service.healthz()
+            assert health["status"] == "ok"
+            assert len(health["workers"]) == 2
+            assert all(w["alive"] for w in health["workers"])
+            assert "slo" in health
+        finally:
+            service.close()
+
+    def test_pooled_metrics_text_has_worker_series(self, toy_model):
+        service = _pooled(toy_model)
+        try:
+            for _ in range(3):
+                service.predict({"design": "spm", "model": "toy",
+                                 "no_cache": True})
+            deadline = time.monotonic() + 5
+            text = ""
+            while time.monotonic() < deadline:
+                text = service.metrics_text()
+                if "repro_worker_requests_total{" in text:
+                    break
+                time.sleep(0.1)
+        finally:
+            service.close()
+        assert 'outcome="ok"' in text
+        assert 'worker="' in text
+        # Disjoint name families: no duplicate TYPE lines in the
+        # concatenated exposition.
+        types = [l for l in text.splitlines() if l.startswith("# TYPE ")]
+        assert len(types) == len(set(types))
 
 
 def _pid_alive(pid):
