@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 suite (twice: serial + parallel workers), a
-# naive-backend kernel differential pass, the coverage floors
-# (repro.parallel, repro.nn, repro.obs, repro.serving), the bench
-# regression gate
+# naive-backend kernel differential pass (including the delta-prediction
+# differential harness), the coverage floors (repro.parallel, repro.nn,
+# repro.obs, repro.serving, repro.sta), the bench regression gate
 # (`repro bench diff --check` vs. the run ledger), then fast serving +
-# compute smoke tests.
+# compute smoke tests (the serving bench also gates the incremental
+# delta path: delta_speedup > 1 vs full rebuild-and-forward).
 #
 #   scripts/ci.sh         # full tier-1 x2 + differential + floors + smokes
 #   scripts/ci.sh smoke   # smoke only (deselects @slow experiment tests)
@@ -46,9 +47,10 @@ EOF
     # direction.
     REPRO_KERNELS=naive python -m pytest -x -q \
         tests/test_nn_autograd.py tests/test_nn_modules.py \
-        tests/test_models.py
+        tests/test_models.py \
+        "tests/test_delta.py::TestEditDifferential"
 
-    echo "== coverage floors (repro.parallel, repro.nn, repro.obs, repro.serving) =="
+    echo "== coverage floors (repro.parallel, repro.nn, repro.obs, repro.serving, repro.sta) =="
     python scripts/coverage_floor.py --min 80
 
     echo "== bench regression gate (committed BENCH files vs. ledger) =="
@@ -64,9 +66,12 @@ trap 'rm -rf "$SMOKE_CACHE"' EXIT
 export REPRO_SCALE=0.25 REPRO_EPOCHS=2 REPRO_CACHE_DIR="$SMOKE_CACHE"
 
 # In-process serving suite, then the pre-fork pool suite (shm bit
-# identity, crash/restart, shutdown-leak regression; uses 2 workers).
+# identity, crash/restart, shutdown-leak regression; uses 2 workers),
+# then the delta differential harness (incremental == full re-extract
+# at 1e-9, in-process and through the pool).
 python -m pytest -x -q -m "not slow" tests/test_serving.py tests/test_obs.py
 python -m pytest -x -q -m "not slow" tests/test_pool.py
+python -m pytest -x -q -m "not slow" tests/test_delta.py
 
 # Pooled benchmark: --workers 2 also drives a single-process reference
 # phase first, so the artefact records workers, per-worker batching
@@ -74,7 +79,7 @@ python -m pytest -x -q -m "not slow" tests/test_pool.py
 # the pooled run never forms a multi-item batch (batch_max <= 1).
 python -m repro.cli bench-serve \
     --clients 8 --requests-per-client 8 --num-designs 3 \
-    --scale 0.25 --epochs 2 --workers 2 \
+    --scale 0.25 --epochs 2 --workers 2 --delta \
     --bench-json BENCH_serving.json
 
 echo "== BENCH_serving.json well-formed check =="
@@ -116,6 +121,19 @@ for row in breakdown:
 assert sum(row["requests"] for row in breakdown) > 0, \
     "fleet aggregation recorded no worker-side requests"
 assert bench["single_process"]["throughput_rps"] > 0
+# Incremental delta gate: a single-edit /predict/delta iteration must
+# beat the conventional rebuild-and-forward ECO iteration it replaces.
+delta = bench["delta"]
+for key in ("design", "num_nodes", "edits", "full_latency_ms",
+            "delta_latency_ms", "delta_speedup"):
+    assert key in delta, f"delta stats missing {key}"
+assert delta["edits"] > 0 and delta["delta_latency_ms"] > 0
+assert delta["delta_speedup"] > 1, \
+    (f"incremental delta slower than full rebuild "
+     f"({delta['delta_speedup']}x on {delta['design']})")
+print(f"delta ok: {delta['delta_speedup']:.2f}x on {delta['design']} "
+      f"({delta['full_latency_ms']:.1f} ms full -> "
+      f"{delta['delta_latency_ms']:.1f} ms delta)")
 print(f"BENCH_serving.json ok: {bench['requests']} requests "
       f"({bench['warmup_requests']} warmup, untimed), "
       f"{bench['throughput_rps']:.1f} req/s, "
@@ -149,7 +167,10 @@ with ServingServer(service) as server:
     while time.time() < deadline:
         text = urllib.request.urlopen(server.url + "/metrics",
                                       timeout=30).read().decode()
-        if 'worker="1"' in text:
+        # Idle workers snapshot their gauges every 0.25 s, so a
+        # worker-labeled series can appear before the serving worker's
+        # post-request snapshot lands — wait for the counter itself.
+        if 'worker="1"' in text and "repro_worker_requests_total" in text:
             break
         time.sleep(0.3)
 assert 'worker="1"' in text, "no worker-labeled series in /metrics"

@@ -19,10 +19,16 @@ Covered packages (each with its own test files and an 80% floor):
   tape profiler, HTML report and the fleet aggregation layer, driven by
   tests/test_obs.py, tests/test_runs.py and tests/test_fleet.py;
 * ``src/repro/serving`` — the prediction service, HTTP front-end,
-  micro-batcher and the pre-fork pool tier, driven by
-  tests/test_serving.py and tests/test_pool.py (the pool worker has a
-  dedicated in-process suite precisely so its logic is traced in the
-  parent — forked worker processes are invisible to settrace).
+  micro-batcher, delta sessions and the pre-fork pool tier, driven by
+  tests/test_serving.py, tests/test_pool.py and tests/test_delta.py
+  (the pool worker has a dedicated in-process suite precisely so its
+  logic is traced in the parent — forked worker processes are invisible
+  to settrace);
+* ``src/repro/sta`` — the static timing engine, incremental timer and
+  path enumeration, driven by tests/test_sta.py,
+  tests/test_sta_properties.py, tests/test_incremental.py,
+  tests/test_paths.py and tests/test_delta.py (the differential
+  harness drives the timer through every ECO edit kind).
 
     python scripts/coverage_floor.py            # default floor 80%
     python scripts/coverage_floor.py --min 85
@@ -59,7 +65,13 @@ TARGETS = {
     },
     "serving": {
         "dir": os.path.join(REPO, "src", "repro", "serving"),
-        "tests": _t("test_serving.py", "test_pool.py"),
+        "tests": _t("test_serving.py", "test_pool.py", "test_delta.py"),
+    },
+    "sta": {
+        "dir": os.path.join(REPO, "src", "repro", "sta"),
+        "tests": _t("test_sta.py", "test_sta_properties.py",
+                    "test_incremental.py", "test_paths.py",
+                    "test_delta.py"),
     },
 }
 

@@ -246,6 +246,94 @@ def _cmd_serve(args):
     return 0
 
 
+def _bench_delta(args, designs):
+    """One ECO iteration: incremental delta vs full rebuild, in-process.
+
+    Drives the largest of ``designs`` (by node count).  After a cell
+    move, a service without the delta path must rebuild the graph —
+    re-route, full STA, re-extraction — and run a whole-graph forward;
+    that conventional iteration is the ``full_latency_ms`` baseline.
+    The delta iteration is one single-edit ``/predict/delta`` request
+    end to end (incremental STA cone + feature patch + cone-limited
+    forward).  Recorded as ``extra["delta"]`` in BENCH_serving.json;
+    scripts/ci.sh asserts ``delta_speedup > 1``.
+    """
+    import time
+
+    from . import nn
+    from .graphdata import extract_graph
+    from .routing import route_design
+    from .serving.service import PredictRequest
+    from .sta import build_timing_graph, run_sta
+
+    service = _build_service(args, 0)
+    try:
+        service.warm(models=[args.model_variant], designs=designs)
+
+        def nodes(name):
+            graph, _key, _hit = service.resolve_graph(
+                PredictRequest(design=name,
+                               model=args.model_variant).validate())
+            return graph.num_nodes
+
+        design = max(designs, key=nodes)
+        body = {"design": design, "model": args.model_variant,
+                "no_cache": True}
+        session = service.delta_session(design)
+        model = service.registry.get(args.model_variant).model
+        patcher = session.patcher
+        cells = patcher.design.combinational_cells
+        die = patcher.placement.die
+        rng = np.random.default_rng(0)
+
+        def move_edit():
+            cell = cells[int(rng.integers(len(cells)))]
+            return {"op": "move_cell", "cell": cell.name,
+                    "x": float(rng.uniform(0, die.width)),
+                    "y": float(rng.uniform(0, die.height))}
+
+        # Conventional iterations: the edit applies untimed, then the
+        # timed section is everything a non-incremental service redoes —
+        # re-route, full STA, re-extraction, whole-graph forward.
+        full_ms = []
+        from .graphdata.patch import parse_edits
+        with session.lock:
+            for _ in range(max(3, args.delta_edits // 4)):
+                session.apply(parse_edits([move_edit()]))
+                start = time.perf_counter()
+                routing = route_design(patcher.design, patcher.placement)
+                graph = build_timing_graph(patcher.design)
+                result = run_sta(patcher.design, patcher.placement,
+                                 routing, clock_period=patcher.clock_period,
+                                 graph=graph)
+                hetero = extract_graph(graph, patcher.placement, result,
+                                       split=patcher.hetero.split)
+                with nn.no_grad():
+                    model.predict(hetero)
+                full_ms.append((time.perf_counter() - start) * 1000.0)
+
+        # First delta request pays the session catch-up (a full
+        # incremental pass); run it untimed so the timed loop measures
+        # steady-state single-edit cones.
+        service.predict_delta(dict(body, edits=[]))
+        delta_ms = []
+        for _ in range(args.delta_edits):
+            start = time.perf_counter()
+            service.predict_delta(dict(body, edits=[move_edit()]))
+            delta_ms.append((time.perf_counter() - start) * 1000.0)
+
+        full = float(np.median(full_ms))
+        delta = float(np.median(delta_ms))
+        return {"design": design, "num_nodes": nodes(design),
+                "edits": args.delta_edits,
+                "full_latency_ms": round(full, 3),
+                "delta_latency_ms": round(delta, 3),
+                "delta_speedup": round(full / delta, 3) if delta > 0
+                else 0.0}
+    finally:
+        service.close()
+
+
 def _cmd_bench_serve(args):
     from .netlist import benchmark_names
     from .serving import (ServingServer, format_loadgen_report,
@@ -311,6 +399,14 @@ def _cmd_bench_serve(args):
                   f"{extra['pool_speedup']:.2f}x "
                   f"({single.throughput_rps:.1f} -> "
                   f"{result.throughput_rps:.1f} req/s)")
+    if args.delta:
+        print(f"[delta] timing {args.delta_edits} single-edit deltas "
+              f"vs full rebuild-and-forward iterations ...")
+        extra["delta"] = _bench_delta(args, designs)
+        print(f"delta speedup on {extra['delta']['design']}: "
+              f"{extra['delta']['delta_speedup']:.2f}x "
+              f"({extra['delta']['full_latency_ms']:.1f} ms full -> "
+              f"{extra['delta']['delta_latency_ms']:.1f} ms delta)")
     if args.bench_json:
         from .serving import write_bench_json
         path = write_bench_json(result, args.bench_json, params={
@@ -820,6 +916,13 @@ def build_parser():
     p.add_argument("--bench-json", default="BENCH_serving.json",
                    help="record the run to this JSON file "
                         "('' disables)")
+    p.add_argument("--delta", action="store_true",
+                   help="also time single-edit /predict/delta requests "
+                        "against conventional rebuild-and-forward ECO "
+                        "iterations on the largest design")
+    p.add_argument("--delta-edits", type=int, default=16,
+                   help="number of timed move_cell deltas in the "
+                        "--delta phase")
     p.set_defaults(func=_cmd_bench_serve, no_cache=True,
                    single_baseline=True)
 

@@ -4,6 +4,8 @@ from .hetero import (HeteroGraph, LevelBlock, TIME_SCALE, CAP_SCALE,
                      DIST_SCALE, NODE_FEATURE_DIM, NET_EDGE_FEATURE_DIM,
                      CELL_EDGE_FEATURE_DIM)
 from .extract import extract_graph
+from .patch import (EDIT_OPS, DirtyDelta, EditError, GraphPatcher,
+                    parse_edits)
 from .features import BARBOZA_FEATURE_NAMES, barboza_features
 from .dataset import (DesignRecord, generate_design, load_dataset,
                       default_cache_dir, design_record_key)
@@ -14,6 +16,7 @@ __all__ = [
     "TIME_SCALE", "CAP_SCALE", "DIST_SCALE",
     "NODE_FEATURE_DIM", "NET_EDGE_FEATURE_DIM", "CELL_EDGE_FEATURE_DIM",
     "extract_graph",
+    "EDIT_OPS", "DirtyDelta", "EditError", "GraphPatcher", "parse_edits",
     "BARBOZA_FEATURE_NAMES", "barboza_features",
     "DesignRecord", "generate_design", "load_dataset", "default_cache_dir",
     "design_record_key",

@@ -5,6 +5,7 @@ from .config import ModelConfig
 from .net_embedding import NetConvLayer, NetEmbedding
 from .propagation import LUTInterpolation, DelayPropagation
 from .timing_gnn import TimingGNN, TimingPrediction
+from .incremental import IncrementalForwardState
 from .gcnii import GCNII, normalized_adjacency
 from .baselines import (NetDelayRandomForest, NetDelayMLP,
                         collect_barboza_dataset)
@@ -14,6 +15,7 @@ __all__ = [
     "NetConvLayer", "NetEmbedding",
     "LUTInterpolation", "DelayPropagation",
     "TimingGNN", "TimingPrediction",
+    "IncrementalForwardState",
     "GCNII", "normalized_adjacency",
     "NetDelayRandomForest", "NetDelayMLP", "collect_barboza_dataset",
 ]

@@ -13,6 +13,13 @@ load and restores the slew.  This pass:
 Buffering changes the netlist structure, so each trial rebuilds the
 timing graph and re-runs analysis on the edited design (this is the
 expensive loop that motivates learned timing models).
+
+With ``use_service=`` (a :class:`~repro.serving.delta.DeltaClient`),
+each insertion is mirrored to the service's delta session as an
+``insert_buffer`` edit (rejections as the matching ``remove_buffer``)
+and the accept decision keys on the served model's predicted WNS; local
+re-analysis still maintains ground truth for candidate selection and
+the reported WNS numbers.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ class BufferingResult:
     final_wns: float
     inserted: list = field(default_factory=list)   # buffer cell names
     trials: int = 0
+    predicted_wns: float = None    # served model's WNS (use_service mode)
 
 
 def _worst_net_arc(result, path):
@@ -61,13 +69,17 @@ def _reanalyse(design, placement, clock_period):
 
 
 def buffer_critical_nets(design, placement, result, buffer_cell="BUF_X2",
-                         max_buffers=8, k_paths=6):
+                         max_buffers=8, k_paths=6, use_service=None):
     """Insert buffers on the worst nets; returns (result, BufferingResult).
 
     ``placement`` gains positions for the new buffer cells;
-    the returned ``result`` reflects the final design.
+    the returned ``result`` reflects the final design.  With
+    ``use_service`` (a DeltaClient on the same design/seed/scale) the
+    keep/revert decision keys on the served prediction.
     """
     clock_period = result.clock_period
+    client = use_service
+    predicted = client.wns_setup_ps() if client is not None else None
     outcome = BufferingResult(initial_wns=result.wns("setup"),
                               final_wns=result.wns("setup"))
     buffer_type = design.library[buffer_cell]
@@ -107,9 +119,19 @@ def buffer_critical_nets(design, placement, result, buffer_cell="BUF_X2",
         _routing, _graph, new_result = _reanalyse(design, placement,
                                                   clock_period)
         outcome.trials += 1
-        if new_result.wns("setup") > result.wns("setup") + 1e-9:
+        if client is not None:
+            after = client.insert_buffer(net.name, sink_pin.name,
+                                         buffer_cell=buffer_cell,
+                                         name=buf.name,
+                                         new_net=f"econet{i}")
+            accept = after > predicted + 1e-9
+        else:
+            accept = new_result.wns("setup") > result.wns("setup") + 1e-9
+        if accept:
             result = new_result
             outcome.inserted.append(buf.name)
+            if client is not None:
+                predicted = after
         else:
             # Revert the structural edit.
             design.cells.remove(buf)
@@ -119,7 +141,10 @@ def buffer_critical_nets(design, placement, result, buffer_cell="BUF_X2",
             design.pins = design.pins[:-len(buf.pins)]
             placement.cell_xy = placement.cell_xy[:-1]
             placement.pin_xy = placement.pin_xy[:-len(buf.pins)]
+            if client is not None:
+                predicted = client.remove_buffer(buf.name)
             _routing, _graph, result = _reanalyse(design, placement,
                                                   clock_period)
     outcome.final_wns = result.wns("setup")
+    outcome.predicted_wns = predicted
     return result, outcome

@@ -6,6 +6,15 @@ swap that improves WNS, revert the rest.  Because each trial runs
 through :class:`~repro.sta.incremental.IncrementalTimer`, the cost per
 trial is the update cone rather than a full analysis — the workflow the
 paper's fast timing models are meant to accelerate further.
+
+With ``use_service=`` (a :class:`~repro.serving.delta.DeltaClient`), the
+accept/reject decision keys on the *served model prediction* instead of
+ground-truth STA: every trial is mirrored to the service's delta session
+(``POST /predict/delta``) and kept iff the predicted WNS improves.  The
+local timer still tracks ground truth — it drives critical-path
+enumeration and the reported ``initial_wns``/``final_wns``, so the
+result measures how far model-guided decisions actually moved the
+design.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ class SizingResult:
     final_tns: float
     swaps: list = field(default_factory=list)   # (cell name, from, to)
     trials: int = 0
+    predicted_wns: float = None    # served model's WNS (use_service mode)
 
     @property
     def wns_gain(self):
@@ -51,13 +61,18 @@ def _cells_on_paths(timer, k_paths):
     return seen
 
 
-def size_for_setup(timer, max_swaps=20, k_paths=8, max_rounds=4):
+def size_for_setup(timer, max_swaps=20, k_paths=8, max_rounds=4,
+                   use_service=None):
     """Upsize cells on critical paths until WNS stops improving.
 
     ``timer`` is a live :class:`IncrementalTimer`; the design is edited
-    in place.  Returns a :class:`SizingResult`.
+    in place.  With ``use_service`` (a DeltaClient bound to the same
+    design/seed/scale) trials are mirrored to the serving stack and
+    accepted on predicted WNS.  Returns a :class:`SizingResult`.
     """
     library = timer.design.library
+    client = use_service
+    predicted = client.wns_setup_ps() if client is not None else None
     outcome = SizingResult(
         initial_wns=timer.wns("setup"), final_wns=timer.wns("setup"),
         initial_tns=timer.tns("setup"), final_tns=timer.tns("setup"))
@@ -76,16 +91,27 @@ def size_for_setup(timer, max_swaps=20, k_paths=8, max_rounds=4):
             old_type = cell.cell_type
             timer.resize_cell(cell, bigger)
             outcome.trials += 1
-            after = timer.wns("setup")
-            if after > before + 1e-9:
+            if client is not None:
+                after = client.resize_cell(cell.name, bigger.name)
+                accept = after > predicted + 1e-9
+            else:
+                after = timer.wns("setup")
+                accept = after > before + 1e-9
+            if accept:
+                if client is not None:
+                    predicted = after
                 outcome.swaps.append((cell.name, old_type.name,
                                       bigger.name))
                 improved_this_round = True
             else:
                 timer.resize_cell(cell, old_type)   # revert
+                if client is not None:
+                    predicted = client.resize_cell(cell.name,
+                                                   old_type.name)
         if not improved_this_round or len(outcome.swaps) >= max_swaps:
             break
 
     outcome.final_wns = timer.wns("setup")
     outcome.final_tns = timer.tns("setup")
+    outcome.predicted_wns = predicted
     return outcome

@@ -7,6 +7,8 @@ The reproduction's first traffic-facing subsystem (see DESIGN.md §3):
 * :mod:`.batching`  — micro-batching executor (disjoint-union forwards);
 * :mod:`.service`   — the transport-agnostic core with deadlines and
   graceful degradation to the ground-truth STA path;
+* :mod:`.delta`     — incremental (ECO) prediction sessions: apply a
+  small edit list to a live graph and re-predict cone-limited;
 * :mod:`.http`      — stdlib JSON/HTTP front-end (``/predict``,
   ``/models``, ``/healthz``, ``/stats``, Prometheus ``/metrics``);
 * :mod:`.loadgen`   — concurrent load-generator benchmark harness
@@ -22,6 +24,7 @@ per service — ``/stats`` and ``/metrics`` are two views of it.
 
 from .batching import BatchTimeout, MicroBatcher
 from .cache import LRUCache
+from .delta import DeltaClient, DeltaRequest, DeltaSession
 from .http import ServingServer, make_server
 from .loadgen import (LoadgenResult, format_loadgen_report, run_loadgen,
                       write_bench_json)
@@ -35,6 +38,7 @@ from .service import (Overloaded, PredictionService, PredictRequest,
 __all__ = [
     "BatchTimeout", "MicroBatcher",
     "LRUCache",
+    "DeltaClient", "DeltaRequest", "DeltaSession",
     "ServingServer", "make_server",
     "LoadgenResult", "format_loadgen_report", "run_loadgen",
     "write_bench_json",

@@ -3,6 +3,8 @@
 Endpoints:
 
 * ``POST /predict`` — body is a :class:`PredictRequest` JSON object;
+* ``POST /predict/delta`` — a :class:`DeltaRequest`: base design plus
+  an ECO edit list; answered incrementally from the live delta session;
 * ``GET /models``   — the registry catalogue (loaded state, versions);
 * ``GET /healthz``  — liveness (per-worker detail + SLO under the pool);
 * ``GET /stats``    — counts, cache hit rates, p50/p99 latency, batching;
@@ -90,9 +92,15 @@ def _make_handler(service, quiet=True):
             self._send_json(200, handler())
 
         def do_POST(self):
-            if self.path.split("?", 1)[0] != "/predict":
+            path = self.path.split("?", 1)[0]
+            routes = {"/predict": ("http.predict", service.predict),
+                      "/predict/delta": ("http.predict_delta",
+                                         service.predict_delta)}
+            route = routes.get(path)
+            if route is None:
                 self._send_json(404, {"error": f"no route {self.path}"})
                 return
+            span_name, endpoint = route
             try:
                 length = int(self.headers.get("Content-Length", "0"))
             except ValueError:
@@ -112,10 +120,10 @@ def _make_handler(service, quiet=True):
                 # Root span of the distributed trace: serve.predict,
                 # pool.submit and the worker-side records all nest under
                 # this trace_id.
-                with get_tracer().span("http.predict",
+                with get_tracer().span(span_name,
                                        trace_id=trace_id) as sp:
-                    sp.set(path="/predict")
-                    response = service.predict(payload)
+                    sp.set(path=path)
+                    response = endpoint(payload)
             except Overloaded as exc:
                 # Load shed; tell clients to back off (loadgen's pacing
                 # keys off the flag).

@@ -43,9 +43,9 @@ from ...obs.tracing import get_tracer
 from ...parallel import ShmArena, pick_start_method
 from ..batching import BatchTimeout
 from ..service import Overloaded
-from .worker import (MSG_CRASH, MSG_MODEL, MSG_PREDICT, MSG_STOP,
-                     POOLABLE_CLASSES, R_BATCH, R_ERR, R_EXPIRED,
-                     R_MODEL_ERR, R_OK, R_READY, worker_main)
+from .worker import (MSG_CRASH, MSG_DELTA, MSG_MODEL, MSG_PREDICT,
+                     MSG_STOP, POOLABLE_CLASSES, R_BATCH, R_ERR,
+                     R_EXPIRED, R_MODEL_ERR, R_OK, R_READY, worker_main)
 
 __all__ = ["PoolRouter", "PoolError", "NotPoolable", "PoolCrashError"]
 
@@ -366,47 +366,88 @@ class PoolRouter:
             # Distributed trace context: the worker parents its span
             # records under this pool.submit span, so the stitched
             # timeline reads queue wait -> attach -> forward end to end.
-            trace_id = getattr(sp, "trace_id", None)
-            ctx = ((trace_id, getattr(sp, "span_id", None), time.time())
-                   if trace_id else None)
-            with self._lock:
-                if self._pending[worker_id] >= self.watermark:
-                    self._shed_count += 1
-                    raise Overloaded(
-                        f"worker shard {worker_id} is over its admission "
-                        f"watermark ({self.watermark} in flight)")
-                req_id = next(self._seq)
-                message = (MSG_PREDICT, req_id, model_name, key, segment,
-                           bool(include_slack), deadline_ts, ctx)
-                ticket = _Ticket(req_id, worker_id, message)
-                self._tickets[req_id] = ticket
-                self._pending[worker_id] += 1
-                handle = self._handles[worker_id]
-            self._update_gauges()
-            try:
-                handle.request_q.put(message)
-            except (OSError, ValueError) as exc:
-                self._forget(ticket)
-                raise PoolError(
-                    f"worker {worker_id} queue unavailable: {exc}")
-            if self._c_requests is not None:
-                self._c_requests.inc()
-            if not ticket.event.wait(timeout):
-                self._forget(ticket)
-                raise BatchTimeout(
-                    f"pooled request {req_id} missed its deadline")
-            if ticket.expired:
-                raise BatchTimeout(
-                    f"pooled request {req_id} expired in worker "
-                    f"{worker_id}")
-            if ticket.error is not None:
-                if ticket.crashed:
-                    raise PoolCrashError(ticket.error)
-                raise PoolError(ticket.error)
-            if ticket.spans:
-                tracer.ingest(ticket.spans)
-            sp.set(batch_size=ticket.batch_size)
-            return ticket.payload, ticket.batch_size
+            ctx = self._trace_ctx(sp)
+            ticket, handle = self._admit(
+                worker_id, lambda req_id: (
+                    MSG_PREDICT, req_id, model_name, key, segment,
+                    bool(include_slack), deadline_ts, ctx))
+            return self._await(ticket, handle, timeout, tracer, sp)
+
+    def submit_delta(self, model_name, key, spec, edits,
+                     include_slack=False, timeout=None):
+        """Run one incremental (delta) prediction on ``key``'s shard.
+
+        Delta sessions are worker-local mutable state; sharding by base
+        graph key pins every edit stream for one design to the worker
+        that holds its session.  ``spec`` is ``{design, seed, scale,
+        version}`` — the session identity plus the parent's post-apply
+        version the worker must land on (see ``PoolWorker``); a worker
+        that cannot reach it raises :class:`PoolError` here and the
+        caller answers from its in-process session.
+        """
+        if self._closing.is_set():
+            raise PoolError("pool is shut down")
+        worker_id = self.shard(key)
+        deadline_ts = time.time() + timeout if timeout is not None else None
+        tracer = get_tracer()
+        with tracer.span("pool.submit_delta", worker=worker_id,
+                         model=model_name, graph=str(key),
+                         edits=len(edits)) as sp:
+            ctx = self._trace_ctx(sp)
+            ticket, handle = self._admit(
+                worker_id, lambda req_id: (
+                    MSG_DELTA, req_id, model_name, key, dict(spec),
+                    list(edits), bool(include_slack), deadline_ts, ctx))
+            return self._await(ticket, handle, timeout, tracer, sp)
+
+    @staticmethod
+    def _trace_ctx(sp):
+        trace_id = getattr(sp, "trace_id", None)
+        return ((trace_id, getattr(sp, "span_id", None), time.time())
+                if trace_id else None)
+
+    def _admit(self, worker_id, build_message):
+        """Admission control + ticket registration for one request."""
+        with self._lock:
+            if self._pending[worker_id] >= self.watermark:
+                self._shed_count += 1
+                raise Overloaded(
+                    f"worker shard {worker_id} is over its admission "
+                    f"watermark ({self.watermark} in flight)")
+            req_id = next(self._seq)
+            ticket = _Ticket(req_id, worker_id, build_message(req_id))
+            self._tickets[req_id] = ticket
+            self._pending[worker_id] += 1
+            handle = self._handles[worker_id]
+        return ticket, handle
+
+    def _await(self, ticket, handle, timeout, tracer, sp):
+        """Dispatch a registered ticket and wait for its resolution."""
+        self._update_gauges()
+        try:
+            handle.request_q.put(ticket.message)
+        except (OSError, ValueError) as exc:
+            self._forget(ticket)
+            raise PoolError(
+                f"worker {ticket.worker_id} queue unavailable: {exc}")
+        if self._c_requests is not None:
+            self._c_requests.inc()
+        if not ticket.event.wait(timeout):
+            self._forget(ticket)
+            raise BatchTimeout(
+                f"pooled request {ticket.req_id} missed its deadline")
+        if ticket.expired:
+            raise BatchTimeout(
+                f"pooled request {ticket.req_id} expired in worker "
+                f"{ticket.worker_id}")
+        if ticket.error is not None:
+            if ticket.crashed:
+                raise PoolCrashError(ticket.error)
+            raise PoolError(ticket.error)
+        if ticket.spans:
+            tracer.ingest(ticket.spans)
+        sp.set(batch_size=ticket.batch_size)
+        return ticket.payload, ticket.batch_size
 
     def _forget(self, ticket):
         """Drop a ticket the caller stopped waiting for."""

@@ -68,6 +68,28 @@ class PooledPredictionService(PredictionService):
         self.router.ensure_model(entry)
         return self.router.ensure_graph(key, graph)
 
+    def _execute_delta(self, entry, key, session, request):
+        """Ship the edit stream to the worker pinned to ``key``'s shard.
+
+        The parent session has already applied the edits (it is the
+        source of truth), so ``spec.version`` is the post-apply version
+        the worker's session must reach by applying the same edits.  Any
+        pool fault — including a worker whose session is out of sync
+        after a crash/restart — falls back to the in-process cone-limited
+        forward on the parent session, which is always current.
+        """
+        from ...graphdata.patch import parse_edits
+        try:
+            self.router.ensure_model(entry)
+            spec = {"design": session.design, "seed": session.seed,
+                    "scale": session.scale, "version": session.version}
+            return self.router.submit_delta(
+                entry.name, key, spec, parse_edits(request.edits),
+                include_slack=request.include_slack,
+                timeout=request.remaining_s())
+        except (NotPoolable, PoolError):
+            return super()._execute_delta(entry, key, session, request)
+
     # -- introspection ----------------------------------------------------------
     def stats(self):
         """Parent stats merged with the fleet-aggregated worker view.

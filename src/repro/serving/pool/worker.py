@@ -19,10 +19,20 @@ production uses ``multiprocessing`` queues via :func:`worker_main`.
 
 Protocol (tuples; first element is the kind):
 
-* parent -> worker: ``MSG_MODEL``, ``MSG_PREDICT``, ``MSG_STOP``,
-  ``MSG_CRASH`` (test hook: hard ``os._exit``);
+* parent -> worker: ``MSG_MODEL``, ``MSG_PREDICT``, ``MSG_DELTA``
+  (incremental ECO prediction against a worker-private delta session),
+  ``MSG_STOP``, ``MSG_CRASH`` (test hook: hard ``os._exit``);
 * worker -> parent: ``R_READY``, ``R_OK``, ``R_ERR``, ``R_EXPIRED``,
   ``R_BATCH`` (per-forward batching stats), ``R_MODEL_ERR``.
+
+Delta sessions are worker-local state (unlike models and graphs they
+are mutable, so they cannot live in shared memory): because the router
+shards by base graph key, every delta for one design lands on the same
+worker and its session stays consistent.  The parent applies each edit
+stream to its own session first and sends the post-apply version; a
+worker whose session cannot reach that version (fresh fork after a
+crash, evicted state) answers ``R_ERR`` and the parent falls back to
+its in-process session — correctness never depends on worker state.
 
 Protocol extensions are append-only: ``MSG_PREDICT`` may carry an
 optional 8th element ``(trace_id, parent_span_id, sent_ts)`` and
@@ -50,12 +60,14 @@ from ...obs.tracing import make_span_record
 from ...parallel.shm import attach
 
 __all__ = ["PoolWorker", "worker_main",
-           "MSG_MODEL", "MSG_PREDICT", "MSG_STOP", "MSG_CRASH",
+           "MSG_MODEL", "MSG_PREDICT", "MSG_DELTA", "MSG_STOP",
+           "MSG_CRASH",
            "R_READY", "R_OK", "R_ERR", "R_EXPIRED", "R_BATCH",
            "R_MODEL_ERR"]
 
 MSG_MODEL = "model"
 MSG_PREDICT = "predict"
+MSG_DELTA = "delta"
 MSG_STOP = "stop"
 MSG_CRASH = "crash"
 
@@ -84,6 +96,18 @@ def build_model_from_spec(spec):
     raise ValueError(f"unknown poolable model class {cls!r}")
 
 
+class _SessionEntry:
+    """Registry-entry shim so DeltaSession can key its forward states."""
+
+    __slots__ = ("name", "version", "model", "kind")
+
+    def __init__(self, name, record):
+        self.name = name
+        self.version = record["version"]
+        self.model = record["model"]
+        self.kind = record["kind"]
+
+
 class PoolWorker:
     """Attach shared state, batch requests, answer with payloads."""
 
@@ -102,6 +126,7 @@ class PoolWorker:
         self._last_publish = 0.0
         self._models = {}      # name -> {model, kind, version, attachment}
         self._graphs = {}      # key -> (segment_name, graph, attachment)
+        self._sessions = {}    # graph key -> DeltaSession (worker-local)
         self._stopping = False
         self.metrics = MetricsRegistry()
         self._h_request = self.metrics.histogram(
@@ -125,6 +150,9 @@ class PoolWorker:
             "repro_worker_graphs", "Graphs attached in this worker.")
         self._g_models = self.metrics.gauge(
             "repro_worker_models", "Models attached in this worker.")
+        self._g_sessions = self.metrics.gauge(
+            "repro_worker_delta_sessions",
+            "Live delta (ECO edit) sessions in this worker.")
 
     # -- plumbing ---------------------------------------------------------------
     def _beat(self):
@@ -221,7 +249,7 @@ class PoolWorker:
     def _handle_control(self, message):
         """Process control messages inline; return predict items as-is."""
         kind = message[0]
-        if kind == MSG_PREDICT:
+        if kind in (MSG_PREDICT, MSG_DELTA):
             return message
         if kind == MSG_MODEL:
             self._attach_model(*message[1:])
@@ -282,6 +310,11 @@ class PoolWorker:
         self._beat()
         by_model = {}
         for message, recv_ts in batch:
+            if message[0] == MSG_DELTA:
+                # Delta requests never coalesce: each one mutates its
+                # session, so they run individually in arrival order.
+                self._execute_delta(message, recv_ts)
+                continue
             by_model.setdefault(message[2], []).append((message, recv_ts))
         for model_name, items in by_model.items():
             self._execute_model(model_name, items)
@@ -388,6 +421,106 @@ class PoolWorker:
             return _timing_payload(graph, output["arrival"], include_slack)
         return _netdelay_payload(graph, output["net_delay"])
 
+    # -- delta (incremental) execution -------------------------------------------
+    def _delta_session(self, key, spec, n_edits):
+        """The session for ``key``, iff it can reach ``spec['version']``.
+
+        A fresh session starts at version 0, so it is only usable when
+        the parent's target version equals the edit count of this very
+        request (i.e. the session's whole history is in flight).  A
+        cached session out of sync with the parent (restarted worker,
+        a previous failed request) is dropped and the request errors —
+        the parent answers from its own session instead.
+        """
+        from ..delta import DeltaSession
+        session = self._sessions.get(key)
+        if session is not None and \
+                session.version + n_edits == spec["version"]:
+            return session
+        if session is not None:
+            self._sessions.pop(key, None)
+            self._g_sessions.set(len(self._sessions))
+        if spec["version"] != n_edits:
+            have = session.version if session is not None else "none"
+            raise ValueError(
+                f"delta session for graph {key!r} is out of sync "
+                f"(worker at version {have}, parent at "
+                f"{spec['version']})")
+        session = DeltaSession(spec["design"], spec["seed"],
+                               spec["scale"], key)
+        self._sessions[key] = session
+        self._g_sessions.set(len(self._sessions))
+        return session
+
+    def _execute_delta(self, message, recv_ts):
+        # (MSG_DELTA, req_id, model, key, spec, edits, include_slack,
+        #  deadline_ts[, trace_ctx]) — spec is {design, seed, scale,
+        #  version}: the session identity plus the parent's post-apply
+        #  version this worker's session must land on.
+        from ..service import _netdelay_payload, _timing_payload
+        (_kind, req_id, model_name, key, spec, edits, include_slack,
+         deadline) = message[:8]
+        if deadline is not None and time.time() > deadline:
+            self._count_request("expired")
+            self._respond((R_EXPIRED, req_id))
+            return
+        record = self._models.get(model_name)
+        if record is None:
+            self._count_request("error")
+            self._respond((R_ERR, req_id,
+                           f"model {model_name!r} not published to "
+                           f"worker"))
+            return
+        try:
+            t0 = time.perf_counter()
+            session = self._delta_session(key, spec, len(edits))
+            attach_ms = (time.perf_counter() - t0) * 1000.0
+            entry = _SessionEntry(model_name, record)
+            t0 = time.perf_counter()
+            with session.lock:
+                if edits:
+                    session.apply(edits)
+                if record["kind"] == "timing":
+                    state, stats = session.refresh(entry)
+                    dirty = stats["dirty_nodes"]
+                    payload = _timing_payload(session.hetero,
+                                              state.arrival,
+                                              bool(include_slack))
+                else:
+                    dirty = session.hetero.num_nodes
+                    payload = _netdelay_payload(session.hetero,
+                                                session.netdelay(entry))
+            forward_ms = (time.perf_counter() - t0) * 1000.0
+        except Exception as exc:   # noqa: BLE001 — reported to the parent
+            self._count_request("error")
+            self._respond((R_ERR, req_id,
+                           f"{type(exc).__name__}: {exc}"))
+            return
+        end_ts = time.time()
+        self._h_forward.observe(forward_ms)
+        self._count_request("ok")
+        self._h_request.observe((end_ts - recv_ts) * 1000.0)
+        spans = []
+        ctx = message[8] if len(message) > 8 else None
+        if ctx:
+            trace_id, parent_span_id, sent_ts = ctx
+            sent_ts = float(sent_ts if sent_ts is not None else recv_ts)
+            root = make_span_record(
+                "worker.predict_delta", trace_id, parent_span_id,
+                sent_ts, (end_ts - sent_ts) * 1000.0,
+                worker=self.worker_id, model=model_name, graph=key,
+                edits=len(edits), dirty_nodes=int(dirty))
+            spans = [root, make_span_record(
+                "worker.delta_forward", trace_id, root["span_id"],
+                end_ts - forward_ms / 1000.0, forward_ms,
+                worker=self.worker_id)]
+            if attach_ms > 0.5:   # session rebuild, not a cache lookup
+                spans.append(make_span_record(
+                    "worker.session_build", trace_id, root["span_id"],
+                    end_ts - (attach_ms + forward_ms) / 1000.0,
+                    attach_ms, worker=self.worker_id))
+        self._respond((R_OK, req_id, payload, 1, spans))
+
     # -- lifecycle --------------------------------------------------------------
     def shutdown(self):
         """Release every shared-memory attachment (no unlinks)."""
@@ -397,8 +530,10 @@ class PoolWorker:
         for _segment, _graph, attachment in self._graphs.values():
             attachment.close()
         self._graphs.clear()
+        self._sessions.clear()   # private arrays, nothing shm-backed
         self._g_models.set(0)
         self._g_graphs.set(0)
+        self._g_sessions.set(0)
         self.publish_stats(force=True)
 
 

@@ -150,6 +150,8 @@ class PredictResponse:
     batch_size: int
     latency_ms: float
     prediction: dict
+    graph_version: int = 0   # 0 = the pristine base graph
+    num_edits: int = 0       # edits applied by this (delta) request
 
     def to_dict(self):
         return {"request_id": self.request_id, "design": self.design,
@@ -157,6 +159,8 @@ class PredictResponse:
                 "kind": self.kind, "degraded": self.degraded,
                 "cache_hit": self.cache_hit, "batch_size": self.batch_size,
                 "latency_ms": round(self.latency_ms, 3),
+                "graph_version": self.graph_version,
+                "num_edits": self.num_edits,
                 "prediction": self.prediction}
 
 
@@ -200,7 +204,8 @@ class PredictionService:
 
     def __init__(self, registry=None, scale=None,
                  graph_cache_size=64, result_cache_size=1024,
-                 batch_window_ms=2.0, max_batch=16, metrics=None):
+                 batch_window_ms=2.0, max_batch=16, metrics=None,
+                 delta_session_cache_size=8):
         self.registry = registry or ModelRegistry(scale=scale)
         self._scale = scale
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -208,6 +213,10 @@ class PredictionService:
                                     registry=self.metrics, name="graph")
         self.result_cache = LRUCache(result_cache_size,
                                      registry=self.metrics, name="result")
+        # Live ECO edit sessions, one per base graph key (predict_delta).
+        self.delta_sessions = LRUCache(delta_session_cache_size,
+                                       registry=self.metrics,
+                                       name="delta_session")
         self._batch_window_ms = float(batch_window_ms)
         self._max_batch = int(max_batch)
         self._batchers = {}
@@ -235,7 +244,17 @@ class PredictionService:
             "shed": self.metrics.counter(
                 "repro_requests_shed_total",
                 "Requests shed by admission control (503 Overloaded)."),
+            "delta_requests": self.metrics.counter(
+                "repro_delta_requests_total",
+                "Incremental (/predict/delta) requests received."),
+            "delta_edits": self.metrics.counter(
+                "repro_delta_edits_total",
+                "ECO edits applied through the delta path."),
         }
+        self._delta_dirty = self.metrics.histogram(
+            "repro_delta_dirty_nodes",
+            "Dirty-frontier size (nodes re-predicted) per delta refresh.",
+            quantiles=(0.5, 0.9, 0.99))
         # Rolling latency SLO: good = answered within the objective
         # (REPRO_SLO_LATENCY_MS); sheds and unexpected faults are bad,
         # client errors (4xx) are excluded.  Surfaced by /healthz.
@@ -381,7 +400,13 @@ class PredictionService:
                 prediction=self._truth_payload(DEFAULT_KIND, graph,
                                                request.include_slack))
 
-        result_key = (entry.name, entry.version, key,
+        # Payloads are keyed by (graph key, graph VERSION): whole-graph
+        # requests always answer for the pristine base (version 0) — the
+        # shared cache entry is never mutated by edits — while delta
+        # payloads carry their session's nonce + version (below), so a
+        # post-edit prediction can never be served from a pre-edit entry
+        # or vice versa.
+        result_key = (entry.name, entry.version, key, 0,
                       bool(request.include_slack))
         cached = None if request.no_cache \
             else self.result_cache.get(result_key)
@@ -428,6 +453,178 @@ class PredictionService:
         payload = self._model_payload(entry, graph, output,
                                       request.include_slack)
         return payload, batch_size
+
+    # -- the delta entry point --------------------------------------------------
+    def delta_session(self, design, seed=1, scale=None):
+        """The live edit session for a base graph (created on first use)."""
+        from .delta import DeltaRequest
+        request = DeltaRequest(design=design, seed=seed,
+                               scale=scale).validate()
+        return self._session_for(request, self._graph_key(request))
+
+    def _session_for(self, request, key):
+        from .delta import DeltaSession
+        scale = self._effective_scale(request)
+        session, _hit = self.delta_sessions.get_or_create(
+            key, lambda: DeltaSession(request.design, request.seed,
+                                      scale, key))
+        return session
+
+    def predict_delta(self, request):
+        """Apply an ECO edit list to a live session and re-predict.
+
+        Cone-limited: only the levels/segments downstream of the touched
+        pins re-execute (see :mod:`repro.serving.delta`).  Accepts the
+        same dict-or-dataclass calling convention as :meth:`predict`.
+        """
+        from .delta import DeltaRequest
+        self._bump("requests")
+        self._bump("delta_requests")
+        with self._tracer.span("serve.predict_delta") as span:
+            try:
+                if isinstance(request, dict):
+                    request = DeltaRequest.from_dict(request)
+                span.set(request_id=request.request_id,
+                         model=request.model,
+                         design=request.design or "<missing>",
+                         edits=len(request.edits)
+                         if isinstance(request.edits, list) else 0)
+                response = self._predict_delta(request.validate(), span)
+            except Overloaded as exc:
+                self._bump("shed")
+                self.slo.record(None, ok=False)
+                span.set(error=str(exc), shed=True)
+                raise
+            except RequestError as exc:
+                self._bump("errors")
+                span.set(error=str(exc))
+                raise
+            response.latency_ms = ((time.perf_counter()
+                                    - request.created_at) * 1000.0)
+            self._latency.observe(response.latency_ms)
+            self.slo.record(response.latency_ms)
+            if response.degraded:
+                self._bump("degraded")
+            span.set(degraded=response.degraded,
+                     cache_hit=response.cache_hit,
+                     graph_version=response.graph_version)
+        return response
+
+    def _predict_delta(self, request, span):
+        from ..graphdata.patch import EditError, parse_edits
+        # Resolve (and warm) the base graph exactly as /predict would;
+        # this validates the design name and pins the shard key the
+        # pooled tier routes by.  The cached base graph itself is never
+        # mutated — the session owns a private rebuild.
+        _graph, key, _hit = self.resolve_graph(request.base_request())
+        try:
+            edits = parse_edits(request.edits)
+        except EditError as exc:
+            raise RequestError(str(exc))
+
+        entry = None
+        try:
+            entry = self.registry.get(request.model)
+        except KeyError:
+            raise RequestError(f"unknown model {request.model!r}",
+                               status=404)
+        except ModelLoadError:
+            self._bump("model_fallbacks")
+
+        session = self._session_for(request, key)
+        with session.lock:
+            if edits:
+                self._counters["delta_edits"].inc(len(edits))
+                try:
+                    session.apply(edits)
+                except EditError as exc:
+                    # Edits apply in order; a mid-list failure leaves the
+                    # session at the last good version (reported below).
+                    raise RequestError(
+                        f"{exc} (session at version {session.version})")
+            span.set(graph_version=session.version)
+
+            if entry is None:
+                # Broken checkpoint: answer from the session's ground
+                # truth (the patcher keeps its labels in sync per edit).
+                return PredictResponse(
+                    request_id=request.request_id, design=request.design,
+                    model=request.model, model_version="unavailable",
+                    kind="timing", degraded=True, cache_hit=False,
+                    batch_size=0, latency_ms=0.0,
+                    graph_version=session.version, num_edits=len(edits),
+                    prediction=self._truth_payload(
+                        "timing", session.hetero, request.include_slack))
+
+            result_key = (entry.name, entry.version, key, session.nonce,
+                          session.version, bool(request.include_slack),
+                          "delta")
+            cached = None if request.no_cache \
+                else self.result_cache.get(result_key)
+            if cached is not None:
+                return PredictResponse(
+                    request_id=request.request_id, design=request.design,
+                    model=entry.name, model_version=entry.version,
+                    kind=entry.kind, degraded=False, cache_hit=True,
+                    batch_size=0, latency_ms=0.0,
+                    graph_version=session.version, num_edits=len(edits),
+                    prediction=cached)
+
+            remaining = request.remaining_s()
+            if remaining is not None and remaining <= 0:
+                self._bump("deadline_fallbacks")
+                return PredictResponse(
+                    request_id=request.request_id, design=request.design,
+                    model=entry.name, model_version=entry.version,
+                    kind=entry.kind, degraded=True, cache_hit=False,
+                    batch_size=0, latency_ms=0.0,
+                    graph_version=session.version, num_edits=len(edits),
+                    prediction=self._truth_payload(
+                        entry.kind, session.hetero, request.include_slack))
+
+            try:
+                payload, batch_size = self._execute_delta(entry, key,
+                                                          session, request)
+            except BatchTimeout:
+                self._bump("deadline_fallbacks")
+                return PredictResponse(
+                    request_id=request.request_id, design=request.design,
+                    model=entry.name, model_version=entry.version,
+                    kind=entry.kind, degraded=True, cache_hit=False,
+                    batch_size=0, latency_ms=0.0,
+                    graph_version=session.version, num_edits=len(edits),
+                    prediction=self._truth_payload(
+                        entry.kind, session.hetero, request.include_slack))
+            if not request.no_cache:
+                self.result_cache.put(result_key, payload)
+            return PredictResponse(
+                request_id=request.request_id, design=request.design,
+                model=entry.name, model_version=entry.version,
+                kind=entry.kind, degraded=False, cache_hit=False,
+                batch_size=batch_size, latency_ms=0.0,
+                graph_version=session.version, num_edits=len(edits),
+                prediction=payload)
+
+    def _execute_delta(self, entry, key, session, request):
+        """Cone-limited forward for one delta request (session locked).
+
+        The pooled subclass overrides this to ship the edit stream to
+        the worker owning the base graph's shard instead.
+        """
+        with self._tracer.span("serve.delta_forward") as span:
+            if entry.kind == "timing":
+                state, stats = session.refresh(entry)
+                self._delta_dirty.observe(stats["dirty_nodes"])
+                span.set(full=stats["full"],
+                         dirty_nodes=stats["dirty_nodes"])
+                payload = _timing_payload(session.hetero, state.arrival,
+                                          request.include_slack)
+            else:
+                net_delay = session.netdelay(entry)
+                span.set(full=True,
+                         dirty_nodes=session.hetero.num_nodes)
+                payload = _netdelay_payload(session.hetero, net_delay)
+        return payload, 1
 
     def _degraded_response(self, request, entry, graph, design_name):
         return PredictResponse(

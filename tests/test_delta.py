@@ -1,0 +1,709 @@
+"""Differential equivalence harness for incremental (delta) prediction.
+
+The delta path — :class:`~repro.graphdata.patch.GraphPatcher` feature
+patching, :class:`~repro.models.incremental.IncrementalForwardState`
+cone-limited forwards, and the ``/predict/delta`` serving surface — is
+only trustworthy if it is *indistinguishable* from throwing the graph
+away and redoing everything.  Every test here states that contract as a
+differential: apply edits incrementally, then rebuild the same design
+from scratch (full re-route + full STA + full extraction + whole-graph
+forward) and require equality — bit-for-bit on graph feature arrays,
+1e-9 on model predictions — across edit kinds, kernel backends, edit
+sequences (hypothesis), the in-process service, the pre-fork pool, and
+the HTTP front-end.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import nn
+from repro.graphdata import extract_graph
+from repro.graphdata.hetero import HeteroGraph
+from repro.graphdata.patch import EditError, parse_edits
+from repro.liberty import make_sky130_like_library, sizing_alternatives
+from repro.models import ModelConfig, NetEmbedding, TimingGNN
+from repro.netlist import build_benchmark
+from repro.placement import place_design
+from repro.routing import route_design
+from repro.serving import (DeltaSession, ModelRegistry,
+                           PooledPredictionService, PredictionService,
+                           RequestError, ServingServer)
+from repro.serving.registry import ModelEntry
+from repro.serving.service import _timing_payload
+from repro.sta import build_timing_graph, run_sta
+from repro.sta.incremental import IncrementalTimer
+from repro.sta.paths import enumerate_worst_paths
+
+SCALE = 0.15
+DESIGN = "spm"
+RTOL = 1e-9
+ATOL = 1e-9
+
+# Label arrays carry STA results: the incremental timer recomputes them
+# along cones, so they are compared at tolerance; everything else —
+# topology and features — must be bit-identical to a re-extraction.
+_LABEL_FIELDS = ("net_delay", "arrival", "slew", "required",
+                 "cell_arc_delay")
+
+
+# -- fixtures ------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def toy_model():
+    return TimingGNN(ModelConfig.benchmark())
+
+
+def _toy_registry(toy_model):
+    registry = ModelRegistry(scale=SCALE, names=[])
+    registry.register("toy", lambda: ModelEntry(
+        name="toy", kind="timing", version="vtest", model=toy_model,
+        loaded_at=time.time(), load_seconds=0.0))
+    registry.register("toy-net", lambda: ModelEntry(
+        name="toy-net", kind="netdelay", version="vtest",
+        model=NetEmbedding(ModelConfig.benchmark()),
+        loaded_at=time.time(), load_seconds=0.0))
+    return registry
+
+
+@pytest.fixture()
+def service(toy_model):
+    svc = PredictionService(registry=_toy_registry(toy_model), scale=SCALE)
+    yield svc
+    svc.close()
+
+
+def _entry(toy_model):
+    return ModelEntry(name="toy", kind="timing", version="vtest",
+                      model=toy_model, loaded_at=time.time(),
+                      load_seconds=0.0)
+
+
+# -- the from-scratch reference ------------------------------------------------
+def full_reextract(patcher):
+    """Rebuild the session's edited design with the batch pipeline.
+
+    This is the independent ground truth the incremental path must
+    reproduce: a full re-route, a full STA from a cold start, and a
+    whole-graph feature extraction of the *same* (mutated) design.
+    """
+    routing = route_design(patcher.design, patcher.placement)
+    graph = build_timing_graph(patcher.design)
+    result = run_sta(patcher.design, patcher.placement, routing,
+                     clock_period=patcher.clock_period, graph=graph)
+    return extract_graph(graph, patcher.placement, result,
+                         split=patcher.hetero.split)
+
+
+def assert_graph_matches(hetero, ref):
+    """Patched graph == re-extracted graph: features bitwise, labels 1e-9."""
+    assert hetero.num_nodes == ref.num_nodes
+    for name in HeteroGraph._ARRAY_FIELDS:
+        ours, theirs = getattr(hetero, name), getattr(ref, name)
+        if name in _LABEL_FIELDS:
+            np.testing.assert_allclose(ours, theirs, rtol=0, atol=ATOL,
+                                       equal_nan=True, err_msg=name)
+        else:
+            np.testing.assert_array_equal(ours, theirs, err_msg=name)
+
+
+def assert_predictions_match(state, ref_hetero, model):
+    """Incremental head values == whole-graph forward on the reference."""
+    with nn.no_grad():
+        ref_arrival = model.predict(ref_hetero).numpy_arrival()
+    np.testing.assert_allclose(state.arrival, ref_arrival,
+                               rtol=RTOL, atol=ATOL)
+
+
+# -- edit construction against a live session ---------------------------------
+def _move_edit(patcher, frac=(0.25, 0.75), idx=5):
+    cells = patcher.design.combinational_cells
+    die = patcher.placement.die
+    return {"op": "move_cell", "cell": cells[idx % len(cells)].name,
+            "x": float(die.width * frac[0]),
+            "y": float(die.height * frac[1])}
+
+
+def _resize_edit(patcher):
+    library = patcher.design.library
+    for cell in patcher.design.combinational_cells:
+        alts = sizing_alternatives(library, cell.cell_type)
+        others = [a for a in alts if a.name != cell.cell_type.name]
+        if others:
+            return {"op": "resize_cell", "cell": cell.name,
+                    "cell_type": others[-1].name}
+    pytest.skip("no resizable cell in benchmark")
+
+
+def _buffer_candidates(patcher):
+    for net in patcher.design.nets:
+        if net.driver is None or net.driver.is_clock:
+            continue
+        sinks = [s for s in net.sinks
+                 if s.cell is not None and not s.is_clock]
+        if len(net.sinks) >= 2 and sinks:
+            yield net, sinks[0]
+
+
+def _buffer_edit(patcher, name="tbuf0"):
+    net, sink = next(iter(_buffer_candidates(patcher)))
+    return {"op": "insert_buffer", "net": net.name, "sink": sink.name,
+            "name": name, "new_net": f"{name}_net"}
+
+
+# -- edit parsing --------------------------------------------------------------
+class TestParseEdits:
+    def test_normalizes_every_edit_kind(self):
+        edits = parse_edits([
+            {"op": "move_cell", "cell": "u1", "x": 1, "y": "2.5"},
+            {"op": "resize_cell", "cell": "u1", "cell_type": "INV_X4"},
+            {"op": "insert_buffer", "net": "n1", "sink": "u2/A"},
+            {"op": "remove_buffer", "name": "b0"},
+        ])
+        assert edits[0] == {"op": "move_cell", "cell": "u1",
+                            "x": 1.0, "y": 2.5}
+        assert edits[1]["cell_type"] == "INV_X4"
+        assert edits[2]["buffer_cell"] and edits[2]["name"] is None
+        assert edits[3] == {"op": "remove_buffer", "name": "b0"}
+
+    def test_rejects_unknown_op_and_missing_fields(self):
+        with pytest.raises(EditError):
+            parse_edits([{"op": "explode"}])
+        with pytest.raises(EditError):
+            parse_edits([{"op": "move_cell", "cell": "u1", "x": 0}])
+        with pytest.raises(EditError):
+            parse_edits(["not a dict"])
+
+
+# -- edit-kind differentials, both kernel backends -----------------------------
+class TestEditDifferential:
+    """Every edit kind: incremental session == full rebuild, at 1e-9."""
+
+    @pytest.mark.parametrize("backend", ["fused", "naive"])
+    def test_every_edit_kind_matches_full_reextract(self, toy_model,
+                                                    backend):
+        with nn.use_kernels(backend):
+            session = DeltaSession(DESIGN, 1, SCALE, key="diff")
+            entry = _entry(toy_model)
+            edits = [
+                _move_edit(session.patcher),
+                _resize_edit(session.patcher),
+                _buffer_edit(session.patcher, name="tbuf0"),
+                {"op": "remove_buffer", "name": "tbuf0"},
+            ]
+            for i, edit in enumerate(edits):
+                session.apply(parse_edits([edit]))
+                state, stats = session.refresh(entry)
+                assert session.version == i + 1
+                session.materialize()
+                ref = full_reextract(session.patcher)
+                assert_graph_matches(session.hetero, ref)
+                assert_predictions_match(state, ref, toy_model)
+
+    def test_cone_refresh_is_actually_partial(self, toy_model):
+        """A single move re-executes a cone, not the whole graph."""
+        session = DeltaSession(DESIGN, 1, SCALE, key="cone")
+        entry = _entry(toy_model)
+        _, stats = session.refresh(entry)
+        assert stats["full"]
+        session.apply(parse_edits([_move_edit(session.patcher)]))
+        _, stats = session.refresh(entry)
+        assert not stats["full"]
+        assert 0 < stats["dirty_nodes"] < session.hetero.num_nodes
+
+    def test_structural_edit_forces_full_refresh(self, toy_model):
+        session = DeltaSession(DESIGN, 1, SCALE, key="full")
+        entry = _entry(toy_model)
+        session.refresh(entry)
+        session.apply(parse_edits([_buffer_edit(session.patcher,
+                                                name="tbuf1")]))
+        _, stats = session.refresh(entry)
+        assert stats["full"]
+
+
+# -- random edit sequences (hypothesis) ----------------------------------------
+def _concretize(patcher, op, rng, stack, i):
+    """Turn an abstract op into a valid edit for the *current* design."""
+    if op == "remove" and not stack:
+        op = "move"
+    if op == "insert":
+        candidates = list(_buffer_candidates(patcher))
+        if not candidates:
+            op = "move"
+    if op == "move":
+        cells = patcher.design.combinational_cells
+        cell = cells[int(rng.integers(len(cells)))]
+        die = patcher.placement.die
+        return {"op": "move_cell", "cell": cell.name,
+                "x": float(rng.uniform(0, die.width)),
+                "y": float(rng.uniform(0, die.height))}
+    if op == "resize":
+        library = patcher.design.library
+        cells = patcher.design.combinational_cells
+        order = rng.permutation(len(cells))
+        for j in order:
+            cell = cells[int(j)]
+            others = [a for a in
+                      sizing_alternatives(library, cell.cell_type)
+                      if a.name != cell.cell_type.name]
+            if others:
+                pick = others[int(rng.integers(len(others)))]
+                return {"op": "resize_cell", "cell": cell.name,
+                        "cell_type": pick.name}
+        return _concretize(patcher, "move", rng, stack, i)
+    if op == "insert":
+        net, sink = candidates[int(rng.integers(len(candidates)))]
+        name = f"hbuf{i}"
+        stack.append(name)
+        return {"op": "insert_buffer", "net": net.name, "sink": sink.name,
+                "name": name, "new_net": f"{name}_net"}
+    return {"op": "remove_buffer", "name": stack.pop()}
+
+
+class TestDeltaSequenceProperty:
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=list(HealthCheck))
+    @given(ops=st.lists(st.sampled_from(["move", "move", "resize",
+                                         "insert", "remove"]),
+                        min_size=1, max_size=20),
+           seed=st.integers(0, 2**31 - 1))
+    def test_incremental_state_equals_from_scratch(self, toy_model, ops,
+                                                   seed):
+        """1-20 random mixed deltas: the incrementally maintained session
+        equals (a) a fresh session replaying the same edits with a full
+        forward and (b) a from-scratch batch re-extraction."""
+        rng = np.random.default_rng(seed)
+        session = DeltaSession(DESIGN, 1, SCALE, key="prop")
+        entry = _entry(toy_model)
+        session.refresh(entry)
+        stack, applied = [], []
+        for i, op in enumerate(ops):
+            edit = _concretize(session.patcher, op, rng, stack, i)
+            applied.append(edit)
+            session.apply(parse_edits([edit]))
+            session.refresh(entry)        # refresh per edit: cones chain
+        state, _ = session.refresh(entry)
+        session.materialize()
+
+        replay = DeltaSession(DESIGN, 1, SCALE, key="prop-replay")
+        replay.apply(parse_edits(applied))
+        rstate, rstats = replay.refresh(_entry(toy_model))
+        assert rstats["full"]             # fresh state: whole-graph pass
+        replay.materialize()
+
+        assert session.version == replay.version == len(applied)
+        for name in HeteroGraph._ARRAY_FIELDS:
+            np.testing.assert_array_equal(
+                getattr(session.hetero, name),
+                getattr(replay.hetero, name), err_msg=name)
+        np.testing.assert_allclose(state.arrival, rstate.arrival,
+                                   rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(state.slew, rstate.slew,
+                                   rtol=RTOL, atol=ATOL)
+        ref = full_reextract(session.patcher)
+        assert_graph_matches(session.hetero, ref)
+        assert_predictions_match(state, ref, toy_model)
+
+
+# -- the serving surface -------------------------------------------------------
+class TestServiceDelta:
+    def test_empty_delta_equals_full_predict(self, service):
+        delta = service.predict_delta(
+            {"design": DESIGN, "model": "toy", "edits": []})
+        full = service.predict({"design": DESIGN, "model": "toy"})
+        assert delta.graph_version == 0 and delta.num_edits == 0
+        assert delta.prediction == full.prediction
+        assert not delta.degraded
+
+    def test_netdelay_model_delta(self, service):
+        delta = service.predict_delta(
+            {"design": DESIGN, "model": "toy-net", "edits": []})
+        full = service.predict({"design": DESIGN, "model": "toy-net"})
+        assert delta.prediction == full.prediction
+
+    def test_edit_matches_independent_reextract(self, service, toy_model):
+        session = service.delta_session(DESIGN)
+        edit = _move_edit(session.patcher)
+        response = service.predict_delta(
+            {"design": DESIGN, "model": "toy", "edits": [edit]})
+        assert response.graph_version == 1 and response.num_edits == 1
+        ref = full_reextract(session.patcher)
+        with nn.no_grad():
+            arrival = toy_model.predict(ref).numpy_arrival()
+        assert response.prediction == _timing_payload(ref, arrival, False)
+
+    def test_bad_edit_is_a_request_error(self, service):
+        with pytest.raises(RequestError) as err:
+            service.predict_delta({"design": DESIGN, "model": "toy",
+                                   "edits": [{"op": "move_cell",
+                                              "cell": "no-such-cell",
+                                              "x": 0.0, "y": 0.0}]})
+        assert err.value.status == 400
+        assert "session at version" in str(err.value)
+
+    def test_unknown_model_404(self, service):
+        with pytest.raises(RequestError) as err:
+            service.predict_delta({"design": DESIGN, "model": "nope",
+                                   "edits": []})
+        assert err.value.status == 404
+
+    def test_delta_metrics_exported(self, service):
+        service.predict_delta({"design": DESIGN, "model": "toy",
+                               "edits": [_move_edit(
+                                   service.delta_session(DESIGN).patcher)]})
+        text = service.metrics_text()
+        assert "repro_delta_requests_total" in text
+        assert "repro_delta_edits_total" in text
+        assert "repro_delta_dirty_nodes" in text
+
+
+class TestPayloadCacheVersioning:
+    def test_cache_respects_graph_version(self, service):
+        """Regression: cached payloads are keyed by graph version, so an
+        edit can never be answered with a stale pre-edit prediction, and
+        the base (non-delta) entry is never polluted by a session."""
+        base = service.predict({"design": DESIGN, "model": "toy"})
+        first = service.predict_delta(
+            {"design": DESIGN, "model": "toy", "edits": []})
+        again = service.predict_delta(
+            {"design": DESIGN, "model": "toy", "edits": []})
+        assert not first.cache_hit and again.cache_hit
+        assert again.prediction == first.prediction
+
+        edit = _move_edit(service.delta_session(DESIGN).patcher)
+        moved = service.predict_delta(
+            {"design": DESIGN, "model": "toy", "edits": [edit]})
+        assert moved.graph_version == 1
+        assert not moved.cache_hit
+        assert moved.prediction != first.prediction
+
+        cached = service.predict_delta(
+            {"design": DESIGN, "model": "toy", "edits": []})
+        assert cached.cache_hit and cached.graph_version == 1
+        assert cached.prediction == moved.prediction
+
+        rebase = service.predict({"design": DESIGN, "model": "toy"})
+        assert rebase.cache_hit
+        assert rebase.prediction == base.prediction
+
+
+# -- service-driven optimizer loops (opt.use_service) --------------------------
+class TestServiceDrivenOpt:
+    def test_sizing_keeps_local_and_served_designs_in_sync(self, service):
+        from repro.flow import Flow
+        from repro.opt import size_for_setup
+        from repro.serving import DeltaClient
+        flow = Flow.from_benchmark(DESIGN, scale=SCALE).place(seed=1)
+        timer = flow.incremental_timer(tolerance=0.0)
+        client = DeltaClient(service, DESIGN, model="toy")
+        outcome = size_for_setup(timer, max_swaps=3, k_paths=4,
+                                 max_rounds=1, use_service=client)
+        assert outcome.predicted_wns == pytest.approx(
+            client.wns_setup_ps())
+        session = service.delta_session(DESIGN)
+        rejects = outcome.trials - len(outcome.swaps)
+        assert session.version == outcome.trials + rejects
+        for ours, theirs in zip(flow.design.cells,
+                                session.patcher.design.cells):
+            assert ours.name == theirs.name
+            assert ours.cell_type.name == theirs.cell_type.name
+
+    def test_buffering_keeps_local_and_served_designs_in_sync(self,
+                                                              service):
+        from repro.flow import Flow
+        from repro.opt import buffer_critical_nets
+        from repro.serving import DeltaClient
+        flow = Flow.from_benchmark(DESIGN, scale=SCALE).place(seed=1)
+        flow.extract()
+        client = DeltaClient(service, DESIGN, model="toy")
+        _result, outcome = buffer_critical_nets(
+            flow.design, flow.placement, flow.result, max_buffers=2,
+            use_service=client)
+        assert outcome.predicted_wns == pytest.approx(
+            client.wns_setup_ps())
+        session = service.delta_session(DESIGN)
+        rejects = outcome.trials - len(outcome.inserted)
+        assert session.version == outcome.trials + rejects
+        assert len(session.patcher.design.cells) == len(flow.design.cells)
+        assert [c.name for c in session.patcher.design.cells] == \
+            [c.name for c in flow.design.cells]
+
+
+# -- through the pre-fork pool -------------------------------------------------
+class TestPooledDelta:
+    @pytest.mark.parametrize("backend", ["fused", "naive"])
+    def test_pooled_matches_in_process(self, toy_model, backend):
+        pooled = PooledPredictionService(
+            registry=_toy_registry(toy_model), scale=SCALE, workers=2,
+            kernels=backend)
+        reference = PredictionService(registry=_toy_registry(toy_model),
+                                      scale=SCALE)
+        try:
+            bodies = [{"design": DESIGN, "model": "toy", "edits": []}]
+            edit = _move_edit(reference.delta_session(DESIGN).patcher)
+            bodies.append({"design": DESIGN, "model": "toy",
+                           "edits": [edit], "no_cache": True})
+            for body in bodies:
+                ours = pooled.predict_delta(dict(body))
+                theirs = reference.predict_delta(dict(body))
+                assert ours.graph_version == theirs.graph_version
+                assert not ours.degraded
+                for key, value in theirs.prediction.items():
+                    if isinstance(value, float):
+                        assert ours.prediction[key] == \
+                            pytest.approx(value, abs=1e-6), key
+                    else:
+                        assert ours.prediction[key] == value, key
+            completed = sum(w["completed"] for w in
+                            pooled.router.stats()["per_worker"])
+            assert completed >= 1      # the pool actually served deltas
+        finally:
+            pooled.close()
+            reference.close()
+
+
+# -- worker loop MSG_DELTA handling, driven in-process -------------------------
+class TestWorkerDeltaInProcess:
+    """Drive PoolWorker's delta branches in this process over plain
+    queues (the TestPoolWorker idiom): forked worker processes are
+    invisible to the coverage tracer, and the protocol error paths —
+    out-of-sync sessions, unpublished models, expired deadlines — are
+    directly assertable here."""
+
+    def _drain(self, qout):
+        import queue
+        out = []
+        while True:
+            try:
+                out.append(qout.get_nowait())
+            except queue.Empty:
+                return out
+
+    def test_delta_protocol_branches(self, toy_model):
+        import os
+        import queue
+
+        from repro.parallel import ShmArena
+        from repro.serving.pool.worker import (MSG_DELTA, MSG_MODEL,
+                                               MSG_STOP, PoolWorker,
+                                               R_ERR, R_EXPIRED, R_OK)
+        arena = ShmArena(prefix=f"rptest{os.getpid():x}d1")
+        params = {n: p.data for n, p in toy_model.named_parameters()}
+        model_seg = arena.publish("model", params)
+        model_spec = {"kind": "timing", "cls": "TimingGNN",
+                      "config": toy_model.cfg}
+
+        local = DeltaSession(DESIGN, 1, SCALE, key="wk")
+        entry = _entry(toy_model)
+        edit1 = parse_edits([_move_edit(local.patcher, idx=3)])
+        edit2 = parse_edits([_move_edit(local.patcher, idx=9,
+                                        frac=(0.6, 0.3))])
+        spec = {"design": DESIGN, "seed": 1, "scale": SCALE}
+        ctx = ("feedfacecafebeef", "1234abcd5678ef00", time.time())
+
+        qin, qout = queue.Queue(), queue.Queue()
+        qin.put((MSG_MODEL, "toy", "v1", model_seg, model_spec))
+        qin.put((MSG_DELTA, 1, "toy", "wk", dict(spec, version=1),
+                 edit1, False, None, ctx))
+        qin.put((MSG_DELTA, 2, "toy", "wk", dict(spec, version=2),
+                 edit2, False, None))
+        qin.put((MSG_DELTA, 3, "toy", "wk", dict(spec, version=99),
+                 [], False, None))
+        qin.put((MSG_DELTA, 4, "ghost", "wk", dict(spec, version=0),
+                 [], False, None))
+        qin.put((MSG_DELTA, 5, "toy", "wk", dict(spec, version=0),
+                 [], False, time.time() - 1.0))
+        qin.put((MSG_STOP,))
+        worker = PoolWorker(0, qin, qout, window_s=0.001, poll_s=0.01)
+        worker.serve()
+        arena.close_all()
+        responses = self._drain(qout)
+
+        oks = {r[1]: r for r in responses if r[0] == R_OK}
+        errs = {r[1]: r for r in responses if r[0] == R_ERR}
+        assert set(oks) == {1, 2} and set(errs) == {3, 4}
+        assert (R_EXPIRED, 5) in responses
+
+        # Payload parity with an in-process session replaying the same
+        # edit stream (both sessions are deterministic rebuilds).
+        local.apply(edit1)
+        state, _ = local.refresh(entry)
+        expected1 = _timing_payload(local.hetero, state.arrival, False)
+        assert oks[1][2] == expected1
+        local.apply(edit2)
+        state, _ = local.refresh(entry)
+        assert oks[2][2] == _timing_payload(local.hetero, state.arrival,
+                                            False)
+
+        # Traced request: root span + forward, plus the session build
+        # (request 1 created the worker-local session).
+        spans = oks[1][4]
+        names = [s["name"] for s in spans]
+        assert names[0] == "worker.predict_delta"
+        assert spans[0]["trace_id"] == "feedfacecafebeef"
+        assert "worker.delta_forward" in names
+        assert "worker.session_build" in names
+        assert oks[2][4] == []          # untraced 8-tuple: no spans
+        assert "out of sync" in errs[3][2]
+        assert "not published" in errs[4][2]
+        # The out-of-sync request dropped the cached session.
+        assert worker._sessions == {}
+
+
+# -- HTTP front-end ------------------------------------------------------------
+def _post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestHTTPDelta:
+    @pytest.fixture()
+    def server(self, toy_model):
+        svc = PredictionService(registry=_toy_registry(toy_model),
+                                scale=SCALE)
+        with ServingServer(svc) as srv:
+            yield srv
+
+    def test_delta_endpoint_roundtrip(self, server):
+        status, body = _post(server.url + "/predict/delta",
+                             {"design": DESIGN, "model": "toy",
+                              "edits": []})
+        assert status == 200
+        assert body["graph_version"] == 0 and body["num_edits"] == 0
+        assert body["prediction"]["num_endpoints"] > 0
+        assert body["trace_id"]
+
+        status, full = _post(server.url + "/predict",
+                             {"design": DESIGN, "model": "toy"})
+        assert full["prediction"] == body["prediction"]
+
+    def test_delta_endpoint_applies_edits(self, server, toy_model):
+        session = server.service.delta_session(DESIGN)
+        edit = _move_edit(session.patcher)
+        status, body = _post(server.url + "/predict/delta",
+                             {"design": DESIGN, "model": "toy",
+                              "edits": [edit]})
+        assert status == 200
+        assert body["graph_version"] == 1 and body["num_edits"] == 1
+        ref = full_reextract(session.patcher)
+        with nn.no_grad():
+            arrival = toy_model.predict(ref).numpy_arrival()
+        assert body["prediction"] == _timing_payload(ref, arrival, False)
+
+    def test_delta_endpoint_4xx(self, server):
+        status, body = _post(server.url + "/predict/delta",
+                             {"model": "toy", "edits": []})
+        assert status == 400 and "error" in body
+        status, _ = _post(server.url + "/predict/delta",
+                          {"design": DESIGN, "model": "toy",
+                           "edits": [{"op": "explode"}]})
+        assert status == 400
+
+
+# -- IncrementalTimer edge cases (satellite: sta substrate) --------------------
+@pytest.fixture()
+def timer_setup():
+    library = make_sky130_like_library()
+    design = build_benchmark("zipdiv", library)
+    placement = place_design(design, seed=1)
+    routing = route_design(design, placement)
+    graph = build_timing_graph(design)
+    result = run_sta(design, placement, routing, graph=graph)
+    timer = IncrementalTimer(design, placement, routing, graph, result)
+    return design, placement, graph, result, result.clock_period, timer
+
+
+def _full_reference(design, placement, graph, clock):
+    routing = route_design(design, placement)
+    return run_sta(design, placement, routing, clock_period=clock,
+                   graph=graph)
+
+
+def _assert_timer_matches(timer, result, reference):
+    timer.refresh_required()
+    np.testing.assert_allclose(result.arrival, reference.arrival,
+                               atol=1e-6)
+    np.testing.assert_allclose(result.slew, reference.slew, atol=1e-6)
+    np.testing.assert_allclose(result.required, reference.required,
+                               atol=1e-6, equal_nan=True)
+
+
+class TestTimerEdgeCases:
+    def test_move_cell_in_primary_input_cone(self, timer_setup):
+        """A cell fed directly by a PI: the cone starts at level 0."""
+        design, placement, graph, result, clock, timer = timer_setup
+        cell = next(
+            c for c in design.combinational_cells
+            if any(p.direction == "input" and p.net is not None
+                   and p.net.driver is not None and p.net.driver.is_port
+                   and not p.net.driver.is_clock
+                   for p in c.pins.values()))
+        timer.move_cell(cell, [placement.die.width * 0.05,
+                               placement.die.height * 0.05])
+        reference = _full_reference(design, placement, graph, clock)
+        _assert_timer_matches(timer, result, reference)
+
+    def test_move_worst_endpoint_driver(self, timer_setup):
+        """Editing the critical path's endpoint updates the WNS."""
+        design, placement, graph, result, clock, timer = timer_setup
+        path = enumerate_worst_paths(result, k=1, mode="setup")[0]
+        pin = graph.node_pins[path.endpoint]
+        cell = pin.cell if pin.cell is not None else pin.net.driver.cell
+        assert cell is not None
+        timer.move_cell(cell, [placement.die.width * 0.95,
+                               placement.die.height * 0.95])
+        reference = _full_reference(design, placement, graph, clock)
+        _assert_timer_matches(timer, result, reference)
+        assert timer.wns("setup") == pytest.approx(
+            reference.wns("setup"), abs=1e-6)
+
+    def test_back_to_back_overlapping_cones(self, timer_setup):
+        """Two cells on the same path, edited alternately: the second
+        cone overlaps the first and must not resurrect stale state."""
+        design, placement, graph, result, clock, timer = timer_setup
+        first = next(
+            c for c in design.combinational_cells
+            if any(p.direction == "output" and p.net is not None
+                   and any(s.cell is not None and not s.cell.is_sequential
+                           for s in p.net.sinks)
+                   for p in c.pins.values()))
+        out = next(p for p in first.pins.values()
+                   if p.direction == "output" and p.net is not None)
+        second = next(s.cell for s in out.net.sinks
+                      if s.cell is not None and not s.cell.is_sequential)
+        die = placement.die
+        timer.move_cell(first, [die.width * 0.2, die.height * 0.2])
+        timer.move_cell(second, [die.width * 0.8, die.height * 0.8])
+        timer.move_cell(first, [die.width * 0.5, die.height * 0.5])
+        reference = _full_reference(design, placement, graph, clock)
+        _assert_timer_matches(timer, result, reference)
+
+    def test_move_last_level_cell_empty_downstream_cone(self, timer_setup):
+        """A cell whose fanout is all endpoints: the downstream cone is
+        empty, so the update must terminate after the touched nodes."""
+        design, placement, graph, result, clock, timer = timer_setup
+        cell = next(
+            c for c in design.combinational_cells
+            if all(s.is_port or (s.cell is not None
+                                 and s.cell.is_sequential
+                                 and not s.is_clock)
+                   for p in c.pins.values()
+                   if p.direction == "output" and p.net is not None
+                   for s in p.net.sinks))
+        timer.move_cell(cell, [placement.die.width * 0.4,
+                               placement.die.height * 0.6])
+        assert 0 < timer.last_update_nodes < graph.num_nodes
+        reference = _full_reference(design, placement, graph, clock)
+        _assert_timer_matches(timer, result, reference)
