@@ -50,6 +50,19 @@ EOF
         tests/test_models.py \
         "tests/test_delta.py::TestEditDifferential"
 
+    echo "== kernel suite under float32 and threaded execution =="
+    # The compute-performance axes must each hold the fused==naive
+    # contract: float32 training dtype (dtype-aware tolerances), the
+    # serial thread budget, and a 4-thread budget with the engagement
+    # threshold forced to 1 row so the chunked matmul/segment paths
+    # actually run on test-sized inputs.
+    REPRO_DTYPE=float32 python -m pytest -x -q \
+        tests/test_nn_autograd.py tests/test_arena.py
+    REPRO_COMPUTE_THREADS=1 python -m pytest -x -q \
+        tests/test_nn_autograd.py tests/test_arena.py
+    REPRO_COMPUTE_THREADS=4 REPRO_COMPUTE_MIN_ROWS=1 python -m pytest -x -q \
+        tests/test_nn_autograd.py tests/test_arena.py
+
     echo "== coverage floors (repro.parallel, repro.nn, repro.obs, repro.serving, repro.sta) =="
     python scripts/coverage_floor.py --min 80
 
@@ -187,34 +200,59 @@ print(f"fleet /metrics ok: worker-labeled series present, "
 EOF
 
 echo "== compute benchmark smoke (fused vs. naive kernels) =="
+# CI smoke settings for the speedup gate: the suite's largest design at
+# scale 0.75, --quick stages (forward + forward_backward), interleaved
+# min-of-7-reps timing.  The forward_backward geomean (fused at its
+# best dtype vs. the naive float64 reference) must clear 2.5x.
 python -m repro.cli bench-compute \
-    --num-designs 1 --scale 0.25 --reps 1 \
-    --stages forward forward_backward \
+    --quick --scale 0.75 --designs aes256 \
     --bench-json BENCH_compute_smoke.json
 
-echo "== BENCH_compute_smoke.json well-formed check =="
+echo "== BENCH_compute_smoke.json well-formed + speedup-gate check =="
 python - <<'EOF'
 import json
 
 with open("BENCH_compute_smoke.json") as fh:
     bench = json.load(fh)
 required = ["benchmark", "schema_version", "generated_at", "params",
-            "backends", "stages", "reps", "designs", "summary"]
+            "backends", "dtypes", "stages", "reps", "designs", "summary"]
 missing = [key for key in required if key not in bench]
 assert not missing, f"BENCH_compute_smoke.json missing keys: {missing}"
 assert bench["benchmark"] == "compute"
+assert bench["schema_version"] >= 2, bench["schema_version"]
 assert set(bench["backends"]) == {"naive", "fused"}
+assert set(bench["dtypes"]) == {"float64", "float32"}
+assert bench["params"]["threads"] >= 1
 assert bench["designs"], "no designs benchmarked"
 for row in bench["designs"]:
-    for backend in ("naive", "fused"):
-        for stage in bench["stages"]:
-            assert row["times_ms"][backend][stage] > 0.0
-    assert all(v > 0.0 for v in row["speedup"].values())
+    # v2 nesting: times_ms[backend][dtype][stage]; naive runs the
+    # float64 reference only, fused runs every dtype.
+    assert set(row["times_ms"]["naive"]) == {"float64"}
+    assert set(row["times_ms"]["fused"]) == set(bench["dtypes"])
+    for backend, per_dtype in row["times_ms"].items():
+        for dtype, stages in per_dtype.items():
+            for stage in bench["stages"]:
+                assert stages[stage] > 0.0, (backend, dtype, stage)
+            # per-cell instrumentation columns
+            assert row["allocations_per_step"][backend][dtype] > 0
+            assert row["peak_rss_mb"][backend][dtype] > 0.0
+    for dtype, stages in row["speedup"].items():
+        assert all(v > 0.0 for v in stages.values()), dtype
+    # Arena planning must beat the naive tape on allocation traffic.
+    naive_allocs = row["allocations_per_step"]["naive"]["float64"]
+    for dtype in bench["dtypes"]:
+        assert row["allocations_per_step"]["fused"][dtype] < naive_allocs
 for stage in bench["stages"]:
     assert f"speedup_{stage}_geomean" in bench["summary"]
-best = bench["summary"][f"speedup_{bench['stages'][-1]}_best"]
+    for dtype in bench["dtypes"]:
+        assert f"speedup_{stage}_geomean_{dtype}" in bench["summary"]
+geomean = bench["summary"]["speedup_forward_backward_geomean"]
+assert geomean >= 2.5, \
+    f"forward_backward speedup gate: geomean {geomean:.2f}x < 2.5x"
 print(f"BENCH_compute_smoke.json ok: {len(bench['designs'])} design(s), "
-      f"best {bench['stages'][-1]} speedup {best:.2f}x")
+      f"forward_backward geomean {geomean:.2f}x "
+      f"(best dtype "
+      f"{bench['summary']['speedup_forward_backward_best_dtype']})")
 EOF
 rm -f BENCH_compute_smoke.json
 

@@ -9,20 +9,29 @@ dataset designs under both kernel backends (see
   ``backward(free=True)``;
 * ``train_step`` — the above plus gradient clipping and one Adam step.
 
-Each (design, backend, stage) cell is the mean wall time of ``reps``
-passes after ``warmup`` untimed ones (the first pass also builds the
-graph's cached :class:`~repro.graphdata.hetero.LevelSchedule`, which
-both backends share).  Speedups are naive/fused time ratios.  Results
-feed the process metrics registry (``repro_compute_*``) and are recorded
-to a schema-versioned ``BENCH_compute.json`` at the repo root so the
-kernel-speedup trajectory is tracked across PRs, like
-``BENCH_serving.json`` does for the serving layer.
+Schema v2 adds the **dtype axis**: the naive backend runs at float64
+only (the seed's precision — it is the reference denominator), the
+fused backend runs at every requested dtype, and speedups are always
+*versus naive@float64*.  Cells are timed **interleaved** — one rep of
+every (backend, dtype) cell per round, taking the per-cell minimum —
+so slow drifts in machine load hit all cells alike instead of biasing
+whichever cell ran during a noisy window.  Each cell also gets one
+untimed instrumented ``forward_backward`` pass recording
+``allocations_per_step`` (numpy buffer-constructor calls — the traffic
+the tape arena exists to eliminate) and ``peak_rss_mb`` (tracemalloc
+peak of traced allocations, the portable stand-in for resident-set
+growth).  Results feed the process metrics registry
+(``repro_compute_*``) and are recorded to a schema-versioned
+``BENCH_compute.json`` at the repo root so the kernel-speedup
+trajectory is tracked across PRs, like ``BENCH_serving.json`` does for
+the serving layer.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import tracemalloc
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -36,16 +45,22 @@ __all__ = ["COMPUTE_BENCH_SCHEMA_VERSION", "STAGES", "DesignBench",
            "ComputeBenchResult", "run_compute_bench",
            "format_compute_report", "write_compute_bench_json"]
 
-COMPUTE_BENCH_SCHEMA_VERSION = 1
+COMPUTE_BENCH_SCHEMA_VERSION = 2
 
 STAGES = ("forward", "forward_backward", "train_step")
+
+#: The naive backend always runs at the seed precision; fused cells
+#: are compared against this one reference cell.
+REFERENCE_CELL = ("naive", "float64")
 
 _log = get_logger("repro.bench")
 
 
 @dataclass
 class DesignBench:
-    """Per-design timings: ``times_ms[backend][stage]`` and speedups."""
+    """Per-design timings: ``times_ms[backend][dtype][stage]`` (min over
+    interleaved reps) plus per-cell allocation/memory instrumentation.
+    ``speedup[dtype][stage]`` is naive@float64 over fused@dtype."""
 
     name: str
     nodes: int
@@ -54,11 +69,14 @@ class DesignBench:
     levels: int
     times_ms: dict = field(default_factory=dict)
     speedup: dict = field(default_factory=dict)
+    allocations_per_step: dict = field(default_factory=dict)
+    peak_rss_mb: dict = field(default_factory=dict)
 
 
 @dataclass
 class ComputeBenchResult:
     backends: tuple
+    dtypes: tuple
     stages: tuple
     reps: int
     warmup: int
@@ -68,68 +86,137 @@ class ComputeBenchResult:
     def to_dict(self):
         out = asdict(self)
         out["backends"] = list(self.backends)
+        out["dtypes"] = list(self.dtypes)
         out["stages"] = list(self.stages)
         return out
 
 
 def _fresh_model(cfg):
-    # Same seed per (design, backend, stage) cell: both backends time the
-    # exact same weights, so the comparison is apples to apples.
+    # Same seed per (design, backend, dtype) cell: every cell times the
+    # exact same weights (cast to its dtype), so the comparison is
+    # apples to apples.
     return TimingGNN(cfg, rng=np.random.default_rng(cfg.seed))
 
 
-def _run_stage(graph, cfg, stage, reps, warmup):
-    """Mean ms per pass of one stage on one design, current backend."""
-    model = _fresh_model(cfg)
-    if stage == "train_step":
-        optim = nn.Adam(model.parameters(), lr=1e-3)
+def _bench_cells(backends, dtypes):
+    """The (backend, dtype) cells one bench run times."""
+    cells = []
+    if "naive" in backends:
+        cells.append(REFERENCE_CELL)
+    if "fused" in backends:
+        for dt in dtypes:
+            cells.append(("fused", dt))
+    return cells
 
-    def one_pass():
-        if stage == "forward":
-            with nn.no_grad():
-                model(graph)
-            return
-        pred = model(graph)
-        loss, _parts = combined_loss(pred, graph)
-        if stage == "forward_backward":
-            model.zero_grad()
-            loss.backward(free=True)
-        else:
-            optim.zero_grad()
-            loss.backward(free=True)
-            nn.clip_grad_norm(model.parameters(), 5.0)
-            optim.step()
 
-    for _ in range(warmup):
-        one_pass()
-    t0 = time.perf_counter()
-    for _ in range(reps):
-        one_pass()
-    return (time.perf_counter() - t0) * 1000.0 / max(reps, 1)
+class _CellRunner:
+    """One (backend, dtype) cell: its model, optimizer and pass bodies."""
+
+    def __init__(self, graph, cfg, cell, stages):
+        self.graph = graph
+        self.cell = cell
+        with nn.use_kernels(cell[0]), nn.use_dtype(cell[1]):
+            self.model = _fresh_model(cfg)
+            self.optim = (nn.Adam(self.model.parameters(), lr=1e-3)
+                          if "train_step" in stages else None)
+
+    def run(self, stage):
+        backend, dtype = self.cell
+        with nn.use_kernels(backend), nn.use_dtype(dtype):
+            if stage == "forward":
+                with nn.no_grad():
+                    self.model(self.graph)
+                return
+            pred = self.model(self.graph)
+            loss, _parts = combined_loss(pred, self.graph)
+            if stage == "forward_backward":
+                self.model.zero_grad()
+                loss.backward(free=True)
+            else:
+                self.optim.zero_grad()
+                loss.backward(free=True)
+                nn.clip_grad_norm(self.model.parameters(), 5.0)
+                self.optim.step()
+
+
+_ALLOC_FNS = ("empty", "zeros", "ones", "full", "empty_like",
+              "zeros_like", "ones_like", "concatenate", "copy", "stack")
+
+
+def _count_allocations(fn):
+    """Run ``fn()`` counting numpy buffer-constructor calls.
+
+    Counts the module-level constructors the tape and kernels allocate
+    through (``np.empty``/``np.zeros``/``np.concatenate``/...), i.e.
+    exactly the traffic arena planning and the gradient pool recycle
+    away; ufunc temporaries below the numpy C layer are not visible
+    here and not counted.
+    """
+    count = [0]
+    saved = {}
+
+    def wrap(orig):
+        def inner(*args, **kwargs):
+            count[0] += 1
+            return orig(*args, **kwargs)
+        return inner
+
+    for name in _ALLOC_FNS:
+        saved[name] = getattr(np, name)
+        setattr(np, name, wrap(saved[name]))
+    try:
+        fn()
+    finally:
+        for name, orig in saved.items():
+            setattr(np, name, orig)
+    return count[0]
+
+
+def _instrument_cell(runner, stage):
+    """One untimed instrumented pass: (allocations, traced peak MiB)."""
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    allocs = _count_allocations(lambda: runner.run(stage))
+    _current, peak = tracemalloc.get_traced_memory()
+    if not was_tracing:
+        tracemalloc.stop()
+    return allocs, peak / (1024.0 * 1024.0)
 
 
 def run_compute_bench(graphs, cfg=None, reps=3, warmup=1, stages=STAGES,
-                      backends=("naive", "fused")):
-    """Benchmark both kernel backends over ``graphs``.
+                      backends=("naive", "fused"),
+                      dtypes=("float64", "float32")):
+    """Benchmark the kernel-backend x dtype grid over ``graphs``.
 
     ``graphs`` is a list of :class:`~repro.graphdata.HeteroGraph`;
-    returns a :class:`ComputeBenchResult`.  The active-backend context
-    is set per cell with :class:`repro.nn.use_kernels`, so the process
-    default (``REPRO_KERNELS``) is untouched.
+    returns a :class:`ComputeBenchResult`.  Backend and dtype are set
+    per cell with :class:`repro.nn.use_kernels` /
+    :class:`repro.nn.use_dtype`, so the process defaults
+    (``REPRO_KERNELS``, ``REPRO_DTYPE``) are untouched.  The thread
+    budget is whatever ``REPRO_COMPUTE_THREADS`` / an enclosing
+    :class:`repro.nn.use_threads` selects; it is recorded by the CLI in
+    the artefact params.
     """
     cfg = cfg or ModelConfig.benchmark()
     stages = tuple(stages)
     backends = tuple(backends)
+    dtypes = tuple(dtypes)
     for stage in stages:
         if stage not in STAGES:
             raise ValueError(f"unknown bench stage {stage!r}")
+    for dt in dtypes:
+        if dt not in nn.DTYPES:
+            raise ValueError(f"unknown bench dtype {dt!r}")
+    cells = _bench_cells(backends, dtypes)
     registry = get_registry()
     stage_ms = {
-        (b, s): registry.histogram(
+        (b, d, s): registry.histogram(
             "repro_compute_stage_ms",
             "Wall time per full-model pass in the compute benchmark.",
-            backend=b, stage=s)
-        for b in backends for s in stages}
+            backend=b, dtype=d, stage=s)
+        for b, d in cells for s in stages}
     rows = []
     with get_tracer().span("bench.compute", designs=len(graphs),
                            reps=reps) as span:
@@ -138,47 +225,86 @@ def run_compute_bench(graphs, cfg=None, reps=3, warmup=1, stages=STAGES,
                 name=graph.name, nodes=graph.num_nodes,
                 net_edges=graph.num_net_edges,
                 cell_edges=graph.num_cell_edges, levels=graph.num_levels)
-            for backend in backends:
-                with nn.use_kernels(backend):
-                    row.times_ms[backend] = {
-                        stage: _run_stage(graph, cfg, stage, reps, warmup)
-                        for stage in stages}
-                for stage in stages:
-                    stage_ms[backend, stage].observe(
-                        row.times_ms[backend][stage])
-            if "naive" in backends and "fused" in backends:
-                for stage in stages:
-                    ratio = (row.times_ms["naive"][stage]
-                             / max(row.times_ms["fused"][stage], 1e-9))
-                    row.speedup[stage] = ratio
-                    registry.gauge(
-                        "repro_compute_speedup",
-                        "Naive/fused wall-time ratio per design and stage.",
-                        design=row.name, stage=stage).set(ratio)
+            runners = {cell: _CellRunner(graph, cfg, cell, stages)
+                       for cell in cells}
+            for stage in stages:
+                for cell in cells:
+                    for _ in range(warmup):
+                        runners[cell].run(stage)
+                best = {cell: float("inf") for cell in cells}
+                # Interleave: one rep of every cell per round, so load
+                # drifts hit all cells alike; keep the per-cell min.
+                for _ in range(max(reps, 1)):
+                    for cell in cells:
+                        t0 = time.perf_counter()
+                        runners[cell].run(stage)
+                        ms = (time.perf_counter() - t0) * 1000.0
+                        if ms < best[cell]:
+                            best[cell] = ms
+                for (b, d), ms in best.items():
+                    row.times_ms.setdefault(b, {}).setdefault(d, {})[
+                        stage] = ms
+                    stage_ms[b, d, stage].observe(ms)
+            inst_stage = ("forward_backward"
+                          if "forward_backward" in stages else stages[0])
+            for cell in cells:
+                b, d = cell
+                allocs, peak_mb = _instrument_cell(runners[cell], inst_stage)
+                row.allocations_per_step.setdefault(b, {})[d] = allocs
+                row.peak_rss_mb.setdefault(b, {})[d] = round(peak_mb, 3)
+            ref = row.times_ms.get(REFERENCE_CELL[0], {}).get(
+                REFERENCE_CELL[1], {})
+            if ref and "fused" in row.times_ms:
+                for dt, per_stage in row.times_ms["fused"].items():
+                    row.speedup[dt] = {}
+                    for stage in stages:
+                        ratio = ref[stage] / max(per_stage[stage], 1e-9)
+                        row.speedup[dt][stage] = ratio
+                        registry.gauge(
+                            "repro_compute_speedup",
+                            "naive@float64 / fused wall-time ratio per "
+                            "design, dtype and stage.",
+                            design=row.name, dtype=dt, stage=stage,
+                        ).set(ratio)
             _log.info("bench.compute.design", design=row.name,
                       nodes=row.nodes, **{
-                          f"speedup_{k}": round(v, 3)
-                          for k, v in row.speedup.items()})
+                          f"speedup_{stage}_{dt}": round(v, 3)
+                          for dt, stages_ in row.speedup.items()
+                          for stage, v in stages_.items()})
             rows.append(row)
-        summary = _summarize(rows, stages)
-        span.set(**{f"best_{k}": v for k, v in summary.items()
+        summary = _summarize(rows, stages, dtypes)
+        span.set(**{k: v for k, v in summary.items()
                     if isinstance(v, (int, float))})
-    return ComputeBenchResult(backends=backends, stages=stages, reps=reps,
-                              warmup=warmup, designs=rows, summary=summary)
+    return ComputeBenchResult(backends=backends, dtypes=dtypes,
+                              stages=stages, reps=reps, warmup=warmup,
+                              designs=rows, summary=summary)
 
 
-def _summarize(rows, stages):
-    """Best and geometric-mean speedup per stage across designs."""
+def _summarize(rows, stages, dtypes):
+    """Best and geometric-mean speedup per stage, per dtype and overall.
+
+    The unsuffixed ``speedup_{stage}_geomean`` / ``_best`` keys are the
+    best dtype's numbers — the headline the CI gate reads — with
+    ``_best_dtype`` naming which dtype that was.
+    """
     summary = {}
     for stage in stages:
-        ratios = [r.speedup[stage] for r in rows if stage in r.speedup]
-        if not ratios:
-            continue
-        best = int(np.argmax(ratios))
-        summary[f"speedup_{stage}_best"] = float(max(ratios))
-        summary[f"speedup_{stage}_best_design"] = rows[best].name
-        summary[f"speedup_{stage}_geomean"] = float(
-            np.exp(np.mean(np.log(ratios))))
+        best_geo = None
+        for dt in dtypes:
+            ratios = [r.speedup[dt][stage] for r in rows
+                      if stage in r.speedup.get(dt, {})]
+            if not ratios:
+                continue
+            geo = float(np.exp(np.mean(np.log(ratios))))
+            idx = int(np.argmax(ratios))
+            summary[f"speedup_{stage}_geomean_{dt}"] = geo
+            summary[f"speedup_{stage}_best_{dt}"] = float(max(ratios))
+            if best_geo is None or geo > best_geo:
+                best_geo = geo
+                summary[f"speedup_{stage}_geomean"] = geo
+                summary[f"speedup_{stage}_best"] = float(max(ratios))
+                summary[f"speedup_{stage}_best_design"] = rows[idx].name
+                summary[f"speedup_{stage}_best_dtype"] = dt
     return summary
 
 
@@ -214,28 +340,36 @@ def write_compute_bench_json(result, path="BENCH_compute.json", params=None):
 def format_compute_report(result):
     """Human-readable per-design table of one compute-bench run."""
     stages = list(result.stages)
-    head = f"{'design':<16}{'nodes':>7}" + "".join(
-        f"{s + ' n/f ms':>24}{'x':>7}" for s in stages)
-    lines = ["compute benchmark (fused vs. naive kernels, "
-             f"mean of {result.reps} reps)", head]
+    cells = _bench_cells(result.backends, result.dtypes)
+    lines = [f"compute benchmark (interleaved min of {result.reps} reps; "
+             f"reference {REFERENCE_CELL[0]}@{REFERENCE_CELL[1]})"]
     for row in result.designs:
-        cells = ""
-        for stage in stages:
-            naive = row.times_ms.get("naive", {}).get(stage)
-            fused = row.times_ms.get("fused", {}).get(stage)
-            pair = (f"{naive:>11.1f}/{fused:<8.1f}"
-                    if naive is not None and fused is not None else
-                    f"{'-':>20}")
-            ratio = row.speedup.get(stage)
-            cells += f"{pair:>24}" + (
-                f"{ratio:>6.2f}x" if ratio is not None else f"{'-':>7}")
-        lines.append(f"{row.name:<16}{row.nodes:>7}{cells}")
+        lines.append(f"{row.name}  ({row.nodes} nodes, "
+                     f"{row.levels} levels)")
+        for b, d in cells:
+            per_stage = row.times_ms.get(b, {}).get(d, {})
+            cols = "".join(
+                f"  {s}: {per_stage[s]:8.1f} ms" for s in stages
+                if s in per_stage)
+            sp = row.speedup.get(d, {}) if b == "fused" else {}
+            extra = ""
+            if sp:
+                extra = "  [" + " ".join(
+                    f"{s}:{sp[s]:.2f}x" for s in stages if s in sp) + "]"
+            allocs = row.allocations_per_step.get(b, {}).get(d)
+            mem = row.peak_rss_mb.get(b, {}).get(d)
+            if allocs is not None:
+                extra += f"  allocs/step {allocs}"
+            if mem is not None:
+                extra += f"  peak {mem:.1f} MiB"
+            lines.append(f"  {b}@{d:<9}{cols}{extra}")
     for stage in stages:
-        best = result.summary.get(f"speedup_{stage}_best")
-        if best is None:
+        geo = result.summary.get(f"speedup_{stage}_geomean")
+        if geo is None:
             continue
         lines.append(
-            f"  {stage:<17} best {best:5.2f}x "
-            f"({result.summary[f'speedup_{stage}_best_design']}), "
-            f"geomean {result.summary[f'speedup_{stage}_geomean']:5.2f}x")
+            f"  {stage:<17} best {result.summary[f'speedup_{stage}_best']:5.2f}x "
+            f"({result.summary[f'speedup_{stage}_best_design']}"
+            f"@{result.summary[f'speedup_{stage}_best_dtype']}), "
+            f"geomean {geo:5.2f}x")
     return "\n".join(lines)

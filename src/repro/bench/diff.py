@@ -65,6 +65,10 @@ def bench_fingerprint(payload):
             "backends": sorted(payload.get("backends", [])),
             "stages": sorted(payload.get("stages", [])),
             "scale": params.get("scale"),
+            # v2 axes: runs at a different precision grid or thread
+            # budget are different benchmarks, not regressions.
+            "dtypes": sorted(payload.get("dtypes", [])),
+            "threads": params.get("threads"),
         }
     elif kind == "serving":
         basis = {
@@ -92,12 +96,20 @@ def iter_bench_metrics(payload):
     """Yield ``(metric_name, value, higher_is_better)`` for one payload."""
     kind = payload.get("benchmark")
     if kind == "compute":
+        v2 = payload.get("schema_version", 1) >= 2
         for row in payload.get("designs", []):
             name = row.get("name", "?")
-            for backend, stages in (row.get("times_ms") or {}).items():
-                for stage, ms in stages.items():
-                    yield (f"{name}/{backend}/{stage}_ms",
-                           float(ms), False)
+            for backend, inner in (row.get("times_ms") or {}).items():
+                if v2:
+                    # v2 nests a dtype level: backend -> dtype -> stage.
+                    for dtype, stages in inner.items():
+                        for stage, ms in stages.items():
+                            yield (f"{name}/{backend}@{dtype}/{stage}_ms",
+                                   float(ms), False)
+                else:
+                    for stage, ms in inner.items():
+                        yield (f"{name}/{backend}/{stage}_ms",
+                               float(ms), False)
     elif kind == "serving":
         for metric, higher in (("throughput_rps", True),
                                ("latency_p50_ms", False),

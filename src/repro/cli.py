@@ -440,6 +440,17 @@ def _cmd_bench_compute(args):
     scale = args.scale
     if scale is None:
         scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    if args.quick:
+        # Smoke mode: one design at a bounded scale, the two stages the
+        # CI speedup gate reads, enough interleaved reps to dodge noise.
+        # Explicit --scale / --designs still win.
+        if args.scale is None:
+            scale = min(scale, 0.5)
+        if args.designs is None:
+            args.num_designs = 1
+        args.stages = ["forward", "forward_backward"]
+        args.reps = max(args.reps, 7)
+        args.warmup = max(args.warmup, 2)
     by_name = {b.name: b for b in BENCHMARKS}
     if args.designs:
         unknown = [n for n in args.designs if n not in by_name]
@@ -456,15 +467,26 @@ def _cmd_bench_compute(args):
         graphs = sorted((r.graph for r in records.values()),
                         key=lambda g: g.num_nodes,
                         reverse=True)[:args.num_designs]
-    print(f"benchmarking {len(graphs)} designs at scale {scale} "
-          f"({args.reps} reps, {args.warmup} warmup) ...")
-    result = run_compute_bench(graphs, reps=args.reps, warmup=args.warmup,
-                               stages=args.stages)
+    from . import nn
+    import contextlib
+
+    threads_ctx = (nn.use_threads(args.threads)
+                   if args.threads is not None else contextlib.nullcontext())
+    with threads_ctx:
+        threads = nn.thread_count()
+        print(f"benchmarking {len(graphs)} designs at scale {scale} "
+              f"({args.reps} reps, {args.warmup} warmup, "
+              f"dtypes {args.dtypes}, threads {threads}) ...")
+        result = run_compute_bench(graphs, reps=args.reps,
+                                   warmup=args.warmup, stages=args.stages,
+                                   dtypes=args.dtypes)
     print(format_compute_report(result))
     if args.bench_json:
         path = write_compute_bench_json(result, args.bench_json, params={
             "designs": [g.name for g in graphs], "scale": scale,
-            "reps": args.reps, "warmup": args.warmup})
+            "reps": args.reps, "warmup": args.warmup,
+            "dtypes": list(args.dtypes), "threads": threads,
+            "quick": bool(args.quick)})
         print(f"wrote {path}")
     return 0
 
@@ -942,6 +964,17 @@ def build_parser():
     p.add_argument("--stages", nargs="*",
                    default=["forward", "forward_backward", "train_step"],
                    choices=["forward", "forward_backward", "train_step"])
+    p.add_argument("--dtypes", nargs="*", default=["float64", "float32"],
+                   choices=["float64", "float32"],
+                   help="dtypes the fused backend is timed at (naive "
+                        "always runs the float64 reference)")
+    p.add_argument("--threads", type=int, default=None,
+                   help="compute-thread budget for the run (default: "
+                        "REPRO_COMPUTE_THREADS)")
+    p.add_argument("--quick", action="store_true",
+                   help="smoke mode: largest design only, forward + "
+                        "forward_backward, capped scale/reps — the CI "
+                        "smoke settings")
     p.add_argument("--bench-json", default="BENCH_compute.json",
                    help="record the run to this JSON file ('' disables)")
     p.set_defaults(func=_cmd_bench_compute)

@@ -80,7 +80,7 @@ class LevelCompute:
         "lut_rep", "lut_rep_sched", "lut_idx_x", "lut_idx_y", "lut_values",
     )
 
-    def __init__(self, graph, block):
+    def __init__(self, graph, block, dtype=np.float64):
         from ..nn.kernels import SegmentSchedule
 
         eids = block.net_eids
@@ -88,7 +88,7 @@ class LevelCompute:
         self.net_src = graph.net_src[eids]
         self.net_dst = graph.net_dst[eids]
         self.net_features = np.ascontiguousarray(
-            graph.net_features[eids], dtype=np.float64)
+            graph.net_features[eids], dtype=dtype)
         self.net_src_sched = SegmentSchedule(self.net_src)
         self.net_dst_sched = SegmentSchedule(self.net_dst)
 
@@ -103,11 +103,11 @@ class LevelCompute:
         self.cell_dst_sched = SegmentSchedule(self.cell_dst_edges)
         self.cell_seg_sched = SegmentSchedule(block.cell_seg)
         self.cell_valid = np.asarray(graph.cell_valid[ceids],
-                                     dtype=np.float64)
+                                     dtype=dtype)
         self.cell_indices = np.asarray(graph.cell_indices[ceids],
-                                       dtype=np.float64)
+                                       dtype=dtype)
         self.cell_values = np.asarray(graph.cell_values[ceids],
-                                      dtype=np.float64)
+                                      dtype=dtype)
         self.lut_rep = np.repeat(np.arange(e), 8)
         self.lut_rep_sched = SegmentSchedule(self.lut_rep)
         idx = self.cell_indices.reshape(e * 8, 14)
@@ -125,20 +125,43 @@ class LevelSchedule:
     and net-graph reduction schedules (used by the net embedding's
     sink->driver reduction every conv layer) plus one
     :class:`LevelCompute` per topological level.
+
+    Schedules are built per compute dtype (the cached feature arrays are
+    cast once, here, instead of per forward pass) and carry the
+    per-stage :class:`~repro.nn.arena.TapeArena` buffer-reuse plans —
+    cached next to the CSR schedules so a graph-version bump
+    (:meth:`HeteroGraph.build_levels`) invalidates the arenas together
+    with the index structures, keeping the delta path correct.
     """
 
     __slots__ = ("num_nodes", "num_levels", "sources",
-                 "net_src_sched", "net_dst_sched", "levels")
+                 "net_src_sched", "net_dst_sched", "levels",
+                 "dtype", "_arenas")
 
-    def __init__(self, graph):
+    def __init__(self, graph, dtype=np.float64):
         from ..nn.kernels import SegmentSchedule
 
+        self.dtype = np.dtype(dtype)
         self.num_nodes = graph.num_nodes
         self.num_levels = len(graph.levels)
         self.sources = np.nonzero(graph.is_source)[0]
         self.net_src_sched = SegmentSchedule(graph.net_src)
         self.net_dst_sched = SegmentSchedule(graph.net_dst)
-        self.levels = [LevelCompute(graph, block) for block in graph.levels]
+        self.levels = [LevelCompute(graph, block, dtype=self.dtype)
+                       for block in graph.levels]
+        self._arenas = {}
+
+    def arena(self, stage):
+        """The lazily created :class:`~repro.nn.arena.TapeArena` for one
+        execution stage (e.g. ``"train"`` / ``"infer"``) of this
+        schedule.  Dropped with the schedule on rebuild."""
+        from ..nn.arena import TapeArena
+
+        plan = self._arenas.get(stage)
+        if plan is None:
+            plan = self._arenas[stage] = TapeArena(
+                tag=f"{stage}/{self.dtype.name}")
+        return plan
 
 
 @dataclass
@@ -177,8 +200,9 @@ class HeteroGraph:
 
     levels: list = field(default_factory=list)   # list[LevelBlock]
 
-    # Lazily built LevelSchedule (compute_schedule); not part of the
-    # dataclass protocol so dataclasses.replace() resets it.
+    # Lazily built LevelSchedules keyed by dtype name (compute_schedule);
+    # not part of the dataclass protocol so dataclasses.replace() resets
+    # it.  None until first use, then {"float64": LevelSchedule, ...}.
     _schedule: object = field(default=None, init=False, repr=False,
                               compare=False)
 
@@ -248,19 +272,28 @@ class HeteroGraph:
         self._schedule = None      # level structure changed; rebuild lazily
         return self.levels
 
-    def compute_schedule(self):
+    def compute_schedule(self, dtype=None):
         """The cached :class:`LevelSchedule` for this graph (lazy-built).
 
-        Derived purely from the graph structure; callers that mutate the
-        structural arrays in place must call :meth:`build_levels` (which
+        One schedule is cached per compute dtype (``dtype=None`` means
+        the active :func:`repro.nn.dtype.active_dtype`).  Derived purely
+        from the graph structure; callers that mutate the structural
+        arrays in place must call :meth:`build_levels` (which
         invalidates the cache) before the next forward pass.
         """
+        if dtype is None:
+            from ..nn.dtype import active_dtype
+            dtype = active_dtype()
+        dtype = np.dtype(dtype)
         if not self.levels and self.num_nodes:
             self.build_levels()
-        if self._schedule is None or \
-                self._schedule.num_levels != len(self.levels):
-            self._schedule = LevelSchedule(self)
-        return self._schedule
+        if self._schedule is None:
+            self._schedule = {}
+        sched = self._schedule.get(dtype.name)
+        if sched is None or sched.num_levels != len(self.levels):
+            sched = LevelSchedule(self, dtype=dtype)
+            self._schedule[dtype.name] = sched
+        return sched
 
     # -- persistence --------------------------------------------------------------
     _ARRAY_FIELDS = [

@@ -316,14 +316,16 @@ class GraphPatcher:
         h = self.hetero
         pin_xy = self.placement.pin_xy
         node_pins = self.graph.node_pins
-        sched = h._schedule
+        scheds = list((h._schedule or {}).values())
         for eid in eids:
             eid = int(eid)
             sxy = pin_xy[node_pins[h.net_src[eid]].index]
             dxy = pin_xy[node_pins[h.net_dst[eid]].index]
             row = (dxy - sxy) / DIST_SCALE
             h.net_features[eid] = row
-            if sched is not None:
+            # Every cached per-dtype schedule mirrors the row (assignment
+            # into a float32 schedule casts, matching a fresh build).
+            for sched in scheds:
                 lv = sched.levels[self._net_lvl[eid]]
                 lv.net_features[self._net_pos[eid]] = row
 
@@ -338,8 +340,7 @@ class GraphPatcher:
         h.cell_valid[eid] = v
         h.cell_indices[eid] = idx.reshape(-1)
         h.cell_values[eid] = val.reshape(-1)
-        sched = h._schedule
-        if sched is not None:
+        for sched in (h._schedule or {}).values():
             lv = sched.levels[self._cell_lvl[eid]]
             pos = int(self._cell_pos[eid])
             lv.cell_valid[pos] = v

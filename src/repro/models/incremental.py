@@ -144,10 +144,11 @@ class IncrementalForwardState:
         gate = 1.0 / (1.0 + np.exp(-np.clip(model.agg_gate.data, -60, 60)))
 
         if full:
-            self.hp = np.zeros((n, d_prop))
-            self.atb = np.zeros((n, 4))
-            self.arrival = np.zeros((n, 4))
-            self.slew = np.zeros((n, 4))
+            dt = he.dtype
+            self.hp = np.zeros((n, d_prop), dtype=dt)
+            self.atb = np.zeros((n, 4), dtype=dt)
+            self.arrival = np.zeros((n, 4), dtype=dt)
+            self.slew = np.zeros((n, 4), dtype=dt)
         hp, atb = self.hp, self.atb
         node_dirty = np.ones(n, dtype=bool) if full \
             else np.zeros(n, dtype=bool)
@@ -227,7 +228,7 @@ class IncrementalForwardState:
                     cell_new_at = out_max * gate + out_min * (1.0 - gate)
                     aggs = []
                     if reduction in ("sum", "both"):
-                        agg = np.zeros((n_seg, d_prop))
+                        agg = np.zeros((n_seg, d_prop), dtype=msg.dtype)
                         scatter_add(agg, seg_local, msg, schedule=sub)
                         aggs.append(agg)
                     if reduction in ("max", "both"):

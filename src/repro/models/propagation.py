@@ -37,9 +37,12 @@ propagation.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from .. import nn
+from ..nn.arena import NULL_ARENA, arena_enabled
 from .config import ModelConfig
 from .net_embedding import num_reduction_channels, reduction_channels
 
@@ -261,6 +264,24 @@ class DelayPropagation(nn.Module):
         return h_prop, at, cell_delay, edge_order
 
 
+def _release_saved(alloc, saved):
+    """Return one MLP chain's saved activations to the arena.
+
+    ``saved`` is the ``(inputs, outputs, out)`` tuple of
+    :func:`repro.nn.kernels.mlp_chain_forward_raw`.  Only ``outputs``
+    (plus the distinct ``out_act`` copy) were allocated by the chain —
+    ``inputs[0]`` is the caller's buffer and ``inputs[k>0]`` alias
+    ``outputs[k-1]``, so releasing those too would double-release.
+    """
+    if saved is None:
+        return
+    _inputs, outputs, out = saved
+    for buf in outputs:
+        alloc.release(buf)
+    if not outputs or out is not outputs[-1]:
+        alloc.release(out)
+
+
 def _fused_propagate(model, graph, h_emb):
     """Level-fused propagation: the whole loop as ONE fused tape node.
 
@@ -278,6 +299,16 @@ def _fused_propagate(model, graph, h_emb):
     level's written rows (then zeroing them) and scatter-adding gather
     gradients while sweeping levels in reverse.
 
+    All tape intermediates come from the graph schedule's
+    :class:`~repro.nn.arena.TapeArena` when one is free (the forward
+    leases it for the episode; the backward releases buffers level by
+    level as their last read passes and ends the lease), so steady-state
+    training reruns the whole pass with zero fresh allocations.  Buffers
+    that escape the mega-op — the ``h_prop``/arrival outputs, the cell
+    delays, parameter gradients and the ``h_emb`` gradient — are always
+    freshly allocated.  Everything runs in ``h_emb``'s dtype (the
+    :func:`repro.nn.dtype.active_dtype` policy).
+
     Numerically equivalent to the composed graph within the
     fused==naive contract (only floating-point summation order
     differs); the full-model differential test pins the backends
@@ -290,12 +321,19 @@ def _fused_propagate(model, graph, h_emb):
     """
     kernels = nn.kernels
     cfg = model.cfg
-    sched = graph.compute_schedule()
+    he = h_emb.data
+    dtype = he.dtype
+    sched = graph.compute_schedule(dtype=dtype)
     n = graph.num_nodes
     d_prop, d_emb, q_dim = cfg.prop_dim, cfg.embedding_dim, cfg.lut_query_dim
-    he = h_emb.data
     reduction = model.reduction
     save = nn.is_grad_enabled()
+
+    plan = token = None
+    if arena_enabled():
+        plan = sched.arena("train" if save else "infer")
+        token = plan.begin()
+    alloc = plan if token is not None else NULL_ARENA
 
     st_init = model.source_init.fused_steps()
     st_at0 = model.source_at.fused_steps()
@@ -315,113 +353,203 @@ def _fused_propagate(model, graph, h_emb):
     scatter_add = kernels.scatter_add_rows
 
     gate = 1.0 / (1.0 + np.exp(-np.clip(model.agg_gate.data, -60, 60)))
+    gate_c = 1.0 - gate
 
-    hp = np.zeros((n, d_prop))
-    atb = np.zeros((n, 4))
+    # Outputs escape the mega-op as tensor data: always fresh.
+    hp = np.zeros((n, d_prop), dtype=dtype)
+    atb = np.zeros((n, 4), dtype=dtype)
+    n_cell = sum(len(lv.cell_eids) for lv in sched.levels)
+    cell_delay = np.zeros((n_cell, 4), dtype=dtype)
+
     sources = sched.sources
     s_init = s_at0 = None
+    src_bufs = []
     if len(sources):
-        he_src = he[sources]
+        he_src = alloc.take((len(sources), he.shape[1]), dtype)
+        he.take(sources, axis=0, out=he_src)
         init_out, s_init = mlp_fwd(he_src, st_init, out_act="tanh",
-                                   save=save)
+                                   save=save, alloc=alloc)
         at0_out, s_at0 = mlp_fwd(he_src, st_at0, out_act="softplus",
-                                 save=save)
+                                 save=save, alloc=alloc)
         hp[sources] = init_out
         atb[sources] = at0_out
+        if save:
+            src_bufs.append(he_src)
+        else:
+            alloc.release_all((he_src, init_out, at0_out))
 
     recs = []
-    delay_chunks, delay_orders = [], []
+    delay_orders = []
     chunk_off = 0
     for lv in sched.levels:
         rec = {}
+        bufs = []            # arena buffers whose last read is this
+        # level's backward sweep (released there, or now under no_grad)
         net_ctx = net_at = cell_ctx = cell_at = None
         if len(lv.net_eids):
             joint = gcat([hp, he, lv.net_features],
-                         [lv.net_src, lv.net_dst, None])
+                         [lv.net_src, lv.net_dst, None], alloc=alloc)
+            bufs.append(joint)
             net_ctx, rec["s_nctx"] = mlp_fwd(joint, st_net_prop,
-                                             out_act="tanh", save=save)
+                                             out_act="tanh", save=save,
+                                             alloc=alloc)
             inc_net, rec["s_ninc"] = mlp_fwd(joint, st_net_inc,
-                                             out_act="softplus", save=save)
-            net_at = atb[lv.net_src] + inc_net
+                                             out_act="softplus", save=save,
+                                             alloc=alloc)
+            net_at = alloc.take((len(lv.net_eids), 4), dtype)
+            atb.take(lv.net_src, axis=0, out=net_at)
+            net_at += inc_net
+            if not save:
+                bufs.extend((net_ctx, inc_net))
         if len(lv.cell_eids):
             e = len(lv.cell_eids)
-            q_in = gcat([hp, he], [lv.cell_src, lv.cell_dst_edges])
+            q_in = gcat([hp, he], [lv.cell_src, lv.cell_dst_edges],
+                        alloc=alloc)
+            bufs.append(q_in)
             q, rec["s_q"] = mlp_fwd(q_in, st_query, out_act="tanh",
-                                    save=save)
+                                    save=save, alloc=alloc)
             # lut_rep is np.repeat(arange(e), 8), so the query expansion
             # is a plain row repeat (and its gradient a reshape-sum).
-            q8 = np.repeat(q, 8, axis=0)
-            ax, rec["s_ax"] = mlp_fwd(gcat([q8, lv.lut_idx_x], [None, None]),
-                                      st_cx, save=save)
-            ay, rec["s_ay"] = mlp_fwd(gcat([q8, lv.lut_idx_y], [None, None]),
-                                      st_cy, save=save)
+            q8 = alloc.take((e * 8, q_dim), dtype)
+            q8.reshape(e, 8, q_dim)[...] = q[:, None, :]
+            if not save:
+                alloc.release(q)
+            ax_in = gcat([q8, lv.lut_idx_x], [None, None], alloc=alloc)
+            ay_in = gcat([q8, lv.lut_idx_y], [None, None], alloc=alloc)
+            alloc.release(q8)
+            bufs.extend((ax_in, ay_in))
+            ax, rec["s_ax"] = mlp_fwd(ax_in, st_cx, save=save, alloc=alloc)
+            ay, rec["s_ay"] = mlp_fwd(ay_in, st_cy, save=save, alloc=alloc)
             v3 = lv.lut_values.reshape(-1, 7, 7)
-            vy = np.matmul(v3, ay[:, :, None])[:, :, 0]
-            lut_out = (np.einsum("ij,ij->i", ax, vy).reshape(e, 8)
-                       * lv.cell_valid)
-            msg_in = np.concatenate([q_in, lut_out], axis=1)
+            vy = alloc.take((e * 8, 7), dtype)
+            np.matmul(v3, ay[:, :, None], out=vy[:, :, None])
+            if save:
+                rec["vy"] = vy
+            bufs.append(vy)
+            dot = alloc.take((e * 8,), dtype)
+            np.einsum("ij,ij->i", ax, vy, out=dot)
+            lut_out = alloc.take((e, 8), dtype)
+            np.multiply(dot.reshape(e, 8), lv.cell_valid, out=lut_out)
+            alloc.release(dot)
+            if not save:
+                alloc.release_all((ax, ay))
+            msg_in = gcat([q_in, lut_out], [None, None], alloc=alloc)
+            bufs.append(msg_in)
             msg, rec["s_msg"] = mlp_fwd(msg_in, st_msg, out_act="tanh",
-                                        save=save)
-            inc, rec["s_cinc"] = mlp_fwd(
-                np.concatenate([msg, lut_out], axis=1), st_cinc,
-                out_act="softplus", save=save)
-            delay_chunks.append(inc)
+                                        save=save, alloc=alloc)
+            cinc_in = gcat([msg, lut_out], [None, None], alloc=alloc)
+            alloc.release(lut_out)
+            bufs.append(cinc_in)
+            inc, rec["s_cinc"] = mlp_fwd(cinc_in, st_cinc,
+                                         out_act="softplus", save=save,
+                                         alloc=alloc)
+            cell_delay[chunk_off:chunk_off + e] = inc
             delay_orders.append(lv.cell_eids)
             rec["chunk"] = (chunk_off, chunk_off + e)
             chunk_off += e
-            cand = atb[lv.cell_src] + inc
+            cand = alloc.take((e, 4), dtype)
+            atb.take(lv.cell_src, axis=0, out=cand)
+            cand += inc
+            if not save:
+                alloc.release(inc)
+            bufs.append(cand)
             seg = lv.cell_seg_sched
             n_dst = len(lv.cell_dst)
-            out_max = extrema(cand, seg, n_dst, np.maximum)
-            out_min = extrema(cand, seg, n_dst, np.minimum)
-            cell_at = out_max * gate + out_min * (1.0 - gate)
-            aggs = []
-            if reduction in ("sum", "both"):
-                agg = np.zeros((n_dst, d_prop))
-                scatter_add(agg, lv.cell_seg, msg, schedule=seg)
-                aggs.append(agg)
-            if reduction in ("max", "both"):
-                agg_max = extrema(msg, seg, n_dst, np.maximum)
-                aggs.append(agg_max)
-                if save:
-                    rec["agg_max"] = agg_max
-            comb_in = gcat([he] + aggs, [lv.cell_dst] + [None] * len(aggs))
-            cell_ctx, rec["s_comb"] = mlp_fwd(comb_in, st_comb,
-                                              out_act="tanh", save=save)
+            out_max = extrema(cand, seg, n_dst, np.maximum, alloc=alloc)
+            out_min = extrema(cand, seg, n_dst, np.minimum, alloc=alloc)
             if save:
-                rec["vy"] = vy
                 rec["cand"] = cand
                 rec["out_max"] = out_max
                 rec["out_min"] = out_min
+            bufs.extend((out_max, out_min))
+            cell_at = alloc.take((n_dst, 4), dtype)
+            np.multiply(out_max, gate, out=cell_at)
+            t_min = alloc.take((n_dst, 4), dtype)
+            np.multiply(out_min, gate_c, out=t_min)
+            cell_at += t_min
+            alloc.release(t_min)
+            aggs = []
+            if reduction in ("sum", "both"):
+                agg = alloc.take((n_dst, d_prop), dtype, zero=True)
+                scatter_add(agg, lv.cell_seg, msg, schedule=seg,
+                            alloc=alloc)
+                aggs.append(agg)
+            if reduction in ("max", "both"):
+                agg_max = extrema(msg, seg, n_dst, np.maximum, alloc=alloc)
+                aggs.append(agg_max)
+                if save:
+                    rec["agg_max"] = agg_max
+                bufs.append(agg_max)
+            if not save:
+                alloc.release(msg)
+            comb_in = gcat([he] + aggs, [lv.cell_dst] + [None] * len(aggs),
+                           alloc=alloc)
+            if reduction in ("sum", "both"):
+                alloc.release(aggs[0])
+            bufs.append(comb_in)
+            cell_ctx, rec["s_comb"] = mlp_fwd(comb_in, st_comb,
+                                              out_act="tanh", save=save,
+                                              alloc=alloc)
+            if not save:
+                bufs.append(cell_ctx)
         # Writes after both branches' reads: level-L gathers always see
         # the pre-level state, exactly like the composed scatter_rows.
         if net_ctx is not None:
             hp[lv.net_dst] = net_ctx
             atb[lv.net_dst] = net_at
+            alloc.release(net_at)
         if cell_ctx is not None:
             hp[lv.cell_dst] = cell_ctx
             atb[lv.cell_dst] = cell_at
+            alloc.release(cell_at)
+        if save:
+            rec["bufs"] = bufs
+        else:
+            alloc.release_all(bufs)
         recs.append(rec)
 
-    if delay_chunks:
-        cell_delay = (delay_chunks[0] if len(delay_chunks) == 1
-                      else np.concatenate(delay_chunks, axis=0))
+    if delay_orders:
         edge_order = np.concatenate(delay_orders)
     else:
-        cell_delay = np.zeros((0, 4))
         edge_order = np.zeros(0, dtype=np.int64)
+
+    if not save and token is not None:
+        plan.end(token)
 
     # -- backward: one closure consuming all three output gradients ----------
     holder = {}
+
+    def _tie_grad(values, extrema_out, g_rows, seg, alloc):
+        """Tie-splitting extrema gradient: ``mask * (g / counts)[ids]``.
+
+        Returns an arena-owned ``values``-shaped buffer; ``g_rows`` is a
+        per-segment gradient (read-only).
+        """
+        gath = alloc.take(values.shape, values.dtype)
+        extrema_out.take(seg.ids, axis=0, out=gath)
+        mask = alloc.take(values.shape, values.dtype)
+        np.equal(values, gath, out=mask)      # bool -> float is safe
+        counts = alloc.take(extrema_out.shape, extrema_out.dtype,
+                            zero=True)
+        scatter_add(counts, seg.ids, mask, schedule=seg, alloc=alloc)
+        np.maximum(counts, 1.0, out=counts)
+        np.divide(g_rows, counts, out=counts)
+        counts.take(seg.ids, axis=0, out=gath)
+        mask *= gath
+        alloc.release_all((gath, counts))
+        return mask
 
     def mega_backward(_g):
         g_cd = holder.pop("cd", None)
         g_hp_seed = holder.pop("hp", None)
         g_at_seed = holder.pop("at", None)
-        ghp = (g_hp_seed.copy() if g_hp_seed is not None
-               else np.zeros((n, d_prop)))
-        gat = (g_at_seed.copy() if g_at_seed is not None
-               else np.zeros((n, 4)))
+        ghp = alloc.take((n, d_prop), dtype, zero=g_hp_seed is None)
+        if g_hp_seed is not None:
+            np.copyto(ghp, g_hp_seed)
+        gat = alloc.take((n, 4), dtype, zero=g_at_seed is None)
+        if g_at_seed is not None:
+            np.copyto(gat, g_at_seed)
+        # h_emb's gradient and the gate gradient escape: always fresh.
         ghe = np.zeros_like(he)
         g_gate = np.zeros_like(model.agg_gate.data)
         for lv, rec in zip(reversed(sched.levels), reversed(recs)):
@@ -431,13 +559,18 @@ def _fused_propagate(model, graph, h_emb):
             # clear them: the rows' pre-write values are the initial
             # zeros, whose gradient is discarded (scatter_rows' mask).
             if has_net:
-                g_nctx = ghp[lv.net_dst]
-                g_nat = gat[lv.net_dst]
+                g_nctx = alloc.take((len(lv.net_eids), d_prop), dtype)
+                ghp.take(lv.net_dst, axis=0, out=g_nctx)
+                g_nat = alloc.take((len(lv.net_eids), 4), dtype)
+                gat.take(lv.net_dst, axis=0, out=g_nat)
                 ghp[lv.net_dst] = 0.0
                 gat[lv.net_dst] = 0.0
             if has_cell:
-                g_cctx = ghp[lv.cell_dst]
-                g_cat = gat[lv.cell_dst]
+                n_dst = len(lv.cell_dst)
+                g_cctx = alloc.take((n_dst, d_prop), dtype)
+                ghp.take(lv.cell_dst, axis=0, out=g_cctx)
+                g_cat = alloc.take((n_dst, 4), dtype)
+                gat.take(lv.cell_dst, axis=0, out=g_cat)
                 ghp[lv.cell_dst] = 0.0
                 gat[lv.cell_dst] = 0.0
             if has_cell:
@@ -446,84 +579,131 @@ def _fused_propagate(model, graph, h_emb):
                 msg = rec["s_msg"][2]
                 # combine MLP <- [h_emb(dst) | reduction channels].
                 g_comb = mlp_bwd(g_cctx, st_comb, rec["s_comb"],
-                                 out_act="tanh")
+                                 out_act="tanh", alloc=alloc)
+                alloc.release(g_cctx)
                 ghe[lv.cell_dst] += g_comb[:, :d_emb]
                 col = d_emb
                 g_msg = None
                 if reduction in ("sum", "both"):
-                    g_msg = g_comb[:, col:col + d_prop][lv.cell_seg]
+                    g_msg = alloc.take((e, d_prop), dtype)
+                    g_comb[:, col:col + d_prop].take(lv.cell_seg,
+                            axis=0, out=g_msg)
                     col += d_prop
                 if reduction in ("max", "both"):
-                    agg_max = rec["agg_max"]
-                    mask = (msg == agg_max[seg.ids]).astype(np.float64)
-                    counts = np.zeros_like(agg_max)
-                    scatter_add(counts, seg.ids, mask, schedule=seg)
-                    part = mask * (g_comb[:, col:col + d_prop]
-                                   / np.maximum(counts, 1.0))[seg.ids]
-                    g_msg = part if g_msg is None else g_msg + part
+                    part = _tie_grad(msg, rec["agg_max"],
+                                     g_comb[:, col:col + d_prop], seg,
+                                     alloc)
+                    if g_msg is None:
+                        g_msg = part
+                    else:
+                        g_msg += part
+                        alloc.release(part)
                     col += d_prop
+                alloc.release(g_comb)
                 # Late/early min-max gate (tie-splitting, as naive).
                 cand, out_max, out_min = (rec["cand"], rec["out_max"],
                                           rec["out_min"])
-                g_gate += (g_cat * (out_max - out_min)).sum(axis=0)
-                mask_max = (cand == out_max[seg.ids]).astype(np.float64)
-                counts_max = np.zeros_like(out_max)
-                scatter_add(counts_max, seg.ids, mask_max, schedule=seg)
-                mask_min = (cand == out_min[seg.ids]).astype(np.float64)
-                counts_min = np.zeros_like(out_min)
-                scatter_add(counts_min, seg.ids, mask_min, schedule=seg)
-                g_cand = mask_max * ((g_cat * gate)
-                                     / np.maximum(counts_max, 1.0))[seg.ids]
-                g_cand += mask_min * ((g_cat * (1.0 - gate))
-                                      / np.maximum(counts_min, 1.0))[seg.ids]
+                t = alloc.take(out_max.shape, dtype)
+                np.subtract(out_max, out_min, out=t)
+                t *= g_cat
+                g_gate += t.sum(axis=0)
+                np.multiply(g_cat, gate, out=t)
+                g_cand = _tie_grad(cand, out_max, t, seg, alloc)
+                np.multiply(g_cat, gate_c, out=t)
+                part = _tie_grad(cand, out_min, t, seg, alloc)
+                g_cand += part
+                alloc.release_all((part, t, g_cat))
                 scatter_add(gat, lv.cell_src, g_cand,
-                            schedule=lv.cell_src_sched)
-                g_inc = g_cand
+                            schedule=lv.cell_src_sched, alloc=alloc)
                 if g_cd is not None:
                     lo, hi = rec["chunk"]
-                    g_inc = g_inc + g_cd[lo:hi]
+                    g_cand += g_cd[lo:hi]
                 # cell_inc MLP <- [msg | lut_out].
-                g_ci = mlp_bwd(g_inc, st_cinc, rec["s_cinc"],
-                               out_act="softplus")
-                g_msg = g_msg + g_ci[:, :d_prop]
-                g_lut = g_ci[:, d_prop:]
+                g_ci = mlp_bwd(g_cand, st_cinc, rec["s_cinc"],
+                               out_act="softplus", alloc=alloc)
+                alloc.release(g_cand)
+                g_msg += g_ci[:, :d_prop]
                 # cell_msg MLP <- [h_s | h_d | lut_out].
-                g_mi = mlp_bwd(g_msg, st_msg, rec["s_msg"], out_act="tanh")
-                g_lut = g_lut + g_mi[:, d_prop + d_emb:]
+                g_mi = mlp_bwd(g_msg, st_msg, rec["s_msg"], out_act="tanh",
+                               alloc=alloc)
+                alloc.release(g_msg)
+                g_lut = alloc.take((e, 8), dtype)
+                np.add(g_ci[:, d_prop:], g_mi[:, d_prop + d_emb:],
+                       out=g_lut)
+                alloc.release(g_ci)
                 # LUT interpolation: out = ax . (V @ ay) per row.
-                gv = (g_lut * lv.cell_valid).reshape(-1, 1)
+                g_lut *= lv.cell_valid
+                gv = g_lut.reshape(-1, 1)
                 ax = rec["s_ax"][2]
                 v3 = lv.lut_values.reshape(-1, 7, 7)
-                g_ax = rec["vy"] * gv
-                g_ay = np.matmul(ax[:, None, :], v3)[:, 0, :] * gv
-                g_axi = mlp_bwd(g_ax, st_cx, rec["s_ax"])
-                g_ayi = mlp_bwd(g_ay, st_cy, rec["s_ay"])
-                g_q8 = g_axi[:, :q_dim] + g_ayi[:, :q_dim]
-                g_q = g_q8.reshape(e, 8, q_dim).sum(axis=1)
-                g_qi = mlp_bwd(g_q, st_query, rec["s_q"], out_act="tanh")
+                g_ax = alloc.take((e * 8, 7), dtype)
+                np.multiply(rec["vy"], gv, out=g_ax)
+                g_ay = alloc.take((e * 8, 7), dtype)
+                np.matmul(ax[:, None, :], v3, out=g_ay[:, None, :])
+                g_ay *= gv
+                alloc.release(g_lut)
+                g_axi = mlp_bwd(g_ax, st_cx, rec["s_ax"], alloc=alloc)
+                g_ayi = mlp_bwd(g_ay, st_cy, rec["s_ay"], alloc=alloc)
+                alloc.release_all((g_ax, g_ay))
+                g_q8 = alloc.take((e * 8, q_dim), dtype)
+                np.add(g_axi[:, :q_dim], g_ayi[:, :q_dim], out=g_q8)
+                alloc.release_all((g_axi, g_ayi))
+                g_q = alloc.take((e, q_dim), dtype)
+                np.add.reduce(g_q8.reshape(e, 8, q_dim), axis=1, out=g_q)
+                alloc.release(g_q8)
+                g_qi = mlp_bwd(g_q, st_query, rec["s_q"], out_act="tanh",
+                               alloc=alloc)
+                alloc.release(g_q)
                 # q_in and msg_in share the [h_s | h_d] prefix.
-                g_hs = g_qi[:, :d_prop] + g_mi[:, :d_prop]
-                g_hd = g_qi[:, d_prop:] + g_mi[:, d_prop:d_prop + d_emb]
+                g_hs = alloc.take((e, d_prop), dtype)
+                np.add(g_qi[:, :d_prop], g_mi[:, :d_prop], out=g_hs)
+                g_hd = alloc.take((e, d_emb), dtype)
+                np.add(g_qi[:, d_prop:], g_mi[:, d_prop:d_prop + d_emb],
+                       out=g_hd)
+                alloc.release_all((g_qi, g_mi))
                 scatter_add(ghp, lv.cell_src, g_hs,
-                            schedule=lv.cell_src_sched)
+                            schedule=lv.cell_src_sched, alloc=alloc)
                 scatter_add(ghe, lv.cell_dst_edges, g_hd,
-                            schedule=lv.cell_dst_sched)
+                            schedule=lv.cell_dst_sched, alloc=alloc)
+                alloc.release_all((g_hs, g_hd))
+                for key in ("s_q", "s_ax", "s_ay", "s_msg", "s_cinc",
+                            "s_comb"):
+                    _release_saved(alloc, rec[key])
             if has_net:
                 scatter_add(gat, lv.net_src, g_nat,
-                            schedule=lv.net_src_sched)
+                            schedule=lv.net_src_sched, alloc=alloc)
                 g_joint = mlp_bwd(g_nctx, st_net_prop, rec["s_nctx"],
-                                  out_act="tanh")
-                g_joint += mlp_bwd(g_nat, st_net_inc, rec["s_ninc"],
-                                   out_act="softplus")
+                                  out_act="tanh", alloc=alloc)
+                g_j2 = mlp_bwd(g_nat, st_net_inc, rec["s_ninc"],
+                               out_act="softplus", alloc=alloc)
+                g_joint += g_j2
+                alloc.release_all((g_j2, g_nctx, g_nat))
                 scatter_add(ghp, lv.net_src, g_joint[:, :d_prop],
-                            schedule=lv.net_src_sched)
+                            schedule=lv.net_src_sched, alloc=alloc)
                 # Each net sink has exactly one driver: unique rows.
                 ghe[lv.net_dst] += g_joint[:, d_prop:d_prop + d_emb]
+                alloc.release(g_joint)
+                _release_saved(alloc, rec["s_nctx"])
+                _release_saved(alloc, rec["s_ninc"])
+            alloc.release_all(rec.pop("bufs", ()))
         if len(sources):
-            g_src = mlp_bwd(ghp[sources], st_init, s_init, out_act="tanh")
-            g_src += mlp_bwd(gat[sources], st_at0, s_at0,
-                             out_act="softplus")
+            g_si = alloc.take((len(sources), d_prop), dtype)
+            ghp.take(sources, axis=0, out=g_si)
+            g_src = mlp_bwd(g_si, st_init, s_init, out_act="tanh",
+                            alloc=alloc)
+            g_sa = alloc.take((len(sources), 4), dtype)
+            gat.take(sources, axis=0, out=g_sa)
+            g_s2 = mlp_bwd(g_sa, st_at0, s_at0, out_act="softplus",
+                           alloc=alloc)
+            g_src += g_s2
             ghe[sources] += g_src
+            alloc.release_all((g_si, g_sa, g_src, g_s2))
+            _release_saved(alloc, s_init)
+            _release_saved(alloc, s_at0)
+            alloc.release_all(src_bufs)
+        alloc.release_all((ghp, gat))
+        if token is not None:
+            plan.end(token)
         if model.agg_gate.requires_grad:
             model.agg_gate._accumulate(g_gate * gate * (1.0 - gate),
                                        own=True)
@@ -537,7 +717,13 @@ def _fused_propagate(model, graph, h_emb):
             params.append(w)
             if b is not None:
                 params.append(b)
-    root = nn.Tensor._make(np.zeros(()), tuple(params), mega_backward)
+    root = nn.Tensor._make(np.zeros((), dtype=dtype), tuple(params),
+                           mega_backward)
+    if save and token is not None:
+        # If the tape is abandoned (never backpropagated), recover the
+        # arena lease when the root dies; end() is idempotent per token,
+        # so the normal mega_backward release wins when it runs first.
+        weakref.finalize(root, plan.end, token)
 
     def _output(data, key):
         # Glue node: stashes its gradient and pokes the root so the
@@ -545,7 +731,7 @@ def _fused_propagate(model, graph, h_emb):
         # gradient has been accumulated (reverse-topological order).
         def backward(g):
             holder[key] = g
-            root._accumulate(np.zeros(()))
+            root._accumulate(np.zeros((), dtype=dtype))
 
         return nn.Tensor._make(data, (root,), backward)
 

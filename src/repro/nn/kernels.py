@@ -37,6 +37,8 @@ import threading
 
 import numpy as np
 
+from . import threads as _threads
+from .arena import NULL_ARENA
 from .tensor import Tensor
 
 __all__ = ["BACKENDS", "backend", "kernel_backend", "is_fused",
@@ -143,17 +145,28 @@ def _schedule_for(segment_ids, schedule):
     return schedule
 
 
-def scatter_add_rows(out, index, values, schedule=None):
+def scatter_add_rows(out, index, values, schedule=None, alloc=None):
     """``out[index] += values`` with duplicate indices, CSR-accelerated.
 
     With a :class:`SegmentSchedule` for ``index``, duplicate groups are
     pre-reduced by ``np.add.reduceat`` and written with one unique-index
     fancy assignment; without one, falls back to ``np.add.at``.
+    ``alloc`` optionally supplies the reduction scratch from a
+    :class:`repro.nn.arena.TapeArena`.
     """
     if schedule is not None and len(schedule.starts):
-        reduced = np.add.reduceat(values[schedule.order], schedule.starts,
-                                  axis=0)
-        out[schedule.present] += reduced
+        alloc = NULL_ARENA if alloc is None else alloc
+        reduced = alloc.take((len(schedule.starts),) + values.shape[1:],
+                             values.dtype)
+        _threads.segment_reduce(np.add, values, schedule.order,
+                                schedule.starts, out=reduced, alloc=alloc)
+        # out[present] += reduced without the fancy-index temporary.
+        tmp = alloc.take(reduced.shape, out.dtype)
+        out.take(schedule.present, axis=0, out=tmp)
+        tmp += reduced
+        out[schedule.present] = tmp
+        alloc.release(tmp)
+        alloc.release(reduced)
     elif schedule is None:
         np.add.at(out, index, values)
     return out
@@ -173,7 +186,7 @@ def affine_act(x, weight, bias=None, activation=None):
     if activation not in _ACTIVATIONS:
         raise ValueError(f"unknown activation {activation!r}")
     a, w = x, weight
-    z = a.data @ w.data
+    z = _threads.matmul(a.data, w.data)
     if bias is not None:
         z += bias.data
     if activation == "relu":
@@ -191,9 +204,9 @@ def affine_act(x, weight, bias=None, activation=None):
         else:
             gz = g
         if a.requires_grad:
-            a._accumulate(gz @ w.data.T, own=True)
+            a._accumulate(_threads.matmul(gz, w.data.T), own=True)
         if w.requires_grad:
-            w._accumulate(a.data.T @ gz, own=True)
+            w._accumulate(_threads.matmul(a.data.T, gz), own=True)
         if bias is not None and bias.requires_grad:
             bias._accumulate(gz.sum(axis=0), own=True)
 
@@ -201,50 +214,72 @@ def affine_act(x, weight, bias=None, activation=None):
     return Tensor._make(out, parents, backward)
 
 
-def _apply_act(z, act):
-    """Forward of one activation; ``z`` may be adopted, not aliased."""
-    if act == "relu":
-        return np.maximum(z, 0.0)
-    if act == "tanh":
-        return np.tanh(z)
-    if act == "sigmoid":
-        return 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
-    if act == "softplus":
-        x = np.clip(z, -60, 60)
-        return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0)
-    return z
-
-
-def _act_grad(g, out, act):
-    """Gradient through one activation given its output (fresh array)."""
-    if act == "relu":
-        return np.where(out > 0, g, 0.0)
-    if act == "tanh":
-        # One temporary: t = 1 - out^2, then t *= g in place.
-        t = out * out
-        np.subtract(1.0, t, out=t)
-        t *= g
-        return t
-    if act == "sigmoid":
-        t = 1.0 - out
-        t *= out
-        t *= g
-        return t
-    if act == "softplus":
-        # d softplus(z) = sigmoid(z); recover it from out = softplus(z):
-        # sigmoid(z) = 1 - exp(-out) (exact for out >= 0, which softplus
-        # guarantees).
-        t = np.exp(-out)
-        np.subtract(1.0, t, out=t)
-        t *= g
-        return t
-    return g
-
-
 _CHAIN_ACTS = (None, "relu", "tanh", "sigmoid", "softplus")
 
 
-def mlp_chain_forward_raw(h, steps, out_act=None, save=True):
+def _apply_act_inplace(z, act, alloc):
+    """Apply an activation *in place* on ``z`` (adopted, pre-activation
+    values are never needed again)."""
+    if act == "relu":
+        return np.maximum(z, 0.0, out=z)
+    if act == "tanh":
+        return np.tanh(z, out=z)
+    if act == "sigmoid":
+        np.clip(z, -60, 60, out=z)
+        np.negative(z, out=z)
+        np.exp(z, out=z)
+        np.add(z, 1.0, out=z)
+        return np.reciprocal(z, out=z)
+    if act == "softplus":
+        # log1p(exp(-|x|)) + max(x, 0), one scratch for the max term.
+        np.clip(z, -60, 60, out=z)
+        m = alloc.take(z.shape, z.dtype)
+        np.maximum(z, 0.0, out=m)
+        np.abs(z, out=z)
+        np.negative(z, out=z)
+        np.exp(z, out=z)
+        np.log1p(z, out=z)
+        z += m
+        alloc.release(m)
+        return z
+    return z
+
+
+def _act_grad_alloc(g, out, act, alloc):
+    """Gradient through one activation given its output.
+
+    Writes into a buffer from ``alloc`` (never aliases ``g``); returns
+    ``g`` itself when ``act`` is None.
+    """
+    if act is None:
+        return g
+    buf = alloc.take(out.shape, out.dtype if g.dtype == out.dtype
+                     else np.result_type(g, out))
+    if act == "relu":
+        # g * (out > 0); relu output is >= 0, so sign(out) IS the mask
+        # (and needs no boolean temporary).
+        np.sign(out, out=buf)
+        buf *= g
+    elif act == "tanh":
+        np.multiply(out, out, out=buf)
+        np.subtract(1.0, buf, out=buf)
+        buf *= g
+    elif act == "sigmoid":
+        np.subtract(1.0, out, out=buf)
+        buf *= out
+        buf *= g
+    elif act == "softplus":
+        # d softplus(z) = sigmoid(z) = 1 - exp(-out) (out >= 0 always).
+        np.negative(out, out=buf)
+        np.exp(buf, out=buf)
+        np.subtract(1.0, buf, out=buf)
+        buf *= g
+    else:
+        raise ValueError(f"unknown activation {act!r}")
+    return buf
+
+
+def mlp_chain_forward_raw(h, steps, out_act=None, save=True, alloc=None):
     """Array-level MLP-chain forward.
 
     ``h`` is a plain array; returns ``(out, saved)`` where ``saved``
@@ -252,38 +287,100 @@ def mlp_chain_forward_raw(h, steps, out_act=None, save=True):
     false, e.g. under ``no_grad``).  This is the computational core of
     :func:`mlp_chain`, exposed so larger fused ops (the level-fused
     propagation kernel) can run MLPs without creating tape nodes.
+
+    ``alloc`` optionally supplies every layer buffer from a
+    :class:`repro.nn.arena.TapeArena`; the caller then owns the saved
+    arrays and the output and must release them (the fused propagation
+    backward does, level by level).
     """
+    alloc = NULL_ARENA if alloc is None else alloc
     inputs, outputs = [], []
+    owned = None                 # previous layer's buffer when not saving
+    dt = np.result_type(h, steps[0][0].data) if steps else h.dtype
+    rows = h.shape[0]
     for w, b, act in steps:
         if act not in _ACTIVATIONS:
             raise ValueError(f"unknown activation {act!r}")
         if save:
             inputs.append(h)
-        z = h @ w.data
+        z = alloc.take((rows, w.data.shape[1]), dt)
+        _threads.matmul(h, w.data, out=z)
         if b is not None:
             z += b.data
-        h = _apply_act(z, act)
+        if owned is not None:
+            alloc.release(owned)
+        h = _apply_act_inplace(z, act, alloc)
         if save:
             outputs.append(h)
-    out = _apply_act(h, out_act) if out_act is not None else h
+        else:
+            owned = h
+    if out_act is not None and save:
+        # Backward needs both the pre-out_act activation (outputs[-1])
+        # and the final output, so they are distinct buffers.
+        out = alloc.take(h.shape, h.dtype)
+        out[...] = h
+        out = _apply_act_inplace(out, out_act, alloc)
+    elif out_act is not None:
+        out = _apply_act_inplace(h, out_act, alloc)
+    else:
+        out = h
     return out, ((inputs, outputs, out) if save else None)
 
 
-def mlp_chain_backward_raw(g, steps, saved, out_act=None):
+def mlp_chain_backward_raw(g, steps, saved, out_act=None, alloc=None):
     """Array-level MLP-chain backward: accumulates parameter gradients
-    in place and returns the gradient w.r.t. the chain's input."""
+    in place and returns the gradient w.r.t. the chain's input.
+
+    Parameter gradients are always freshly allocated (they are adopted
+    by the parameter tensors and outlive the pass); with ``alloc``, the
+    inter-layer gradient scratch is arena-recycled and the *returned*
+    array is arena-owned — the caller must release it after use
+    (chains always have at least one layer, so it is never the caller's
+    own ``g``).
+    """
+    alloc = NULL_ARENA if alloc is None else alloc
     inputs, outputs, out = saved
+    owned = None                 # the arena buffer g currently aliases
     if out_act is not None:
-        g = _act_grad(g, out, out_act)
+        g = _act_grad_alloc(g, out, out_act, alloc)
+        owned = g
+    dt = np.result_type(g, steps[0][0].data) if steps else g.dtype
+    rows = g.shape[0]
     for inp, layer_out, (w, b, act) in zip(reversed(inputs),
                                            reversed(outputs),
                                            reversed(steps)):
-        gz = _act_grad(g, layer_out, act)
+        if act is None:
+            gz, gz_owned = g, owned
+        else:
+            gz = _act_grad_alloc(g, layer_out, act, alloc)
+            if owned is not None:
+                alloc.release(owned)
+            gz_owned = gz
+        # Parameter gradients escape the pass, so the first
+        # accumulation adopts a fresh array; once a parameter has a
+        # gradient buffer (the propagation MLPs accumulate once per
+        # level), later contributions add through arena scratch.
         if w.requires_grad:
-            w._accumulate(inp.T @ gz, own=True)
+            if w.grad is None:
+                w._accumulate(_threads.matmul(inp.T, gz), own=True)
+            else:
+                tmp = alloc.take(w.data.shape, dt)
+                _threads.matmul(inp.T, gz, out=tmp)
+                w.grad += tmp
+                alloc.release(tmp)
         if b is not None and b.requires_grad:
-            b._accumulate(gz.sum(axis=0), own=True)
-        g = gz @ w.data.T
+            if b.grad is None:
+                b._accumulate(gz.sum(axis=0), own=True)
+            else:
+                tmp = alloc.take(b.data.shape, dt)
+                np.add.reduce(gz, axis=0, out=tmp)
+                b.grad += tmp
+                alloc.release(tmp)
+        g = alloc.take((rows, w.data.shape[0]), dt)
+        _threads.matmul(gz, w.data.T, out=g)
+        if gz_owned is not None:
+            alloc.release(gz_owned)
+        owned = g
     return g
 
 
@@ -343,7 +440,8 @@ def gather_concat(tensors, indices, schedules=None):
             raise ValueError("gather_concat: inconsistent row counts")
     widths = [t.data.shape[1] for t in tensors]
     offsets = np.cumsum([0] + widths)
-    out = np.empty((rows, int(offsets[-1])), dtype=np.float64)
+    out = np.empty((rows, int(offsets[-1])),
+                   dtype=np.result_type(*(t.data for t in tensors)))
     for t, i, lo, hi in zip(tensors, idxs, offsets[:-1], offsets[1:]):
         if i is None:
             out[:, lo:hi] = t.data
@@ -366,13 +464,15 @@ def gather_concat(tensors, indices, schedules=None):
     return Tensor._make(out, tuple(tensors), backward)
 
 
-def gather_concat_raw(arrays, indices):
+def gather_concat_raw(arrays, indices, alloc=None):
     """Array-level gather-then-concat along axis 1 (single allocation).
 
     ``indices[k]`` indexes rows of ``arrays[k]`` (``None`` = already
     row-aligned).  The assembly core of :func:`gather_concat`, shared
-    with the level-fused propagation kernel.
+    with the level-fused propagation kernel.  With ``alloc``, the
+    output buffer is arena-recycled (caller owns and releases it).
     """
+    alloc = NULL_ARENA if alloc is None else alloc
     rows = None
     for arr, idx in zip(arrays, indices):
         r = len(arr) if idx is None else len(idx)
@@ -380,14 +480,18 @@ def gather_concat_raw(arrays, indices):
             rows = r
         elif r != rows:
             raise ValueError("gather_concat_raw: inconsistent row counts")
-    widths = [arr.shape[1] for arr in arrays]
-    offsets = np.cumsum([0] + widths)
-    out = np.empty((rows, int(offsets[-1])), dtype=np.float64)
-    for arr, idx, lo, hi in zip(arrays, indices, offsets[:-1], offsets[1:]):
+    total = 0
+    for arr in arrays:
+        total += arr.shape[1]
+    out = alloc.take((rows, total), np.result_type(*arrays))
+    lo = 0
+    for arr, idx in zip(arrays, indices):
+        hi = lo + arr.shape[1]
         if idx is None:
             out[:, lo:hi] = arr
         else:
-            np.take(arr, idx, axis=0, out=out[:, lo:hi])
+            arr.take(idx, axis=0, out=out[:, lo:hi])
+        lo = hi
     return out
 
 
@@ -412,10 +516,7 @@ def segment_sum_csr(t, segment_ids, num_segments, schedule=None):
     :func:`repro.nn.ops.segment_sum`)."""
     sched = _schedule_for(segment_ids, schedule)
     a = t
-    out = np.zeros((num_segments,) + a.data.shape[1:], dtype=a.data.dtype)
-    if len(sched.starts):
-        out[sched.present] = np.add.reduceat(a.data[sched.order],
-                                             sched.starts, axis=0)
+    out = segment_extrema_raw(a.data, sched, num_segments, np.add)
 
     def backward(g):
         if a.requires_grad:
@@ -424,12 +525,22 @@ def segment_sum_csr(t, segment_ids, num_segments, schedule=None):
     return Tensor._make(out, (a,), backward)
 
 
-def segment_extrema_raw(data, sched, num_segments, ufunc):
-    """One ``ufunc.reduceat`` pass; empty segments yield 0 (as naive)."""
-    out = np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
+def segment_extrema_raw(data, sched, num_segments, ufunc, alloc=None):
+    """One ``ufunc.reduceat`` pass; empty segments yield 0 (as naive).
+
+    With ``alloc``, the output and reduction scratch are arena-recycled
+    (the caller owns the returned buffer).
+    """
+    alloc = NULL_ARENA if alloc is None else alloc
+    out = alloc.take((num_segments,) + data.shape[1:], data.dtype,
+                     zero=True)
     if len(sched.starts):
-        out[sched.present] = ufunc.reduceat(data[sched.order], sched.starts,
-                                            axis=0)
+        reduced = alloc.take((len(sched.starts),) + data.shape[1:],
+                             data.dtype)
+        _threads.segment_reduce(ufunc, data, sched.order, sched.starts,
+                                out=reduced, alloc=alloc)
+        out[sched.present] = reduced
+        alloc.release(reduced)
     return out
 
 

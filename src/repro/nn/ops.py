@@ -321,7 +321,7 @@ def mse_loss(pred, target, mask=None):
     if mask is not None:
         mask = np.asarray(mask)
         if mask.dtype == bool:
-            mask = mask.astype(np.float64)
+            mask = mask.astype(sq.data.dtype)
         weights = mask if mask.ndim == sq.ndim else mask[:, None]
         sq = sq * Tensor(np.broadcast_to(weights, sq.data.shape).copy())
         denom = float(np.broadcast_to(weights, sq.data.shape).sum())

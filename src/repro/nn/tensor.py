@@ -18,6 +18,9 @@ import threading
 
 import numpy as np
 
+from . import arena as _arena
+from .dtype import active_dtype
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 
@@ -71,7 +74,7 @@ def _unbroadcast(grad, shape):
 def _as_array(value):
     if isinstance(value, Tensor):
         raise TypeError("expected raw data, got Tensor")
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=active_dtype())
 
 
 # Installed by repro.obs.profile while a profiler is active: a callable
@@ -88,7 +91,10 @@ def _set_tape_profile_hook(hook):
 class Tensor:
     """A numpy array with an optional gradient and autograd history."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    # __weakref__ so arena episode leases can attach a recovery
+    # finalizer to a fused op's root node (repro.models.propagation).
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "__weakref__")
 
     def __init__(self, data, requires_grad=False):
         self.data = _as_array(data)
@@ -152,10 +158,11 @@ class Tensor:
                 return
             # Copy: the incoming gradient may be a view into another
             # tensor's buffer, and later accumulations add in place.
-            self.grad = np.array(grad, dtype=self.data.dtype)
-            if self.grad.shape != self.data.shape:
-                self.grad = np.broadcast_to(
-                    self.grad, self.data.shape).copy()
+            # The destination buffer comes from the gradient pool when
+            # a matching one was freed by an earlier backward(free=True).
+            buf = _arena.grad_buffer(self.data.shape, self.data.dtype)
+            np.copyto(buf, grad, casting="unsafe")
+            self.grad = buf
         else:
             self.grad += grad
 
@@ -169,13 +176,15 @@ class Tensor:
         step has run, so the tape's forward intermediates become
         collectable immediately instead of living until the loss tensor
         goes out of scope — this caps peak memory across the per-design
-        iterations of a training epoch.  Leaf tensors (parameters) keep
-        their gradients; a freed graph cannot be backpropagated again.
+        iterations of a training epoch.  Freed interior gradient
+        buffers go back to the :mod:`repro.nn.arena` gradient pool for
+        the next pass.  Leaf tensors (parameters) keep their gradients;
+        a freed graph cannot be backpropagated again.
         """
         if grad is None:
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
         topo, seen = [], set()
 
         def visit(node):
@@ -200,7 +209,14 @@ class Tensor:
             if free and node._backward is not None:
                 node._backward = None
                 node._parents = ()
+                # Return the interior gradient buffer to the pool
+                # explicitly (refcount-guarded inside give_grad) so the
+                # next pass's accumulations recycle it instead of
+                # waiting for the allocator to reclaim lazily.
+                g = node.grad
                 node.grad = None
+                if g is not None:
+                    _arena.give_grad(g)
 
     def zero_grad(self):
         self.grad = None

@@ -8,6 +8,7 @@ training benchmarks and evaluating generalization on the 7 test ones.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import asdict, dataclass, field
 
@@ -118,6 +119,7 @@ class TrainConfig:
     seed: int = 1
     log_every: int = 0            # 0 = silent
     lr_decay: float = 1.0         # multiplicative per-epoch decay
+    dtype: str = ""               # "" = session default; "float32"/"float64"
 
 
 @dataclass
@@ -140,11 +142,18 @@ def train_timing_gnn(train_graphs, cfg=None, train_cfg=None):
     train_cfg = train_cfg or TrainConfig()
     run_id = new_run_id("train_timing")
     rng = np.random.default_rng(train_cfg.seed)
-    model = TimingGNN(cfg, rng=np.random.default_rng(cfg.seed))
-    optim = nn.Adam(model.parameters(), lr=train_cfg.lr)
+    # TrainConfig.dtype selects the training precision (parameters,
+    # activations, schedules); "" inherits the session default.
+    def dtype_ctx():
+        return (nn.use_dtype(train_cfg.dtype) if train_cfg.dtype
+                else contextlib.nullcontext())
+    with dtype_ctx():
+        model = TimingGNN(cfg, rng=np.random.default_rng(cfg.seed))
+        optim = nn.Adam(model.parameters(), lr=train_cfg.lr)
     history = TrainHistory(run_id=run_id)
     start = time.perf_counter()
-    with get_tracer().span("train.timing_gnn", epochs=train_cfg.epochs,
+    with dtype_ctx(), \
+         get_tracer().span("train.timing_gnn", epochs=train_cfg.epochs,
                            designs=len(train_graphs),
                            run_id=run_id) as span:
         meter = _EpochMeter("timing-gnn", train_cfg, run_id=run_id)

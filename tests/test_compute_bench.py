@@ -26,28 +26,56 @@ def bench_result(hetero):
                              reps=1, warmup=0)
 
 
+CELLS = (("naive", "float64"), ("fused", "float64"), ("fused", "float32"))
+
+
 class TestRunComputeBench:
     def test_result_structure(self, bench_result):
         assert isinstance(bench_result, ComputeBenchResult)
         assert bench_result.backends == ("naive", "fused")
+        assert bench_result.dtypes == ("float64", "float32")
         assert bench_result.stages == STAGES
         assert len(bench_result.designs) == 1
         row = bench_result.designs[0]
         assert isinstance(row, DesignBench)
         assert row.nodes > 0 and row.levels > 0
-        for backend in ("naive", "fused"):
+        # v2 nesting: backend -> dtype -> stage; naive runs the float64
+        # reference only, fused runs every requested dtype.
+        assert set(row.times_ms["naive"]) == {"float64"}
+        assert set(row.times_ms["fused"]) == {"float64", "float32"}
+        for backend, dtype in CELLS:
             for stage in STAGES:
-                assert row.times_ms[backend][stage] > 0.0
+                assert row.times_ms[backend][dtype][stage] > 0.0
+
+    def test_instrumentation_columns(self, bench_result):
+        row = bench_result.designs[0]
+        for backend, dtype in CELLS:
+            assert row.allocations_per_step[backend][dtype] > 0
+            assert row.peak_rss_mb[backend][dtype] > 0.0
+        # The arena-planned fused pass must allocate less than the
+        # per-op naive tape.
+        assert (row.allocations_per_step["fused"]["float64"]
+                < row.allocations_per_step["naive"]["float64"])
 
     def test_speedups_and_summary(self, bench_result):
         row = bench_result.designs[0]
+        summary = bench_result.summary
+        for dtype in ("float64", "float32"):
+            for stage in STAGES:
+                assert row.speedup[dtype][stage] > 0.0
+                assert (summary[f"speedup_{stage}_geomean_{dtype}"]
+                        == pytest.approx(row.speedup[dtype][stage]))
         for stage in STAGES:
-            assert row.speedup[stage] > 0.0
-            assert (bench_result.summary[f"speedup_{stage}_best"]
-                    == pytest.approx(row.speedup[stage]))
-            assert (bench_result.summary[f"speedup_{stage}_best_design"]
-                    == row.name)
-            assert bench_result.summary[f"speedup_{stage}_geomean"] > 0.0
+            best_dtype = summary[f"speedup_{stage}_best_dtype"]
+            assert best_dtype in ("float64", "float32")
+            assert (summary[f"speedup_{stage}_best"]
+                    == pytest.approx(row.speedup[best_dtype][stage]))
+            assert summary[f"speedup_{stage}_best_design"] == row.name
+            assert summary[f"speedup_{stage}_geomean"] > 0.0
+
+    def test_unknown_dtype_rejected(self, hetero):
+        with pytest.raises(ValueError):
+            run_compute_bench([hetero], dtypes=["float16"])
 
     def test_metrics_registered(self, bench_result):
         text = get_registry().render_prometheus()
@@ -75,21 +103,27 @@ class TestBenchComputeJson:
         assert payload["params"]["reps"] == 1
         assert payload["backends"] == ["naive", "fused"]
         assert payload["stages"] == list(STAGES)
+        assert payload["dtypes"] == ["float64", "float32"]
         row = payload["designs"][0]
         for stage in STAGES:
-            assert row["times_ms"]["fused"][stage] > 0.0
-            assert row["speedup"][stage] > 0.0
+            assert row["times_ms"]["fused"]["float64"][stage] > 0.0
+            assert row["speedup"]["float64"][stage] > 0.0
+        assert row["allocations_per_step"]["fused"]["float32"] > 0
+        assert row["peak_rss_mb"]["naive"]["float64"] > 0.0
         for stage in STAGES:
             assert f"speedup_{stage}_geomean" in payload["summary"]
 
     def test_geomean_math(self):
         rows = [DesignBench(name=f"d{i}", nodes=1, net_edges=1,
                             cell_edges=1, levels=1,
-                            speedup={"forward": s})
+                            speedup={"float64": {"forward": s}})
                 for i, s in enumerate((1.0, 4.0))]
         from repro.bench.compute import _summarize
-        summary = _summarize(rows, ("forward",))
+        summary = _summarize(rows, ("forward",), ("float64",))
         assert summary["speedup_forward_best"] == 4.0
         assert summary["speedup_forward_best_design"] == "d1"
+        assert summary["speedup_forward_best_dtype"] == "float64"
         assert summary["speedup_forward_geomean"] == pytest.approx(
+            np.sqrt(4.0))
+        assert summary["speedup_forward_geomean_float64"] == pytest.approx(
             np.sqrt(4.0))

@@ -293,7 +293,9 @@ class TestFusedModelDifferential:
     but never approximate.
     """
 
-    RTOL, ATOL = 1e-9, 1e-12
+    # Dtype contract tolerance: 1e-9 relative at float64, relaxed under
+    # REPRO_DTYPE=float32 (see repro.nn.contract_tol).
+    RTOL, ATOL = nn.contract_tol()
 
     def _run(self, model, hetero, backend):
         from repro.training.loss import combined_loss

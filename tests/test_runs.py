@@ -210,8 +210,9 @@ class TestBenchDiff:
 
         row = DesignBench(name="unit", nodes=10, net_edges=5,
                           cell_edges=5, levels=3)
-        row.times_ms = {"fused": {"forward": 1.0}}
-        result = ComputeBenchResult(backends=["fused"], stages=["forward"],
+        row.times_ms = {"fused": {"float64": {"forward": 1.0}}}
+        result = ComputeBenchResult(backends=["fused"],
+                                    dtypes=["float64"], stages=["forward"],
                                     reps=1, warmup=0, designs=[row],
                                     summary={})
         path = str(tmp_path / "BENCH_compute.json")
