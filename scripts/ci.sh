@@ -5,7 +5,8 @@
 # repro.obs, repro.serving, repro.sta), the bench regression gate
 # (`repro bench diff --check` vs. the run ledger), then fast serving +
 # compute smoke tests (the serving bench also gates the incremental
-# delta path: delta_speedup > 1 vs full rebuild-and-forward).
+# delta path — delta_speedup > 1 vs full rebuild-and-forward — and the
+# shadow-audit path: REPRO_AUDIT_RATE=1 with the audit digest asserted).
 #
 #   scripts/ci.sh         # full tier-1 x2 + differential + floors + smokes
 #   scripts/ci.sh smoke   # smoke only (deselects @slow experiment tests)
@@ -85,11 +86,16 @@ export REPRO_SCALE=0.25 REPRO_EPOCHS=2 REPRO_CACHE_DIR="$SMOKE_CACHE"
 python -m pytest -x -q -m "not slow" tests/test_serving.py tests/test_obs.py
 python -m pytest -x -q -m "not slow" tests/test_pool.py
 python -m pytest -x -q -m "not slow" tests/test_delta.py
+python -m pytest -x -q -m "not slow" tests/test_quality.py
 
 # Pooled benchmark: --workers 2 also drives a single-process reference
 # phase first, so the artefact records workers, per-worker batching
 # stats and the pool speedup.  bench-serve itself exits non-zero when
 # the pooled run never forms a multi-item batch (batch_max <= 1).
+# REPRO_AUDIT_RATE=1 turns on shadow-STA auditing for every served
+# request, so the artefact also proves the quality-monitor path end to
+# end (audit fields asserted below).
+REPRO_AUDIT_RATE=1 REPRO_AUDIT_BUDGET=100000 \
 python -m repro.cli bench-serve \
     --clients 8 --requests-per-client 8 --num-designs 3 \
     --scale 0.25 --epochs 2 --workers 2 --delta \
@@ -134,6 +140,20 @@ for row in breakdown:
 assert sum(row["requests"] for row in breakdown) > 0, \
     "fleet aggregation recorded no worker-side requests"
 assert bench["single_process"]["throughput_rps"] > 0
+# Shadow-audit gate: the run above served with REPRO_AUDIT_RATE=1, so
+# the artefact must carry a well-formed audit digest with at least one
+# scored sample and a finite slack error.
+import math
+audit = bench["audit"]
+for key in ("samples", "worker_audits", "slack_mae_ps", "drift_score",
+            "rate"):
+    assert key in audit, f"audit stats missing {key}"
+assert audit["samples"] > 0, "shadow auditor scored no requests"
+assert audit["slack_mae_ps"] is not None \
+    and math.isfinite(audit["slack_mae_ps"]), audit["slack_mae_ps"]
+print(f"audit ok: {audit['samples']} scored "
+      f"({audit['worker_audits']} in workers), "
+      f"slack MAE {audit['slack_mae_ps']:.2f} ps")
 # Incremental delta gate: a single-edit /predict/delta iteration must
 # beat the conventional rebuild-and-forward ECO iteration it replaces.
 delta = bench["delta"]

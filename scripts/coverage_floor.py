@@ -16,11 +16,13 @@ Covered packages (each with its own test files and an 80% floor):
   driven by the autograd/module suites plus the model differential
   tests (which push the fused propagation path end to end);
 * ``src/repro/obs`` — metrics/tracing/logging plus the run ledger,
-  tape profiler, HTML report and the fleet aggregation layer, driven by
-  tests/test_obs.py, tests/test_runs.py and tests/test_fleet.py;
+  tape profiler, HTML report, fleet aggregation and the shadow-audit
+  quality monitor, driven by tests/test_obs.py, tests/test_runs.py,
+  tests/test_fleet.py and tests/test_quality.py;
 * ``src/repro/serving`` — the prediction service, HTTP front-end,
   micro-batcher, delta sessions and the pre-fork pool tier, driven by
-  tests/test_serving.py, tests/test_pool.py and tests/test_delta.py
+  tests/test_serving.py, tests/test_pool.py, tests/test_delta.py and
+  tests/test_quality.py
   (the pool worker has a dedicated in-process suite precisely so its
   logic is traced in the parent — forked worker processes are invisible
   to settrace);
@@ -61,11 +63,13 @@ TARGETS = {
     },
     "obs": {
         "dir": os.path.join(REPO, "src", "repro", "obs"),
-        "tests": _t("test_obs.py", "test_runs.py", "test_fleet.py"),
+        "tests": _t("test_obs.py", "test_runs.py", "test_fleet.py",
+                    "test_quality.py"),
     },
     "serving": {
         "dir": os.path.join(REPO, "src", "repro", "serving"),
-        "tests": _t("test_serving.py", "test_pool.py", "test_delta.py"),
+        "tests": _t("test_serving.py", "test_pool.py", "test_delta.py",
+                    "test_quality.py"),
     },
     "sta": {
         "dir": os.path.join(REPO, "src", "repro", "sta"),

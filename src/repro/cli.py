@@ -399,6 +399,21 @@ def _cmd_bench_serve(args):
                   f"{extra['pool_speedup']:.2f}x "
                   f"({single.throughput_rps:.1f} -> "
                   f"{result.throughput_rps:.1f} req/s)")
+    quality = result.server_stats.get("quality") or {}
+    if quality.get("enabled"):
+        # Shadow-audit digest (REPRO_AUDIT_RATE > 0); scripts/ci.sh
+        # asserts these fields are well-formed for audited runs.
+        extra["audit"] = {
+            "samples": int(quality.get("samples", 0) or 0),
+            "worker_audits": int(quality.get("worker_audits", 0) or 0),
+            "slack_mae_ps": quality.get("slack_mae_ps"),
+            "drift_score": quality.get("drift_score"),
+            "rate": quality.get("rate"),
+        }
+        mae = extra["audit"]["slack_mae_ps"]
+        print(f"shadow audits: {extra['audit']['samples']} scored, "
+              f"slack MAE "
+              + (f"{mae:.2f} ps" if mae is not None else "n/a"))
     if args.delta:
         print(f"[delta] timing {args.delta_edits} single-edit deltas "
               f"vs full rebuild-and-forward iterations ...")
@@ -561,6 +576,48 @@ def _cmd_runs(args):
                 print(f"wrote {len(records)} runs to {args.output}"
                       + (f" ({corrupt} corrupt lines skipped)"
                          if corrupt else ""))
+        return 0
+    raise AssertionError(args.action)
+
+
+def _cmd_audit(args):
+    import json
+
+    from .obs import AuditLog
+
+    log = AuditLog(path=args.path)
+    if args.action == "ls":
+        records, corrupt = log.scan()
+        if args.last:
+            records = records[-args.last:]
+        if not records:
+            print(f"no audits recorded in {log.path}")
+            return 0
+        print(f"{'audit':<42}{'design':<14}{'model':<14}"
+              f"{'mae_ps':>9}{'drift':>8}")
+        for record in records:
+            mae = record.get("slack_mae_ps")
+            drift = record.get("drift_score")
+            mae_col = f"{mae:>9.2f}" if mae is not None else f"{'—':>9}"
+            drift_col = (f"{drift:>8.3f}" if drift is not None
+                         else f"{'—':>8}")
+            print(f"{record['audit_id']:<42}"
+                  f"{record.get('design') or '—':<14}"
+                  f"{record.get('model') or '—':<14}"
+                  f"{mae_col}{drift_col}")
+        note = f", {corrupt} corrupt lines skipped" if corrupt else ""
+        print(f"\n{len(records)} audits in {log.path}{note}")
+        return 0
+    if args.action == "show":
+        if not args.audit_id:
+            print("audit show: AUDIT_ID required", file=sys.stderr)
+            return 2
+        record = log.get(args.audit_id)
+        if record is None:
+            print(f"no audit matching {args.audit_id!r} in {log.path}",
+                  file=sys.stderr)
+            return 1
+        print(json.dumps(record, indent=2, sort_keys=True))
         return 0
     raise AssertionError(args.action)
 
@@ -1011,6 +1068,19 @@ def build_parser():
     p.add_argument("-o", "--output", default=None,
                    help="export destination ('-' = stdout)")
     p.set_defaults(func=_cmd_runs)
+
+    p = sub.add_parser("audit",
+                       help="inspect the shadow-audit log "
+                            "(REPRO_RUNS_DIR/audits.jsonl)")
+    p.add_argument("action", choices=["ls", "show"])
+    p.add_argument("audit_id", nargs="?", default=None,
+                   help="audit id (or unique prefix) for `show`")
+    p.add_argument("-n", "--last", type=int, default=None,
+                   help="only the N most recent audits (ls)")
+    p.add_argument("--path", default=None,
+                   help="explicit audit-log path (default: "
+                        "REPRO_RUNS_DIR/audits.jsonl)")
+    p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser("profile",
                        help="tape-level profile of a full train step "

@@ -141,7 +141,31 @@ def model_cache_path(kind, cfg, tcfg, scale, extra="", cache_dir=None):
                         f"model_{kind}_{_cache_key(kind, cfg, tcfg, scale, extra)}.npz")
 
 
-def _get_or_train(kind, builder, trainer, cfg, tcfg, scale, extra=""):
+def _feature_profile(path, graphs):
+    """Load-or-capture the train-time feature reference for drift checks.
+
+    Lives in a ``.profile.json`` sidecar next to the checkpoint, so a
+    warm reload audits against the same reference the training run saw.
+    The profile is a pure function of the (deterministic) training
+    graphs, so recapturing it for a pre-existing checkpoint is exact.
+    """
+    from ..obs.quality import FeatureProfile
+    profile_path = path[:-len(".npz")] + ".profile.json"
+    if os.path.exists(profile_path):
+        try:
+            return FeatureProfile.load(profile_path)
+        except (OSError, ValueError, KeyError):
+            pass   # corrupt sidecar: recapture below
+    profile = FeatureProfile.from_graphs(graphs)
+    try:
+        profile.save(profile_path)
+    except OSError:
+        pass   # read-only cache: serve the in-memory profile anyway
+    return profile
+
+
+def _get_or_train(kind, builder, trainer, cfg, tcfg, scale, extra="",
+                  profile_graphs=None):
     # Resolve the cache directory exactly once: the memo key and the
     # checkpoint path below must name the same directory even if
     # REPRO_CACHE_DIR flips mid-process between the two reads.
@@ -158,6 +182,8 @@ def _get_or_train(kind, builder, trainer, cfg, tcfg, scale, extra=""):
             model, _history = trainer()
             _save_state(path, model)
         model.eval()
+        if profile_graphs is not None:
+            model.feature_profile = _feature_profile(path, profile_graphs)
         return model
 
     return _memoized(_MODELS, key, build)
@@ -183,7 +209,7 @@ def trained_timing_gnn(variant="full", scale=None, epochs=None):
         f"timing_{variant}",
         builder=lambda: TimingGNN(cfg),
         trainer=lambda: train_timing_gnn(train, cfg, tcfg),
-        cfg=cfg, tcfg=tcfg, scale=scale)
+        cfg=cfg, tcfg=tcfg, scale=scale, profile_graphs=train)
 
 
 def trained_gcnii(num_layers, scale=None, epochs=None):
@@ -215,4 +241,4 @@ def trained_net_embedding(scale=None, epochs=None):
         "netemb",
         builder=lambda: NetEmbedding(cfg),
         trainer=lambda: train_net_embedding(train, cfg, tcfg),
-        cfg=cfg, tcfg=tcfg, scale=scale)
+        cfg=cfg, tcfg=tcfg, scale=scale, profile_graphs=train)

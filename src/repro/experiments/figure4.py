@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphdata import TIME_SCALE
-from ..ml import pearson_correlation, r2_score
+from ..ml import pearson_correlation, r2_score, spearman_correlation
 from ..training import slack_from_arrival
 from .common import get_dataset, trained_timing_gnn
 
@@ -22,7 +22,8 @@ def figure4_data(design="usbf_device", scale=None):
     """Slack scatter series for one test design.
 
     Returns a dict with ``setup`` and ``hold`` entries, each holding
-    ``true``/``pred`` arrays in ps plus ``r2`` and ``pearson``.
+    ``true``/``pred`` arrays in ps plus ``r2``, ``pearson`` and
+    ``spearman`` (rank) correlations.
     """
     records = get_dataset(scale)
     graph = records[design].graph
@@ -38,6 +39,7 @@ def figure4_data(design="usbf_device", scale=None):
             "true": t, "pred": p,
             "r2": r2_score(t, p),
             "pearson": pearson_correlation(t, p),
+            "spearman": spearman_correlation(t, p),
         }
     return out
 

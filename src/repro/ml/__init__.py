@@ -2,7 +2,12 @@
 
 from .tree import DecisionTreeRegressor
 from .forest import RandomForestRegressor
-from .metrics import r2_score, mae, rmse, pearson_correlation
+from .metrics import (r2_score, mae, rmse, pearson_correlation,
+                      spearman_correlation)
+from .endpoint_metrics import (endpoint_slack_metrics, worst_slack_per_endpoint,
+                               top_k_negative_recall)
 
 __all__ = ["DecisionTreeRegressor", "RandomForestRegressor",
-           "r2_score", "mae", "rmse", "pearson_correlation"]
+           "r2_score", "mae", "rmse", "pearson_correlation",
+           "spearman_correlation", "endpoint_slack_metrics",
+           "worst_slack_per_endpoint", "top_k_negative_recall"]

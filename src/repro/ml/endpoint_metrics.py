@@ -1,0 +1,101 @@
+"""Endpoint-level accuracy metrics (E2ESlack-style).
+
+Shared by offline evaluation (``repro.training.evaluate``) and the
+online shadow-STA audit loop (``repro.obs.quality``), so the run ledger
+and the serving quality monitor report *identical* numbers for the same
+(model, design) pair.
+
+All functions take endpoint slack arrays of shape (num_endpoints, 4)
+in the STA engine's corner layout: hold slack in columns 0-1, setup
+slack in columns 2-3 (see ``training.evaluate.slack_from_arrival``).
+Per-endpoint worst slack is the nanmin over the mode's two columns —
+the quantity an ECO loop accepts or reverts on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .metrics import mae, spearman_correlation
+
+__all__ = ["endpoint_slack_metrics", "worst_slack_per_endpoint",
+           "top_k_negative_recall", "HOLD_COLS", "SETUP_COLS"]
+
+HOLD_COLS = (0, 1)
+SETUP_COLS = (2, 3)
+
+
+def worst_slack_per_endpoint(slack, mode="setup"):
+    """Per-endpoint worst slack for one mode, shape (num_endpoints,)."""
+    slack = np.asarray(slack, dtype=np.float64)
+    if slack.ndim != 2 or slack.shape[1] != 4:
+        raise ValueError(f"expected (E, 4) slack array, got {slack.shape}")
+    cols = SETUP_COLS if mode == "setup" else HOLD_COLS
+    with np.errstate(invalid="ignore"):
+        return np.nanmin(slack[:, cols], axis=1)
+
+
+def top_k_negative_recall(slack_true, slack_pred, k=None):
+    """Fraction of the k truly-worst endpoints recovered by the prediction.
+
+    Operates on per-endpoint worst-slack vectors.  ``k`` defaults to the
+    number of endpoints with negative true slack (the violating set an
+    ECO would chase); when nothing violates, the worst 10% (at least 1)
+    stands in so the metric stays defined on clean designs.
+    """
+    t = np.asarray(slack_true, dtype=np.float64).reshape(-1)
+    p = np.asarray(slack_pred, dtype=np.float64).reshape(-1)
+    finite = np.isfinite(t) & np.isfinite(p)
+    t, p = t[finite], p[finite]
+    if len(t) == 0:
+        return float("nan")
+    if k is None:
+        k = int((t < 0.0).sum())
+        if k == 0:
+            k = max(1, math.ceil(0.1 * len(t)))
+    k = min(int(k), len(t))
+    if k <= 0:
+        return float("nan")
+    true_set = set(np.argsort(t, kind="stable")[:k].tolist())
+    pred_set = set(np.argsort(p, kind="stable")[:k].tolist())
+    return float(len(true_set & pred_set)) / float(k)
+
+
+def endpoint_slack_metrics(slack_true, slack_pred, *, time_scale=1.0,
+                           top_k=None):
+    """Endpoint accuracy summary between true and predicted (E, 4) slack.
+
+    Returns, per mode (setup/hold): absolute WNS and TNS error, worst
+    per-endpoint slack MAE, Spearman rank correlation, and top-k
+    negative-slack recall — plus a combined ``slack_mae`` over both
+    modes.  Times are multiplied by ``time_scale`` (pass the dataset's
+    TIME_SCALE for picoseconds).
+    """
+    out = {}
+    combined = []
+    for mode in ("setup", "hold"):
+        t = worst_slack_per_endpoint(slack_true, mode) * time_scale
+        p = worst_slack_per_endpoint(slack_pred, mode) * time_scale
+        finite = np.isfinite(t) & np.isfinite(p)
+        t, p = t[finite], p[finite]
+        if len(t) == 0:
+            out[f"wns_{mode}_err"] = float("nan")
+            out[f"tns_{mode}_err"] = float("nan")
+            out[f"slack_mae_{mode}"] = float("nan")
+            out[f"rank_{mode}"] = float("nan")
+            out[f"recall_{mode}"] = float("nan")
+            continue
+        wns_t, wns_p = float(t.min()), float(p.min())
+        tns_t = float(np.minimum(t, 0.0).sum())
+        tns_p = float(np.minimum(p, 0.0).sum())
+        out[f"wns_{mode}_err"] = abs(wns_t - wns_p)
+        out[f"tns_{mode}_err"] = abs(tns_t - tns_p)
+        out[f"slack_mae_{mode}"] = mae(t, p)
+        out[f"rank_{mode}"] = spearman_correlation(t, p)
+        out[f"recall_{mode}"] = top_k_negative_recall(t, p, k=top_k)
+        combined.append(np.abs(t - p))
+    out["slack_mae"] = (float(np.concatenate(combined).mean())
+                        if combined else float("nan"))
+    return out

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["r2_score", "mae", "rmse", "pearson_correlation"]
+__all__ = ["r2_score", "mae", "rmse", "pearson_correlation",
+           "spearman_correlation"]
 
 
 def r2_score(y_true, y_pred):
@@ -57,3 +58,37 @@ def pearson_correlation(y_true, y_pred):
         return float("nan")
     return float(((y_true - y_true.mean()) * (y_pred - y_pred.mean())).mean()
                  / (st * sp))
+
+
+def _ranks(values):
+    """Fractional ranks (ties get the average rank), 1-based."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1, dtype=np.float64)
+    # Average ranks within tie groups so exact ties don't depend on order.
+    sorted_vals = values[order]
+    i = 0
+    while i < len(sorted_vals):
+        j = i
+        while j + 1 < len(sorted_vals) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(y_true, y_pred):
+    """Spearman rank correlation over finite entries (tie-aware).
+
+    The E2ESlack-style endpoint metric: how well the prediction orders
+    endpoints by slack, independent of calibration.  Pearson r over
+    fractional ranks.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    finite = np.isfinite(y_true) & np.isfinite(y_pred)
+    y_true, y_pred = y_true[finite], y_pred[finite]
+    if len(y_true) < 2:
+        return float("nan")
+    return pearson_correlation(_ranks(y_true), _ranks(y_pred))

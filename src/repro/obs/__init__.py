@@ -1,6 +1,6 @@
 """Observability: metrics, tracing, logging, run ledger and profiling.
 
-The measurement substrate of the reproduction (DESIGN.md §3).  Six
+The measurement substrate of the reproduction (DESIGN.md §3).  Seven
 independent primitives, one import point:
 
 * :mod:`.metrics` — thread-safe :class:`MetricsRegistry` of counters,
@@ -20,6 +20,12 @@ independent primitives, one import point:
 * :mod:`.profile` — opt-in tape-level profiler: per-op / per-kernel
   wall time and output bytes on both autograd backends, with backward
   closures attributed per op (``repro profile``);
+* :mod:`.quality` — online prediction-quality monitoring: budget-limited
+  shadow-STA audits of served predictions (``REPRO_AUDIT_RATE``), shared
+  endpoint accuracy metrics, PSI feature-drift detection against
+  train-time :class:`FeatureProfile` references
+  (``REPRO_DRIFT_THRESHOLD``), a rotated JSONL audit log and a rolling
+  accuracy SLO behind ``/healthz``;
 * :mod:`.fleet` — cross-process aggregation for the serving pool:
   merges per-worker registry snapshots (counters summed, gauges
   last-write, quantile sketches combined) under a ``worker`` label,
@@ -39,6 +45,9 @@ from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       get_registry, set_registry)
 from .profile import (OpStat, Profiler, format_profile_table, profile,
                       profile_train_step)
+from .quality import (AccuracySlo, AuditLog, DriftTracker, FeatureProfile,
+                      QualityMonitor, audit_rate, default_audit_log_path,
+                      drift_threshold)
 from .report import render_html_report, write_html_report
 from .runs import (RUNS_SCHEMA_VERSION, RunLedger, config_fingerprint,
                    default_ledger, default_runs_dir, new_run_id,
@@ -58,5 +67,8 @@ __all__ = [
     "default_ledger", "default_runs_dir", "new_run_id", "record_run",
     "OpStat", "Profiler", "profile", "profile_train_step",
     "format_profile_table",
+    "AccuracySlo", "AuditLog", "DriftTracker", "FeatureProfile",
+    "QualityMonitor", "audit_rate", "default_audit_log_path",
+    "drift_threshold",
     "render_html_report", "write_html_report",
 ]

@@ -348,7 +348,19 @@ class FleetAggregator:
             outcome = s["labels"].get("outcome", "ok")
             requests[outcome] = requests.get(outcome, 0) + int(s["value"])
         latency = self.histogram_quantiles("repro_worker_request_ms")
+        audit_mae = self.histogram_quantiles(
+            "repro_worker_quality_slack_mae_ps")
         return {
+            "worker_quality": {
+                "audits": int(sum(
+                    s["value"] for s in
+                    series("repro_worker_quality_audits_total"))),
+                "drops": int(sum(
+                    s["value"] for s in
+                    series("repro_worker_quality_audit_drops_total"))),
+                "slack_mae_p50_ps": round(audit_mae["p50"], 3),
+                "scored": audit_mae["count"],
+            },
             "reporting": self.sources(),
             "live": sorted(self.live_sources()),
             "worker_requests": requests,
@@ -448,6 +460,23 @@ def render_top(stats, healthz=None, prev=None, dt=None, url=""):
             f"SLO {slo.get('good_ratio', 1.0) * 100:.1f}% good "
             f"(objective {slo.get('objective_ms', 0):.0f} ms, "
             f"last {slo.get('total', 0)} of window {slo.get('window', 0)})")
+    quality = stats.get("quality") or {}
+    if quality.get("enabled"):
+        mae = quality.get("slack_mae_ps")
+        drift = quality.get("drift_score")
+        acc = (quality.get("slo") or {})
+        parts = [f"quality: audits {quality.get('samples', 0)}"]
+        if quality.get("worker_audits"):
+            parts.append(f"(+{quality['worker_audits']} worker)")
+        parts.append("slack MAE "
+                     + (f"{mae:.1f} ps" if mae is not None else "—"))
+        parts.append("drift "
+                     + (f"{drift:.3f}" if drift is not None else "—"))
+        parts.append(f"acc-SLO {acc.get('good_ratio', 1.0) * 100:.1f}%")
+        hq = healthz.get("quality") or {}
+        if hq.get("breached"):
+            parts.append("BREACHED:" + ",".join(hq["breached"]))
+        lines.append("  ".join(parts))
     if pool:
         lines.append(
             f"pool: {pool.get('workers', 0)} workers"

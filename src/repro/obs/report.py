@@ -8,6 +8,8 @@ the filesystem:
 * per-design R² table from the latest evaluated training runs;
 * bench trajectory (compute geomean speedup / stage times and serving
   throughput across recorded bench runs);
+* prediction quality: endpoint accuracy of the latest evaluated run
+  plus the shadow-audit slack-error trend (repro.obs.quality);
 * the paper's Figure-4 view: predicted-vs-true endpoint slack scatter
   from the latest timing-GNN run that sampled one.
 """
@@ -266,6 +268,69 @@ def _figure4_section(train_runs):
     return out
 
 
+def _quality_section(train_runs, audit_log=None):
+    out = ["<h2>Prediction quality</h2>"]
+    # Endpoint accuracy of the latest evaluated training run: the same
+    # numbers the online shadow auditor computes (repro.ml.endpoint_metrics).
+    evaluated = [r for r in train_runs
+                 if any("endpoint" in scores
+                        for scores in (r.get("eval") or {}).values())]
+    if evaluated:
+        record = evaluated[-1]
+        evals = record["eval"]
+        out.append(f"<p class='note'>endpoint accuracy of run "
+                   f"<code>{html.escape(str(record.get('run_id')))}</code> "
+                   f"(identical to the online audit metrics)</p>")
+        out.append("<table><tr><th class='l'>design</th>"
+                   "<th>slack MAE ps</th><th>WNS err ps</th>"
+                   "<th>TNS err ps</th><th>rank ρ</th>"
+                   "<th>top-k recall</th></tr>")
+        for design in sorted(evals):
+            ep = evals[design].get("endpoint") or {}
+            out.append(
+                "<tr>"
+                f"<td class='l'>{html.escape(design)}</td>"
+                f"<td>{_fmt(ep.get('slack_mae'))}</td>"
+                f"<td>{_fmt(ep.get('wns_setup_err'))}</td>"
+                f"<td>{_fmt(ep.get('tns_setup_err'))}</td>"
+                f"<td>{_fmt(ep.get('rank_setup'))}</td>"
+                f"<td>{_fmt(ep.get('recall_setup'))}</td></tr>")
+        out.append("</table>")
+    else:
+        out.append("<p class='note'>no endpoint-evaluated training runs "
+                   "yet — recorded by <code>repro train --eval</code></p>")
+    # Shadow-audit trend from the audit log (if one exists).
+    if audit_log is None:
+        from .quality import AuditLog
+        audit_log = AuditLog()
+    try:
+        audits, corrupt = audit_log.scan()
+    except OSError:
+        audits, corrupt = [], 0
+    if not audits:
+        out.append("<p class='note'>no shadow audits recorded — serve "
+                   "with <code>REPRO_AUDIT_RATE &gt; 0</code></p>")
+        return out
+    recent = audits[-500:]
+    idx = list(range(1, len(recent) + 1))
+    chart = _Chart()
+    chart.add("slack MAE ps", idx,
+              [r.get("slack_mae_ps") for r in recent])
+    out.append(chart.svg(title="shadow-audit slack error trend",
+                         x_label="audit #", y_label="MAE ps"))
+    drifts = [r.get("drift_score") for r in recent
+              if r.get("drift_score") is not None]
+    last_drift = drifts[-1] if drifts else None
+    note = (f"{len(audits)} audits in <code>"
+            f"{html.escape(audit_log.path)}</code>")
+    if last_drift is not None:
+        note += f", latest drift score {_fmt(last_drift)}"
+    if corrupt:
+        note += f", {corrupt} corrupt lines skipped"
+    out.append(f"<p class='note'>{note}</p>")
+    return out
+
+
 def render_html_report(ledger=None, title="repro run report"):
     """The whole ledger rendered as one self-contained HTML page."""
     ledger = ledger or default_ledger()
@@ -281,6 +346,7 @@ def render_html_report(ledger=None, title="repro run report"):
     body += _training_section(train_runs)
     body += _r2_section(train_runs)
     body += _bench_section(bench_runs)
+    body += _quality_section(train_runs)
     body += _figure4_section(train_runs)
     return ("<!doctype html><html><head><meta charset='utf-8'>"
             f"<title>{html.escape(title)}</title>"

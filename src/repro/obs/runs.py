@@ -38,7 +38,10 @@ __all__ = ["RUNS_SCHEMA_VERSION", "RunLedger", "default_runs_dir",
            "default_ledger", "new_run_id", "config_fingerprint",
            "record_run"]
 
-RUNS_SCHEMA_VERSION = 1
+# v2 (PR 10): training records gain per-design endpoint accuracy metrics
+# (``eval.<design>.endpoint``).  Purely additive — v1 readers that index
+# known keys keep working, and this reader never rejects on version.
+RUNS_SCHEMA_VERSION = 2
 
 
 def default_runs_dir():

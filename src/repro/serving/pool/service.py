@@ -115,6 +115,22 @@ class PooledPredictionService(PredictionService):
         cache["worker_misses"] = worker_cache.get("misses", 0)
         stats["graph_cache"] = cache
         stats["worker_requests"] = fleet.get("worker_requests_total", 0)
+        # Under the pool, forwards (and so shadow audits) run in the
+        # workers: fold their fleet-merged audit counters into the
+        # quality view so `samples` reflects the whole process tree.
+        quality = dict(stats.get("quality") or {})
+        worker_quality = fleet.get("worker_quality", {})
+        worker_audits = worker_quality.get("audits", 0)
+        if worker_audits or quality.get("enabled"):
+            quality.setdefault("enabled", True)
+            quality["worker_audits"] = worker_audits
+            quality["samples"] = int(quality.get("samples", 0) or 0) \
+                + worker_audits
+            if quality.get("slack_mae_ps") is None \
+                    and worker_quality.get("scored"):
+                quality["slack_mae_ps"] = \
+                    worker_quality.get("slack_mae_p50_ps")
+            stats["quality"] = quality
         return stats
 
     def healthz(self):

@@ -56,6 +56,7 @@ import time
 
 from ...graphdata.hetero import HeteroGraph
 from ...obs.metrics import MetricsRegistry
+from ...obs.quality import QualityMonitor
 from ...obs.tracing import make_span_record
 from ...parallel.shm import attach
 
@@ -153,6 +154,11 @@ class PoolWorker:
         self._g_sessions = self.metrics.gauge(
             "repro_worker_delta_sessions",
             "Live delta (ECO edit) sessions in this worker.")
+        # Worker-side shadow-STA auditor: same sampler as the parent's,
+        # but its families are repro_worker_quality_* so the snapshots
+        # merge through the fleet aggregator without name collisions.
+        self.quality = QualityMonitor(registry=self.metrics,
+                                      prefix="repro_worker_quality_")
 
     # -- plumbing ---------------------------------------------------------------
     def _beat(self):
@@ -413,6 +419,12 @@ class PoolWorker:
                                      attach_ms, forward_ms, len(live),
                                      end_ts)
             self._respond((R_OK, message[1], payload, len(live), spans))
+            # Audit after responding: the sampler only copies the
+            # arrival array here; scoring runs on its own thread.
+            if record["kind"] == "timing":
+                self.quality.maybe_audit(
+                    graph, outputs[position[message[3]]]["arrival"],
+                    model=name, request_id=message[1])
 
     @staticmethod
     def _payload(kind, graph, output, include_slack):
@@ -524,6 +536,10 @@ class PoolWorker:
     # -- lifecycle --------------------------------------------------------------
     def shutdown(self):
         """Release every shared-memory attachment (no unlinks)."""
+        # Drain in-flight audits first so the forced final snapshot
+        # below carries the complete audit counters (fleet merge is
+        # asserted lossless post-shutdown in tests/test_quality.py).
+        self.quality.close()
         for record in self._models.values():
             record["attachment"].close()
         self._models.clear()

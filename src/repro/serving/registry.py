@@ -45,12 +45,16 @@ class ModelEntry:
     loaded_at: float
     load_seconds: float
     extra: dict = field(default_factory=dict)
+    # Train-time FeatureProfile for drift auditing (repro.obs.quality);
+    # a first-class field, not `extra`, so describe() stays JSON-clean.
+    profile: object = None
 
     def describe(self):
         return {"name": self.name, "kind": self.kind,
                 "version": self.version,
                 "loaded_at": self.loaded_at,
                 "load_seconds": round(self.load_seconds, 3),
+                "drift_profile": self.profile is not None,
                 **self.extra}
 
 
@@ -119,7 +123,9 @@ class ModelRegistry:
                                    DATASET_VERSION)
             return ModelEntry(name=name, kind=kind, version=version,
                               model=model, loaded_at=time.time(),
-                              load_seconds=0.0, extra=extra)
+                              load_seconds=0.0, extra=extra,
+                              profile=getattr(model, "feature_profile",
+                                              None))
         return load
 
     # -- lookup -----------------------------------------------------------------

@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graphdata import TIME_SCALE
-from ..obs import MetricsRegistry, SloTracker, get_registry, get_tracer
+from ..obs import (MetricsRegistry, QualityMonitor, SloTracker,
+                   get_registry, get_tracer)
 from ..training import slack_from_arrival
 from .batching import BatchTimeout, MicroBatcher
 from .cache import LRUCache
@@ -259,6 +260,10 @@ class PredictionService:
         # (REPRO_SLO_LATENCY_MS); sheds and unexpected faults are bad,
         # client errors (4xx) are excluded.  Surfaced by /healthz.
         self.slo = SloTracker()
+        # Shadow-STA auditor (REPRO_AUDIT_RATE > 0 enables): samples
+        # served predictions off the request path and scores them
+        # against the graph's ground-truth labels.
+        self.quality = QualityMonitor(registry=self.metrics)
         self._started_at = time.time()
 
     # -- graph resolution -------------------------------------------------------
@@ -452,6 +457,10 @@ class PredictionService:
                                             timeout=request.remaining_s())
         payload = self._model_payload(entry, graph, output,
                                       request.include_slack)
+        if entry.kind == "timing":
+            self.quality.maybe_audit(
+                graph, output["arrival"], model=entry.name,
+                request_id=request.request_id, profile=entry.profile)
         return payload, batch_size
 
     # -- the delta entry point --------------------------------------------------
@@ -640,9 +649,11 @@ class PredictionService:
         return self.registry.describe()
 
     def healthz(self):
-        return {"status": "ok", "uptime_s": round(
-            time.time() - self._started_at, 1),
-            "slo": self.slo.summary()}
+        quality = self.quality.healthz()
+        return {"status": "ok" if quality["ok"] else "degraded",
+                "uptime_s": round(time.time() - self._started_at, 1),
+                "slo": self.slo.summary(),
+                "quality": quality}
 
     def stats(self):
         """JSON stats view — a projection of :attr:`metrics`, so it can
@@ -666,6 +677,7 @@ class PredictionService:
                              default=0),
             "uptime_s": round(time.time() - self._started_at, 1),
             "slo": self.slo.summary(),
+            "quality": self.quality.stats(),
         }
 
     def metrics_text(self):
@@ -685,6 +697,7 @@ class PredictionService:
             self.resolve_graph(PredictRequest(design=design).validate())
 
     def close(self):
+        self.quality.close()
         with self._lock:
             batchers = list(self._batchers.values())
             self._batchers.clear()

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..ml import r2_score
+from ..ml import endpoint_slack_metrics, r2_score
 
 __all__ = ["evaluate_timing_gnn", "evaluate_gcnii_output",
-           "slack_from_arrival", "evaluate_net_delay"]
+           "slack_from_arrival", "evaluate_net_delay",
+           "endpoint_metrics_for"]
 
 
 def slack_from_arrival(graph, arrival):
@@ -18,6 +19,19 @@ def slack_from_arrival(graph, arrival):
     Returns (num_endpoints, 4): hold slack in columns 0-1, setup in 2-3.
     """
     return graph.slack(arrival=arrival)
+
+
+def endpoint_metrics_for(graph, arrival_pred):
+    """E2ESlack-style endpoint metrics (ps) for predicted arrivals.
+
+    The single shared entry point for both offline eval and the online
+    shadow-STA audit: WNS/TNS absolute error, worst-slack MAE, Spearman
+    rank correlation and top-k negative-slack recall, per mode.
+    """
+    from ..graphdata import TIME_SCALE
+    return endpoint_slack_metrics(graph.slack(),
+                                  slack_from_arrival(graph, arrival_pred),
+                                  time_scale=TIME_SCALE)
 
 
 def evaluate_timing_gnn(model, graph):
@@ -39,6 +53,7 @@ def evaluate_timing_gnn(model, graph):
     # Combined headline number in the spirit of Table 5 ("arrival time /
     # slack prediction"): the arrival-time R2 over all pins.
     metrics["at_slack_r2"] = metrics["arrival_r2"]
+    metrics["endpoint"] = endpoint_metrics_for(graph, arrival_pred)
     return metrics
 
 

@@ -32,7 +32,8 @@ class TestRunLedger:
         record = ledger.append({"kind": "train_timing",
                                 "loss": [np.float64(1.5), 0.5],
                                 "epochs": np.int64(2)})
-        assert record["schema_version"] == 1
+        from repro.obs.runs import RUNS_SCHEMA_VERSION
+        assert record["schema_version"] == RUNS_SCHEMA_VERSION
         assert record["run_id"].startswith("train_timing-")
         assert record["recorded_at"].endswith("Z")
         back = ledger.read()
